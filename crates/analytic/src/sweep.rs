@@ -1,0 +1,94 @@
+//! Parallel evaluation sweeps.
+//!
+//! The Fig. 5 design-space exploration evaluates dozens of (base
+//! technology × express technology × span) combinations; each evaluation
+//! is independent, so they fan out across threads with crossbeam's scoped
+//! threads (no `'static` bounds needed on the inputs).
+
+/// Applies `f` to every item on a pool of scoped worker threads, returning
+/// outputs in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let jobs = std::sync::atomic::AtomicUsize::new(0);
+    // Atomically claimed job indices; items handed out through per-slot
+    // mutexes (parking_lot: no poisoning to reason about).
+    let items: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let results = parking_lot::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = jobs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let out = f(item);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    for (i, r) in results.into_inner() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |x: u64| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavier_work_still_ordered() {
+        let out = parallel_map((0..32).collect(), |x: u64| {
+            // Unequal work per item to shuffle completion order.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

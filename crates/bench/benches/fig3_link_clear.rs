@@ -1,0 +1,24 @@
+//! Fig. 3 bench: regenerate the link-level CLEAR sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::link_clear::fig3_lengths;
+use hyppi::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lengths = fig3_lengths();
+    c.bench_function("fig3/full_sweep", |b| {
+        b.iter(|| hyppi::link_clear_sweep(black_box(&lengths)))
+    });
+    c.bench_function("fig3/single_point", |b| {
+        b.iter(|| {
+            hyppi::link_clear_point(
+                black_box(LinkTechnology::Hyppi),
+                black_box(Micrometers::from_mm(1.0)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 5 bench: one analytical design-point evaluation (the full figure
+//! is 30 of these, fanned out by `repro fig5`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = NocModel::new(express_mesh(
+        MeshSpec::paper(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    ));
+    let cfg = SoteriouConfig::paper();
+    let traffic = cfg.matrix(&model.topo);
+    c.bench_function("fig5/evaluate_one_design_point", |b| {
+        b.iter(|| model.evaluate(black_box(&traffic), cfg.max_injection_rate))
+    });
+    c.bench_function("fig5/build_noc_model", |b| {
+        b.iter(|| {
+            NocModel::new(express_mesh(
+                MeshSpec::paper(LinkTechnology::Electronic),
+                ExpressSpec {
+                    span: 3,
+                    tech: LinkTechnology::Hyppi,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 6 bench: cycle-accurate NPB simulation. A reduced CG window keeps
+//! per-iteration cost tractable; `repro fig6` runs the full grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::experiments::npb::fig6_topology;
+use hyppi::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let trace = NpbTraceSpec::paper(NpbKernel::Cg).trace_window(1, 0.1);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for span in [0u16, 3] {
+        let topo = fig6_topology(span);
+        let routes = RoutingTable::compute_xy(&topo);
+        group.bench_function(format!("cg_window_span{span}"), |b| {
+            b.iter(|| {
+                Simulator::new(&topo, &routes, SimConfig::paper())
+                    .run_trace(&trace)
+                    .expect("completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 8 bench: the all-optical radar projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("full_projection", |b| {
+        b.iter(all_optical_projection)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenches of the cycle-accurate simulator core (ablation support:
+//! sensitivity of simulation throughput to load and packet size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+
+fn uniform_trace(n: u16, packets_per_node: u16, flits: u32) -> Trace {
+    let mut events = Vec::new();
+    for s in 0..n {
+        for k in 0..packets_per_node {
+            events.push(TraceEvent {
+                cycle: u64::from(k) * 100,
+                src: NodeId(s),
+                dst: NodeId((s + 1 + k) % n),
+                flits,
+            });
+        }
+    }
+    Trace::new("bench uniform", n, 0.0, events)
+}
+
+fn bench(c: &mut Criterion) {
+    let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    for &(label, flits) in &[("control_1flit", 1u32), ("data_32flit", 32u32)] {
+        let trace = uniform_trace(256, 16, flits);
+        group.bench_function(format!("uniform_{label}"), |b| {
+            b.iter(|| {
+                Simulator::new(&topo, &routes, SimConfig::paper())
+                    .run_trace(&trace)
+                    .expect("completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table III bench: capability and R computation per topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table3/full_table", |b| {
+        b.iter(hyppi::experiments::table3)
+    });
+    let topo = express_mesh(
+        MeshSpec::paper(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    );
+    c.bench_function("table3/routing_table_16x16_express", |b| {
+        b.iter(|| RoutingTable::compute_xy(black_box(&topo)))
+    });
+    let cfg = SoteriouConfig::paper();
+    c.bench_function("table3/soteriou_matrix_256", |b| {
+        b.iter(|| cfg.matrix(black_box(&topo)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

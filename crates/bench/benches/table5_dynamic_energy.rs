@@ -1,0 +1,32 @@
+//! Table V bench: volume-routed FT dynamic energy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let volume = NpbTraceSpec::paper(NpbKernel::Ft).volume();
+    let model = NocModel::new(express_mesh(
+        MeshSpec::paper(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    ));
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(20);
+    group.bench_function("route_ft_volume", |b| {
+        b.iter(|| EnergyCounts::from_volume(&model.topo, &model.routes, black_box(&volume)))
+    });
+    let counts = EnergyCounts::from_volume(&model.topo, &model.routes, &volume);
+    group.bench_function("energy_rollup", |b| {
+        b.iter(|| dynamic_energy_joules(&model, black_box(&counts), volume.comm_wall_seconds))
+    });
+    group.bench_function("generate_ft_volume", |b| {
+        b.iter(|| NpbTraceSpec::paper(NpbKernel::Ft).volume())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

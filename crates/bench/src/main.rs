@@ -1,0 +1,157 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p hyppi-bench --bin repro            # everything
+//! cargo run --release -p hyppi-bench --bin repro fig6       # one artefact
+//! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
+//! ```
+
+use hyppi::experiments::{fig3, fig5, fig8, table1, table2, table3, table4, table5, table6};
+use hyppi::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = arg == "all";
+    let mut ran = false;
+
+    if all || arg == "table1" {
+        ran = true;
+        println!("## Table I — device parameters (model inputs)\n{}", table1());
+    }
+    if all || arg == "table2" {
+        ran = true;
+        println!("## Table II — network parameters\n{}", table2());
+    }
+    if all || arg == "fig3" {
+        ran = true;
+        println!("## Fig. 3 — link-level CLEAR\n{}", fig3().render());
+    }
+    if all || arg == "table3" {
+        ran = true;
+        println!("## Table III — capability C and utilization growth R\n{}", table3());
+    }
+    if all || arg == "fig5" {
+        ran = true;
+        let r = fig5();
+        println!("## Fig. 5 — hybrid NoC design space\n{}", r.render());
+        println!(
+            "Electronic base + HyPPI express CLEAR gain: {:.2}x (paper: up to 1.8x)\n",
+            r.headline_gain()
+        );
+    }
+    if all || arg == "table4" {
+        ran = true;
+        println!("## Table IV — static power, electronic base + express\n{}", table4());
+    }
+    if all || arg == "fig6" {
+        ran = true;
+        println!("## Fig. 6 — NPB average latency (cycle-accurate)");
+        println!("{}", run_fig6().render());
+    }
+    if all || arg == "table5" {
+        ran = true;
+        println!("## Table V — FT total dynamic energy\n{}", table5().render());
+    }
+    if all || arg == "table6" {
+        ran = true;
+        println!("## Table VI — optical router comparison\n{}", table6());
+    }
+    if all || arg == "fig8" {
+        ran = true;
+        let r = fig8();
+        println!("## Fig. 8 — all-optical radar projection\n{}", r.render());
+        println!(
+            "Electronic / all-HyPPI energy: {:.0}x (paper: ~255x)\n",
+            r.electronic_over_hyppi_energy()
+        );
+    }
+    if arg == "sweep-span" {
+        ran = true;
+        sweep_span();
+    }
+    if arg == "sweep-rate" {
+        ran = true;
+        sweep_rate();
+    }
+    if arg == "sweep-vcs" {
+        ran = true;
+        println!("## Ablation — VC-count sensitivity (CG window)");
+        println!("{}", hyppi::experiments::vc_sensitivity());
+    }
+    if arg == "sweep-buffers" {
+        ran = true;
+        println!("## Ablation — buffer-depth sensitivity (CG window)");
+        println!("{}", hyppi::experiments::buffer_sensitivity());
+    }
+    if arg == "sweep-routing" {
+        ran = true;
+        println!("## Ablation — routing policy (plain mesh)");
+        println!("{}", hyppi::experiments::routing_policy_comparison());
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
+             sweep-span, sweep-rate, sweep-vcs, sweep-buffers, sweep-routing"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Fig. 6 driver (kept here rather than in the library test path because it
+/// runs 16 full cycle-accurate simulations).
+fn run_fig6() -> hyppi::experiments::Fig6Result {
+    hyppi::experiments::fig6()
+}
+
+/// Ablation: CLEAR across every express span 2..=15 (the paper only probes
+/// 3, 5 and 15).
+fn sweep_span() {
+    println!("## Ablation — CLEAR vs express span (electronic base + HyPPI express)");
+    let cfg = SoteriouConfig::paper();
+    let base = {
+        let model = NocModel::new(mesh(MeshSpec::paper(LinkTechnology::Electronic)));
+        let t = cfg.matrix(&model.topo);
+        model.evaluate(&t, cfg.max_injection_rate).clear
+    };
+    println!("span  0 (plain): CLEAR {base:.4} (1.00x)");
+    for span in 2u16..=15 {
+        let model = NocModel::new(express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span,
+                tech: LinkTechnology::Hyppi,
+            },
+        ));
+        let t = cfg.matrix(&model.topo);
+        let eval = model.evaluate(&t, cfg.max_injection_rate);
+        println!(
+            "span {span:2}: CLEAR {:.4} ({:.2}x)  latency {:5.2}  R {:.3}",
+            eval.clear,
+            eval.clear / base,
+            eval.latency_clks,
+            eval.r_factor
+        );
+    }
+}
+
+/// Ablation: CLEAR vs injection rate 0.01–0.1 (the paper mentions "only a
+/// small reduction in CLEAR value with the injection rate" without a plot).
+fn sweep_rate() {
+    println!("## Ablation — CLEAR vs injection rate (plain meshes)");
+    for base_tech in [
+        LinkTechnology::Electronic,
+        LinkTechnology::Hyppi,
+        LinkTechnology::Photonic,
+    ] {
+        let model = NocModel::new(mesh(MeshSpec::paper(base_tech)));
+        print!("{:11}", base_tech.name());
+        for rate in [0.01, 0.02, 0.05, 0.1] {
+            let cfg = SoteriouConfig::paper().with_rate(rate);
+            let t = cfg.matrix(&model.topo);
+            let eval = model.evaluate(&t, rate);
+            print!("  r={rate:<4} CLEAR {:>8.4}", eval.clear);
+        }
+        println!();
+    }
+}

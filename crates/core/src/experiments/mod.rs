@@ -1,0 +1,31 @@
+//! Experiment drivers — one per table and figure of the paper.
+//!
+//! | paper artefact | driver | output |
+//! |---|---|---|
+//! | Table I (device parameters) | [`tables::table1`] | transcription check |
+//! | Table II (network parameters) | [`tables::table2`] | transcription check |
+//! | Fig. 3 (link-level CLEAR) | [`fig3::fig3`] | CLEAR vs length, 4 technologies |
+//! | Table III (C and R) | [`design_space::table3`] | per-topology capability & R |
+//! | Fig. 5 (hybrid design space) | [`design_space::fig5`] | CLEAR/latency/power/area, 30 configs |
+//! | Table IV (static power) | [`design_space::table4`] | base + express static power |
+//! | Fig. 6 (NPB latency) | [`npb::fig6`] | cycle-accurate latencies |
+//! | Table V (FT dynamic energy) | [`npb::table5`] | volume-routed energy |
+//! | Table VI (optical routers) | [`all_optical::table6`] | router comparison |
+//! | Fig. 8 (all-optical radar) | [`all_optical::fig8`] | latency/energy/area triples |
+//!
+//! Every driver is deterministic; the `repro` binary in `crates/bench`
+//! regenerates all of them, and `EXPERIMENTS.md` records paper-vs-measured.
+
+pub mod ablations;
+pub mod all_optical;
+pub mod design_space;
+pub mod fig3;
+pub mod npb;
+pub mod tables;
+
+pub use ablations::{buffer_sensitivity, routing_policy_comparison, vc_sensitivity};
+pub use all_optical::{fig8, table6, Fig8Result};
+pub use design_space::{fig5, table3, table4, DesignPoint, Fig5Result};
+pub use fig3::{fig3, Fig3Result};
+pub use npb::{fig6, table5, Fig6Result, Table5Result};
+pub use tables::{table1, table2};

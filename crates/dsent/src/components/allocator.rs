@@ -1,0 +1,72 @@
+//! VC and switch allocator model.
+//!
+//! Both allocators are matrices of round-robin arbiters. The model counts
+//! requestors: the VC allocator arbitrates `ports × vcs` input VCs over
+//! output VCs, the switch allocator arbitrates the same input VCs over
+//! output ports. A flit pays for one switch-allocation grant; a packet head
+//! additionally pays for one VC-allocation grant, which we fold into the
+//! per-flit figure at the paper's packet sizes.
+
+use super::ComponentEstimate;
+use crate::tech::TechNode;
+use hyppi_phys::{Femtojoules, Milliwatts, SquareMicrometers};
+
+/// Combined VC + switch allocator for one router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocatorModel {
+    /// Router radix.
+    pub ports: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+}
+
+impl AllocatorModel {
+    /// Total arbiter requestors across both allocators.
+    #[inline]
+    pub fn requestors(&self) -> u32 {
+        2 * self.ports * self.vcs
+    }
+
+    /// Evaluates the model against a technology node.
+    pub fn estimate(&self, node: &TechNode) -> ComponentEstimate {
+        let reqs = f64::from(self.requestors());
+        // A grant considers on the order of `ports` competing requests;
+        // two grants (VA + SA) are charged per flit.
+        let grant_energy = node.arbiter_fj_per_grant * f64::from(self.ports);
+        ComponentEstimate {
+            area: SquareMicrometers::new(reqs * node.arbiter_area_um2_per_req),
+            static_power: Milliwatts::new(reqs * node.arbiter_leak_nw_per_req * 1e-6),
+            energy_per_flit: Femtojoules::new(2.0 * grant_energy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requestor_count() {
+        let a = AllocatorModel { ports: 5, vcs: 4 };
+        assert_eq!(a.requestors(), 40);
+        let a7 = AllocatorModel { ports: 7, vcs: 4 };
+        assert_eq!(a7.requestors(), 56);
+    }
+
+    #[test]
+    fn leakage_scales_with_requestors() {
+        let node = TechNode::n11();
+        let a5 = AllocatorModel { ports: 5, vcs: 4 }.estimate(&node);
+        let a7 = AllocatorModel { ports: 7, vcs: 4 }.estimate(&node);
+        assert!((a7.static_power / a5.static_power - 1.4).abs() < 1e-12);
+        assert!((a7.area / a5.area - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_charges_two_grants() {
+        let node = TechNode::n11();
+        let a = AllocatorModel { ports: 5, vcs: 4 }.estimate(&node);
+        let expected = 2.0 * node.arbiter_fj_per_grant * 5.0;
+        assert!((a.energy_per_flit.value() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Input buffer model.
+//!
+//! Each router input port holds `vcs × depth` flit slots of `flit_bits`
+//! bits, implemented as register-file cells. A flit that traverses the
+//! router is written once on arrival and read once on switch traversal.
+
+use super::ComponentEstimate;
+use crate::tech::TechNode;
+use hyppi_phys::{Femtojoules, Milliwatts, SquareMicrometers};
+
+/// Input buffering for one whole router (all ports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferModel {
+    /// Number of router ports holding input buffers.
+    pub ports: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+    /// Buffer depth per VC, in flits.
+    pub depth: u32,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+}
+
+impl BufferModel {
+    /// Total storage bits across the router.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.ports) * u64::from(self.vcs) * u64::from(self.depth)
+            * u64::from(self.flit_bits)
+    }
+
+    /// Evaluates the model against a technology node.
+    pub fn estimate(&self, node: &TechNode) -> ComponentEstimate {
+        let bits = self.total_bits() as f64;
+        let per_flit_bits = f64::from(self.flit_bits);
+        ComponentEstimate {
+            area: SquareMicrometers::new(bits * node.buffer_area_um2_per_bit),
+            static_power: Milliwatts::new(bits * node.buffer_leak_uw_per_bit * 1e-3),
+            // One write on arrival + one read on departure.
+            energy_per_flit: Femtojoules::new(
+                per_flit_bits * (node.buffer_write_fj_per_bit + node.buffer_read_fj_per_bit),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_buffer(ports: u32) -> BufferModel {
+        BufferModel {
+            ports,
+            vcs: 4,
+            depth: 8,
+            flit_bits: 64,
+        }
+    }
+
+    #[test]
+    fn bit_count_matches_table_ii() {
+        // 5 ports × 4 VCs × 8 flits × 64 bits.
+        assert_eq!(paper_buffer(5).total_bits(), 10_240);
+        assert_eq!(paper_buffer(7).total_bits(), 14_336);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_with_ports() {
+        let node = TechNode::n11();
+        let e5 = paper_buffer(5).estimate(&node);
+        let e7 = paper_buffer(7).estimate(&node);
+        let ratio = 7.0 / 5.0;
+        assert!((e7.area / e5.area - ratio).abs() < 1e-12);
+        assert!((e7.static_power / e5.static_power - ratio).abs() < 1e-12);
+        // Per-flit energy is independent of port count.
+        assert_eq!(e5.energy_per_flit, e7.energy_per_flit);
+    }
+
+    #[test]
+    fn per_flit_energy_is_write_plus_read() {
+        let node = TechNode::n11();
+        let e = paper_buffer(5).estimate(&node);
+        let expected = 64.0 * (node.buffer_write_fj_per_bit + node.buffer_read_fj_per_bit);
+        assert!((e.energy_per_flit.value() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Clock distribution model.
+//!
+//! DSENT charges the router's share of the clock tree as a fixed static
+//! term plus a per-flit dynamic term (pipeline registers clocking flits
+//! through the three router stages). Wider routers clock proportionally
+//! more pipeline state.
+
+use super::ComponentEstimate;
+use crate::tech::TechNode;
+use hyppi_phys::{Femtojoules, Milliwatts, SquareMicrometers};
+
+/// Clock tree share of one router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Router radix; scales the clocked pipeline state.
+    pub ports: u32,
+}
+
+impl ClockModel {
+    /// Evaluates the model against a technology node.
+    pub fn estimate(&self, node: &TechNode) -> ComponentEstimate {
+        let port_factor = f64::from(self.ports) / 5.0;
+        ComponentEstimate {
+            // Clock wiring is counted inside the router overhead area.
+            area: SquareMicrometers::ZERO,
+            static_power: Milliwatts::new(node.clock_static_mw),
+            energy_per_flit: Femtojoules::new(node.clock_fj_per_flit * port_factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_power_is_node_constant() {
+        let node = TechNode::n11();
+        let c = ClockModel { ports: 5 }.estimate(&node);
+        assert_eq!(c.static_power.value(), node.clock_static_mw);
+    }
+
+    #[test]
+    fn flit_energy_scales_with_ports() {
+        let node = TechNode::n11();
+        let c5 = ClockModel { ports: 5 }.estimate(&node);
+        let c7 = ClockModel { ports: 7 }.estimate(&node);
+        assert!((c7.energy_per_flit / c5.energy_per_flit - 1.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Matrix crossbar model.
+//!
+//! A `ports × ports` matrix crossbar of `flit_bits` bit lanes. Area and
+//! leakage scale with the number of crosspoint bits (`ports² × flit_bits`);
+//! the energy of moving one flit through the crossbar grows with port count
+//! because the traversal wires lengthen with the matrix dimension.
+
+use super::ComponentEstimate;
+use crate::tech::TechNode;
+use hyppi_phys::{Femtojoules, Milliwatts, SquareMicrometers};
+
+/// Crossbar switch for one router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarModel {
+    /// Router radix (input = output port count).
+    pub ports: u32,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+}
+
+impl CrossbarModel {
+    /// Number of crosspoint bits in the matrix.
+    #[inline]
+    pub fn crosspoint_bits(&self) -> u64 {
+        u64::from(self.ports) * u64::from(self.ports) * u64::from(self.flit_bits)
+    }
+
+    /// Evaluates the model against a technology node.
+    ///
+    /// The per-flit traversal energy is normalized so that the
+    /// `xbar_fj_per_bit` constant applies to the paper's 5-port base router;
+    /// wider routers pay proportionally longer traversal wires.
+    pub fn estimate(&self, node: &TechNode) -> ComponentEstimate {
+        let xbits = self.crosspoint_bits() as f64;
+        let span_factor = f64::from(self.ports) / 5.0;
+        ComponentEstimate {
+            area: SquareMicrometers::new(xbits * node.xbar_area_um2_per_bit),
+            static_power: Milliwatts::new(xbits * node.xbar_leak_nw_per_bit * 1e-6),
+            energy_per_flit: Femtojoules::new(
+                f64::from(self.flit_bits) * node.xbar_fj_per_bit * span_factor,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosspoint_count() {
+        let x = CrossbarModel {
+            ports: 5,
+            flit_bits: 64,
+        };
+        assert_eq!(x.crosspoint_bits(), 1600);
+    }
+
+    #[test]
+    fn area_scales_quadratically_with_ports() {
+        let node = TechNode::n11();
+        let x5 = CrossbarModel {
+            ports: 5,
+            flit_bits: 64,
+        }
+        .estimate(&node);
+        let x10 = CrossbarModel {
+            ports: 10,
+            flit_bits: 64,
+        }
+        .estimate(&node);
+        assert!((x10.area / x5.area - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traversal_energy_scales_linearly_with_ports() {
+        let node = TechNode::n11();
+        let x5 = CrossbarModel {
+            ports: 5,
+            flit_bits: 64,
+        }
+        .estimate(&node);
+        let x7 = CrossbarModel {
+            ports: 7,
+            flit_bits: 64,
+        }
+        .estimate(&node);
+        assert!((x7.energy_per_flit / x5.energy_per_flit - 1.4).abs() < 1e-12);
+    }
+}

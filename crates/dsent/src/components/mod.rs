@@ -1,0 +1,63 @@
+//! Router building-block models.
+//!
+//! Each component exposes the same three quantities DSENT reports — area,
+//! static (leakage) power and dynamic energy per operation — derived from
+//! the [`TechNode`](crate::tech::TechNode) constants. The composed router
+//! lives in [`crate::router`].
+
+pub mod allocator;
+pub mod buffer;
+pub mod clock;
+pub mod crossbar;
+
+pub use allocator::AllocatorModel;
+pub use buffer::BufferModel;
+pub use clock::ClockModel;
+pub use crossbar::CrossbarModel;
+
+use hyppi_phys::{Femtojoules, Milliwatts, SquareMicrometers};
+
+/// Common estimate triple every component produces.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComponentEstimate {
+    /// Component footprint.
+    pub area: SquareMicrometers,
+    /// Leakage power.
+    pub static_power: Milliwatts,
+    /// Dynamic energy charged per flit that exercises the component.
+    pub energy_per_flit: Femtojoules,
+}
+
+impl ComponentEstimate {
+    /// Sums two estimates component-wise.
+    pub fn combine(self, other: Self) -> Self {
+        ComponentEstimate {
+            area: self.area + other.area,
+            static_power: self.static_power + other.static_power,
+            energy_per_flit: self.energy_per_flit + other.energy_per_flit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_adds_fields() {
+        let a = ComponentEstimate {
+            area: SquareMicrometers::new(1.0),
+            static_power: Milliwatts::new(2.0),
+            energy_per_flit: Femtojoules::new(3.0),
+        };
+        let b = ComponentEstimate {
+            area: SquareMicrometers::new(10.0),
+            static_power: Milliwatts::new(20.0),
+            energy_per_flit: Femtojoules::new(30.0),
+        };
+        let c = a.combine(b);
+        assert_eq!(c.area.value(), 11.0);
+        assert_eq!(c.static_power.value(), 22.0);
+        assert_eq!(c.energy_per_flit.value(), 33.0);
+    }
+}

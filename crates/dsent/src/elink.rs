@@ -1,0 +1,92 @@
+//! Repeated electrical wire links.
+//!
+//! A NoC link is a parallel bus of `flit_bits` optimally repeated wires.
+//! Area is pitch × length × wires; dynamic energy and repeater leakage
+//! scale with length; delay is the repeated-wire figure per mm.
+
+use crate::tech::TechNode;
+use hyppi_phys::{Femtojoules, Micrometers, Milliwatts, Picoseconds, SquareMicrometers};
+
+/// A parallel electrical bus link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalLinkModel {
+    /// Number of parallel wires (one flit wide).
+    pub wires: u32,
+    /// Physical length of the link.
+    pub length: Micrometers,
+    /// Technology node.
+    pub node: TechNode,
+}
+
+/// Evaluated electrical link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalLinkEstimate {
+    /// Wiring footprint (pitch × length × wires).
+    pub area: SquareMicrometers,
+    /// Repeater leakage.
+    pub static_power: Milliwatts,
+    /// Dynamic energy per flit (all wires toggle once).
+    pub energy_per_flit: Femtojoules,
+    /// Wire propagation delay end to end.
+    pub delay: Picoseconds,
+}
+
+impl ElectricalLinkModel {
+    /// A 64-wire link at the paper's 11 nm NoC node.
+    pub fn paper_link(length: Micrometers) -> Self {
+        Self {
+            wires: 64,
+            length,
+            node: TechNode::n11(),
+        }
+    }
+
+    /// Evaluates the link.
+    pub fn estimate(&self) -> ElectricalLinkEstimate {
+        let mm = self.length.as_mm();
+        let wires = f64::from(self.wires);
+        ElectricalLinkEstimate {
+            area: SquareMicrometers::new(wires * self.node.wire_pitch_um * self.length.value()),
+            static_power: Milliwatts::new(wires * self.node.wire_leak_uw_per_mm * mm * 1e-3),
+            energy_per_flit: Femtojoules::new(wires * self.node.wire_dyn_fj_per_bit_mm * mm),
+            delay: Picoseconds::new(self.node.wire_delay_ps_per_mm * mm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mm_paper_link() {
+        let e = ElectricalLinkModel::paper_link(Micrometers::from_mm(1.0)).estimate();
+        // 64 wires × 0.32 µm pitch × 1000 µm = 20480 µm².
+        assert!((e.area.value() - 20_480.0).abs() < 1e-6);
+        // 64 wires × 0.6 µW/mm = 38.4 µW.
+        assert!((e.static_power.value() - 0.0384).abs() < 1e-9);
+        // 64 bits × 100 fJ/bit/mm = 6.4 pJ per flit.
+        assert!((e.energy_per_flit.as_pj() - 6.4).abs() < 1e-9);
+        assert!((e.delay.value() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn everything_scales_linearly_with_length() {
+        let e1 = ElectricalLinkModel::paper_link(Micrometers::from_mm(1.0)).estimate();
+        let e3 = ElectricalLinkModel::paper_link(Micrometers::from_mm(3.0)).estimate();
+        assert!((e3.area / e1.area - 3.0).abs() < 1e-12);
+        assert!((e3.static_power / e1.static_power - 3.0).abs() < 1e-12);
+        assert!((e3.energy_per_flit / e1.energy_per_flit - 3.0).abs() < 1e-12);
+        assert!((e3.delay / e1.delay - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_mm_fits_in_a_cycle_at_core_clock() {
+        // Paper: electronic link latency is 1 clock at 0.78125 GHz (1280 ps).
+        let e = ElectricalLinkModel::paper_link(Micrometers::from_mm(1.0)).estimate();
+        assert!(e.delay.value() < 1280.0);
+        // Even the longest express link (15 mm) fits: 15 × 70 = 1050 ps.
+        let e15 = ElectricalLinkModel::paper_link(Micrometers::from_mm(15.0)).estimate();
+        assert!(e15.delay.value() < 1280.0);
+    }
+}

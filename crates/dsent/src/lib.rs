@@ -1,0 +1,42 @@
+//! DSENT-style opto-electronic technology modeling.
+//!
+//! The paper uses a modified version of the MIT **DSENT** tool to obtain
+//! router and link area, static power and dynamic energy per flit at the
+//! 11 nm technology node (its Table II points every such entry at
+//! "Modified-DSENT"). DSENT itself is an analytical estimator: it composes
+//! standard-cell and wire energy models into router components (input
+//! buffers, crossbar, allocators, clock) and photonic link models (laser,
+//! modulator, detector, tuning, SERDES).
+//!
+//! This crate rebuilds that estimator from scratch:
+//!
+//! * [`tech`] — technology-node parameter sets (45 → 11 nm) with
+//!   constant-field-style scaling;
+//! * [`components`] — router building blocks: input buffers, matrix
+//!   crossbar, VC/switch allocators, clock tree;
+//! * [`router`] — the composed electronic router model (5-port base mesh
+//!   router, 7-port hybrid router with express ports);
+//! * [`elink`] — repeated electrical wire links;
+//! * [`olink`] — optical link system model (laser, modulator, detector,
+//!   SERDES, thermal tuning) for photonic, plasmonic and HyPPI links.
+//!
+//! ## Calibration
+//!
+//! The free constants are pinned so that the paper's published absolute
+//! anchors come out of the composed models (see `DESIGN.md` §5): 1.53 W
+//! static power and 22.1 mm² area for the 256-node electronic mesh,
+//! ≈9.7 mW static per photonic express link (Table IV), ≈94 µW static per
+//! HyPPI express link (Table IV). The calibration tests in [`router`] and
+//! [`olink`] enforce these anchors so a drive-by change to a device constant
+//! cannot silently invalidate every downstream experiment.
+
+pub mod components;
+pub mod elink;
+pub mod olink;
+pub mod router;
+pub mod tech;
+
+pub use elink::{ElectricalLinkEstimate, ElectricalLinkModel};
+pub use olink::{OpticalLinkEstimate, OpticalLinkModel};
+pub use router::{RouterConfig, RouterEstimate, RouterModel};
+pub use tech::TechNode;

@@ -1,0 +1,55 @@
+//! NPB latency matrix: every kernel × express span, cycle-accurate.
+//!
+//! The raw data behind the Fig. 6 reproduction, with per-class latency
+//! splits and wall-clock timings.
+//!
+//! ```sh
+//! cargo run --release -p hyppi-netsim --example perfcheck        # all
+//! cargo run --release -p hyppi-netsim --example perfcheck MG     # one
+//! ```
+
+use hyppi_netsim::{SimConfig, Simulator};
+use hyppi_phys::LinkTechnology;
+use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable};
+use hyppi_traffic::{NpbKernel, NpbTraceSpec};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<&str> = args.get(1).map(|s| s.as_str());
+    for kernel in NpbKernel::ALL {
+        if let Some(k) = only {
+            if kernel.name() != k {
+                continue;
+            }
+        }
+        let trace = NpbTraceSpec::paper(kernel).default_window();
+        for span in [0u16, 3, 5, 15] {
+            let topo = if span == 0 {
+                mesh(MeshSpec::paper(LinkTechnology::Electronic))
+            } else {
+                express_mesh(
+                    MeshSpec::paper(LinkTechnology::Electronic),
+                    ExpressSpec { span, tech: LinkTechnology::Hyppi },
+                )
+            };
+            let routes = RoutingTable::compute_xy(&topo);
+            let mut cfg = SimConfig::paper();
+            cfg.max_cycles = 2_000_000; // deadlock guard for this check
+            let t0 = Instant::now();
+            match Simulator::new(&topo, &routes, cfg).run_trace(&trace) {
+                Ok(stats) => println!(
+                    "{kernel} span {span:2}: lat {:7.2} clks (ctrl {:6.2} data {:6.2} max {:5}) | {:8} pkts | {:9} cycles | {:.2?}",
+                    stats.mean_latency(),
+                    stats.control.mean(),
+                    stats.data.mean(),
+                    stats.all.max,
+                    stats.all.count,
+                    stats.cycles,
+                    t0.elapsed()
+                ),
+                Err(e) => println!("{kernel} span {span:2}: ERROR {e}"),
+            }
+        }
+    }
+}

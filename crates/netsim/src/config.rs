@@ -1,0 +1,56 @@
+//! Simulator configuration (Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural and run-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Virtual channels per port (Table II: 4).
+    pub vcs: usize,
+    /// Buffer depth per VC in flits (Table II: 8).
+    pub buffer_depth: usize,
+    /// Router pipeline depth in cycles (Table II: 3).
+    pub pipeline_stages: u64,
+    /// Hard cycle cap; the simulator reports an error past this point
+    /// (guards against deadlock in misconfigured runs).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        SimConfig {
+            vcs: 4,
+            buffer_depth: 8,
+            pipeline_stages: 3,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Cycles a flit must dwell before it may traverse the switch:
+    /// the pipeline minus the traversal stage itself.
+    #[inline]
+    pub fn pipeline_dwell(&self) -> u64 {
+        self.pipeline_stages.saturating_sub(1)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = SimConfig::paper();
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.buffer_depth, 8);
+        assert_eq!(c.pipeline_stages, 3);
+        assert_eq!(c.pipeline_dwell(), 2);
+    }
+}

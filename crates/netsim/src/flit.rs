@@ -1,0 +1,70 @@
+//! Flits and packet bookkeeping.
+
+use hyppi_topology::NodeId;
+
+/// Identifies a packet within one simulation run.
+pub type PacketId = u32;
+
+/// One flit in flight. Kept `Copy` and small — buffers hold millions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Destination node (copied here so routing needs no packet lookup).
+    pub dst: NodeId,
+    /// Head flit of its packet (triggers route + VC allocation).
+    pub is_head: bool,
+    /// Tail flit of its packet (releases the output VC).
+    pub is_tail: bool,
+    /// Earliest cycle this flit may traverse the switch of the router it
+    /// currently sits in (models the 3-stage pipeline).
+    pub ready: u64,
+}
+
+/// Per-packet record for latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketInfo {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle the packet was presented for injection (trace timestamp).
+    pub inject_cycle: u64,
+    /// Size in flits.
+    pub flits: u32,
+    /// Flits ejected at the destination so far.
+    pub ejected: u32,
+}
+
+impl PacketInfo {
+    /// True once every flit has been consumed at the destination.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.ejected == self.flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_tracks_ejections() {
+        let mut p = PacketInfo {
+            src: NodeId(0),
+            dst: NodeId(1),
+            inject_cycle: 5,
+            flits: 3,
+            ejected: 0,
+        };
+        assert!(!p.is_complete());
+        p.ejected = 3;
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn flit_is_small() {
+        // Buffers hold a lot of these; keep them lean.
+        assert!(std::mem::size_of::<Flit>() <= 24);
+    }
+}

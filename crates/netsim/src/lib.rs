@@ -1,0 +1,40 @@
+//! Cycle-accurate NoC simulation.
+//!
+//! A from-scratch reimplementation of the simulation machinery the paper
+//! takes from **BookSim 2.0** (§IV): input-buffered virtual-channel routers
+//! with a 3-stage pipeline, credit-based flow control, deterministic
+//! oblivious shortest-path routing (from `hyppi-topology`), per-link
+//! latencies of 1 cycle (electronic) or 2 cycles (optical), and trace-driven
+//! packet injection with the paper's 1-flit and 32-flit packet sizes.
+//!
+//! The microarchitecture follows Table II and Fig. 4 of the paper:
+//!
+//! * 4 virtual channels per port, 8 flit buffers per VC;
+//! * 3-stage router pipeline (route computation; VC + switch allocation;
+//!   switch traversal) — a flit spends at least 3 cycles per router;
+//! * one crossbar transfer per input port and per output port per cycle;
+//! * round-robin switch and VC allocation arbiters;
+//! * credits returned when a flit leaves the downstream buffer.
+//!
+//! The simulator is fully deterministic: identical inputs produce identical
+//! cycle-level behaviour.
+//!
+//! ## Entry points
+//!
+//! [`Simulator::run_trace`] drives a [`hyppi_traffic::Trace`] to completion
+//! and returns [`SimStats`] (per-packet latency statistics plus per-link and
+//! per-router flit counts for energy accounting). [`Simulator::run_synthetic`]
+//! injects Bernoulli traffic from a [`hyppi_traffic::TrafficMatrix`] for a
+//! fixed warm-up + measurement window, used for load-latency curves.
+
+pub mod config;
+pub mod energy_counts;
+pub mod flit;
+pub mod router;
+pub mod sim;
+pub mod stats;
+
+pub use config::SimConfig;
+pub use energy_counts::EnergyCounts;
+pub use sim::Simulator;
+pub use stats::SimStats;

@@ -1,0 +1,223 @@
+//! Per-node router state.
+//!
+//! Each node is an input-buffered virtual-channel router:
+//!
+//! * in-port 0 is packet injection from the local core; in-port `i ≥ 1`
+//!   receives the topology's `incoming(node)[i-1]` link;
+//! * out-port 0 is ejection to the local core; out-port `i ≥ 1` drives
+//!   `outgoing(node)[i-1]`;
+//! * every in-port holds `vcs` buffered virtual channels with a three-state
+//!   machine (idle → routed → active) mirroring the RC / VA / SA+ST
+//!   pipeline of the paper's Fig. 4 router.
+//!
+//! ## Deadlock freedom (express dateline classes)
+//!
+//! Routing is X-then-Y (`RoutingTable::compute_xy`), which eliminates all
+//! turn cycles of the base mesh. Express links can still create horizontal
+//! cycles (a packet may walk *away* from its destination to reach an
+//! express endpoint — e.g. the span-15 "ring wrap"). We break these with a
+//! dateline discipline: VCs are split into class A = `{0, 1}` and class
+//! B = `{2, 3}`; a packet starts in class A and moves permanently to class
+//! B after its first express traversal. Post-express walks never re-enter
+//! an express link on a minimal route, so class-B dependencies are acyclic,
+//! and class transitions only go A → B. Topologies without express links
+//! use all VCs as one class (X-then-Y alone is acyclic there).
+
+use crate::flit::Flit;
+use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
+use std::collections::VecDeque;
+
+/// State machine of one input VC, applying to the packet at its queue head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet being processed.
+    Idle,
+    /// Route computed; awaiting an output VC.
+    Routed {
+        /// Output port the head packet must leave through.
+        out_port: u8,
+    },
+    /// Output VC held; flits may traverse the switch.
+    Active {
+        /// Output port the packet is using.
+        out_port: u8,
+        /// Output VC held on that port.
+        out_vc: u8,
+    },
+}
+
+/// One buffered input virtual channel.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    /// Buffered flits, head at the front.
+    pub queue: VecDeque<Flit>,
+    /// Head-packet processing state.
+    pub state: VcState,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> Self {
+        InputVc {
+            queue: VecDeque::with_capacity(depth),
+            state: VcState::Idle,
+        }
+    }
+}
+
+/// In-progress packet emission from the local core.
+#[derive(Debug, Clone, Copy)]
+pub struct Emission {
+    /// Packet being emitted.
+    pub packet: u32,
+    /// Flits already pushed into the injection VC.
+    pub emitted: u32,
+    /// Total flits of the packet.
+    pub total: u32,
+    /// Injection VC in use.
+    pub vc: u8,
+    /// Destination (copied into each flit).
+    pub dst: NodeId,
+    /// Original injection timestamp.
+    pub inject_cycle: u64,
+}
+
+/// Full router + NIC state of one node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// This node's id.
+    pub node: NodeId,
+    /// Incoming links, in in-port order (port `i+1`).
+    pub in_links: Vec<LinkId>,
+    /// Outgoing links, in out-port order (port `i+1`).
+    pub out_links: Vec<LinkId>,
+    /// Out-port index (0 = eject) for every destination node.
+    pub route_port: Vec<u8>,
+    /// Input VCs, indexed `in_port * vcs + vc`.
+    pub vcs: Vec<InputVc>,
+    /// Output VC holders, indexed `out_port * vcs + vc`:
+    /// `Some((in_port, in_vc))` while a packet owns the VC.
+    pub out_holder: Vec<Option<(u8, u8)>>,
+    /// Switch-allocation round-robin pointer per out-port.
+    pub sa_rr: Vec<u32>,
+    /// VC-allocation round-robin pointer per out-port.
+    pub va_rr: Vec<u32>,
+    /// Packets waiting in the local source queue (unbounded NIC queue).
+    pub src_queue: VecDeque<u32>,
+    /// Packet currently being emitted into the injection port, if any.
+    pub emitting: Option<Emission>,
+    /// Bitmask of in-ports that already sent a flit this cycle.
+    pub in_port_used: u32,
+    /// Input VCs currently in `Routed` state (VA fast path).
+    pub routed_count: u16,
+    /// Input VCs in `Active` state per out-port (SA fast path).
+    pub active_for_out: Vec<u16>,
+}
+
+impl NodeState {
+    /// Builds the state for one node, pre-resolving its routing column.
+    pub fn new(topo: &Topology, routes: &RoutingTable, node: NodeId, vcs: usize) -> Self {
+        let in_links = topo.incoming(node).to_vec();
+        let out_links = topo.outgoing(node).to_vec();
+        // Map "next link" to this node's out-port index for every dest.
+        let mut route_port = vec![0u8; topo.num_nodes()];
+        for dst in topo.nodes() {
+            route_port[dst.index()] = match routes.next_link(node, dst) {
+                None => 0,
+                Some(lid) => {
+                    let pos = out_links
+                        .iter()
+                        .position(|&l| l == lid)
+                        .expect("routing table uses this node's own out links");
+                    (pos + 1) as u8
+                }
+            };
+        }
+        let in_ports = 1 + in_links.len();
+        let out_ports = 1 + out_links.len();
+        NodeState {
+            node,
+            in_links,
+            out_links,
+            route_port,
+            vcs: (0..in_ports * vcs).map(|_| InputVc::new(8)).collect(),
+            out_holder: vec![None; out_ports * vcs],
+            sa_rr: vec![0; out_ports],
+            va_rr: vec![0; out_ports],
+            src_queue: VecDeque::new(),
+            emitting: None,
+            in_port_used: 0,
+            routed_count: 0,
+            active_for_out: vec![0; out_ports],
+        }
+    }
+
+    /// Number of in-ports (injection + links).
+    #[inline]
+    pub fn in_ports(&self) -> usize {
+        1 + self.in_links.len()
+    }
+
+    /// Number of out-ports (ejection + links).
+    #[inline]
+    pub fn out_ports(&self) -> usize {
+        1 + self.out_links.len()
+    }
+
+    /// Whether any flit is buffered anywhere in this node.
+    pub fn has_buffered_flits(&self) -> bool {
+        self.vcs.iter().any(|v| !v.queue.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppi_phys::LinkTechnology;
+    use hyppi_topology::{mesh, MeshSpec};
+
+    #[test]
+    fn node_state_ports_match_topology() {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let r = RoutingTable::compute_xy(&t);
+        // Interior node: 4 neighbours.
+        let n = NodeState::new(&t, &r, NodeId(17), 4);
+        assert_eq!(n.in_ports(), 5);
+        assert_eq!(n.out_ports(), 5);
+        assert_eq!(n.vcs.len(), 5 * 4);
+        assert_eq!(n.out_holder.len(), 5 * 4);
+        // Corner node: 2 neighbours.
+        let c = NodeState::new(&t, &r, NodeId(0), 4);
+        assert_eq!(c.in_ports(), 3);
+    }
+
+    #[test]
+    fn route_ports_point_at_real_links() {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let r = RoutingTable::compute_xy(&t);
+        let n = NodeState::new(&t, &r, NodeId(0), 4);
+        // Destination = self: ejection port.
+        assert_eq!(n.route_port[0], 0);
+        for dst in t.nodes().skip(1) {
+            let port = n.route_port[dst.index()];
+            assert!(port >= 1);
+            let lid = n.out_links[usize::from(port) - 1];
+            assert_eq!(t.link(lid).src, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn fresh_state_is_quiescent() {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let r = RoutingTable::compute_xy(&t);
+        let n = NodeState::new(&t, &r, NodeId(5), 4);
+        assert!(!n.has_buffered_flits());
+        assert!(n.vcs.iter().all(|v| v.state == VcState::Idle));
+        let _ = Flit {
+            packet: 0,
+            dst: NodeId(0),
+            is_head: true,
+            is_tail: true,
+            ready: 0,
+        };
+    }
+}

@@ -1,0 +1,1088 @@
+//! The cycle-driven simulation engine.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketInfo};
+use crate::router::{Emission, NodeState, VcState};
+use crate::stats::SimStats;
+use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
+use hyppi_traffic::{Trace, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded [`SimConfig::max_cycles`] without draining; with a
+    /// correct configuration this indicates deadlock or overload.
+    CycleLimit {
+        /// Packets still incomplete at the limit.
+        stuck_packets: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { stuck_packets } => {
+                write!(f, "cycle limit hit with {stuck_packets} packets in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Dateline VC class of a packet (see the `router` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcClass {
+    /// The route never crosses an express link: any VC is safe.
+    Free,
+    /// Express route, before the first express traversal: class A VCs.
+    PreExpress,
+    /// Express route, after the first express traversal: class B VCs.
+    PostExpress,
+}
+
+/// The simulator. Construct once per (topology, routing) pair and run a
+/// trace or a synthetic load.
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    cfg: SimConfig,
+    /// Express-dateline VC classes in force (see `router` module docs).
+    dateline: bool,
+    nodes: Vec<NodeState>,
+    /// Flits buffered per node (fast skip of quiescent routers).
+    buffered: Vec<u32>,
+    /// Free downstream slots per (link, vc).
+    credits: Vec<Vec<u16>>,
+    /// In-flight flits per link: (arrival cycle, dst vc, flit).
+    pipes: Vec<VecDeque<(u64, u8, Flit)>>,
+    /// In-port index (at the link's dst node) fed by each link.
+    in_port_of_link: Vec<u8>,
+    packets: Vec<PacketInfo>,
+    /// Dateline class per packet (see [`VcClass`]).
+    class_of: Vec<VcClass>,
+    /// `express_on_path[dst][node]`: does the route node→dst cross an
+    /// express link? Only populated when the dateline is in force.
+    express_on_path: Vec<Vec<bool>>,
+    pending_credits: Vec<(LinkId, u8)>,
+    active_flits: u64,
+    /// Packets queued at NICs or mid-emission.
+    pending_sources: u64,
+    stats: SimStats,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. `routes` must have been computed for `topo`
+    /// (use [`RoutingTable::compute_xy`] — the deadlock-freedom argument
+    /// assumes X-then-Y ordering).
+    pub fn new(topo: &'a Topology, routes: &'a RoutingTable, cfg: SimConfig) -> Self {
+        assert_eq!(routes.num_nodes(), topo.num_nodes());
+        let dateline = topo.count_links(|l| l.is_express()) > 0;
+        let nodes: Vec<NodeState> = topo
+            .nodes()
+            .map(|n| NodeState::new(topo, routes, n, cfg.vcs))
+            .collect();
+        // Which (node → dst) routes cross an express link: walk each
+        // destination's next-hop tree once, memoized.
+        let mut express_on_path: Vec<Vec<bool>> = Vec::new();
+        if dateline {
+            express_on_path.reserve(topo.num_nodes());
+            for dst in topo.nodes() {
+                let mut table = vec![false; topo.num_nodes()];
+                let mut visited = vec![false; topo.num_nodes()];
+                visited[dst.index()] = true;
+                for start in topo.nodes() {
+                    if visited[start.index()] {
+                        continue;
+                    }
+                    let mut chain = Vec::new();
+                    let mut at = start;
+                    while !visited[at.index()] {
+                        chain.push(at);
+                        let lid = routes.next_link(at, dst).expect("connected");
+                        let link = topo.link(lid);
+                        if link.is_express() {
+                            // Everything up the chain routes through here.
+                            for &n in &chain {
+                                table[n.index()] = true;
+                                visited[n.index()] = true;
+                            }
+                            chain.clear();
+                        }
+                        at = link.dst;
+                    }
+                    // Remaining chain inherits the memoized answer at `at`.
+                    let tail = table[at.index()];
+                    for &n in &chain {
+                        table[n.index()] = tail;
+                        visited[n.index()] = true;
+                    }
+                }
+                express_on_path.push(table);
+            }
+        }
+        let mut in_port_of_link = vec![0u8; topo.links().len()];
+        for (node, state) in topo.nodes().zip(&nodes) {
+            let _ = node;
+            for (i, &lid) in state.in_links.iter().enumerate() {
+                in_port_of_link[lid.index()] = (i + 1) as u8;
+            }
+        }
+        Simulator {
+            topo,
+            cfg,
+            dateline,
+            buffered: vec![0; nodes.len()],
+            nodes,
+            credits: vec![vec![cfg.buffer_depth as u16; cfg.vcs]; topo.links().len()],
+            pipes: vec![VecDeque::new(); topo.links().len()],
+            in_port_of_link,
+            packets: Vec::new(),
+            class_of: Vec::new(),
+            express_on_path,
+            pending_credits: Vec::new(),
+            active_flits: 0,
+            pending_sources: 0,
+            stats: SimStats::new(topo.links().len(), topo.num_nodes()),
+        }
+    }
+
+    /// VC index range usable by a packet of the given dateline class.
+    ///
+    /// Class B (post-express walks — short and comparatively rare) gets
+    /// the top quarter of the VCs; everything else (packets before their
+    /// express traversal and packets that never touch an express link)
+    /// shares the rest. Class-B channels are only ever requested by
+    /// post-express packets, whose walks are monotone, so class-B
+    /// dependencies are acyclic and no dependency points from class B back
+    /// to class A (see the `router` module docs). Without express links no
+    /// discipline is needed and every VC is open.
+    #[inline]
+    fn vc_range(&self, class: VcClass) -> std::ops::Range<usize> {
+        if !self.dateline {
+            return 0..self.cfg.vcs;
+        }
+        let b_start = self.cfg.vcs - (self.cfg.vcs / 4).max(1);
+        match class {
+            VcClass::Free | VcClass::PreExpress => 0..b_start,
+            VcClass::PostExpress => b_start..self.cfg.vcs,
+        }
+    }
+
+    /// Whether the deterministic route src → dst crosses an express link
+    /// (always `false` on topologies without express links).
+    pub fn route_uses_express(&self, src: NodeId, dst: NodeId) -> bool {
+        self.dateline && src != dst && self.express_on_path[dst.index()][src.index()]
+    }
+
+    /// Initial dateline class of a new packet.
+    #[inline]
+    fn initial_class(&self, src: NodeId, dst: NodeId) -> VcClass {
+        if self.route_uses_express(src, dst) {
+            VcClass::PreExpress
+        } else {
+            VcClass::Free
+        }
+    }
+
+    /// Runs a trace to completion.
+    pub fn run_trace(mut self, trace: &Trace) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.topo.num_nodes());
+        let mut now = 0u64;
+        let mut next_event = 0usize;
+        loop {
+            // Admit due trace events into the source queues.
+            while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
+                let e = &trace.events[next_event];
+                next_event += 1;
+                let pid = self.packets.len() as u32;
+                self.packets.push(PacketInfo {
+                    src: e.src,
+                    dst: e.dst,
+                    inject_cycle: e.cycle,
+                    flits: e.flits,
+                    ejected: 0,
+                });
+                self.class_of.push(self.initial_class(e.src, e.dst));
+                self.nodes[e.src.index()].src_queue.push_back(pid);
+                self.pending_sources += 1;
+            }
+
+            let drained = self.active_flits == 0 && self.pending_sources == 0;
+            if drained {
+                if next_event == trace.events.len() {
+                    break;
+                }
+                // Nothing in flight: fast-forward to the next event.
+                now = trace.events[next_event].cycle;
+                continue;
+            }
+
+            self.step(now);
+            now += 1;
+            if now > self.cfg.max_cycles {
+                let stuck = self
+                    .packets
+                    .iter()
+                    .filter(|p| !p.is_complete())
+                    .count() as u64;
+                return Err(SimError::CycleLimit {
+                    stuck_packets: stuck,
+                });
+            }
+        }
+        self.stats.cycles = now;
+        Ok(self.stats)
+    }
+
+    /// Runs Bernoulli-injected synthetic traffic: each node injects 1-flit
+    /// packets at its row rate of `matrix`, destinations sampled from the
+    /// row distribution. Packets injected during the first `warmup` cycles
+    /// are not measured; injection stops after `warmup + measure` cycles and
+    /// the network drains.
+    pub fn run_synthetic(
+        mut self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        assert_eq!(matrix.num_nodes(), self.topo.num_nodes());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Precompute per-node injection rate and destination CDF.
+        let n = self.topo.num_nodes();
+        let mut rates = Vec::with_capacity(n);
+        let mut cdfs: Vec<Vec<(f64, NodeId)>> = Vec::with_capacity(n);
+        for src in self.topo.nodes() {
+            let rate = matrix.injection_rate(src);
+            let mut cdf = Vec::new();
+            if rate > 0.0 {
+                let mut acc = 0.0;
+                for dst in self.topo.nodes() {
+                    let r = matrix.rate(src, dst);
+                    if r > 0.0 {
+                        acc += r / rate;
+                        cdf.push((acc, dst));
+                    }
+                }
+            }
+            rates.push(rate);
+            cdfs.push(cdf);
+        }
+
+        let mut now = 0u64;
+        let inject_until = warmup + measure;
+        loop {
+            if now < inject_until {
+                for src in 0..n {
+                    if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] {
+                        let u: f64 = rng.gen();
+                        let dst = cdfs[src]
+                            .iter()
+                            .find(|&&(acc, _)| u <= acc)
+                            .map(|&(_, d)| d)
+                            .unwrap_or(cdfs[src].last().expect("nonempty cdf").1);
+                        if dst == NodeId(src as u16) {
+                            continue;
+                        }
+                        let pid = self.packets.len() as u32;
+                        let measured = now >= warmup;
+                        self.packets.push(PacketInfo {
+                            src: NodeId(src as u16),
+                            dst,
+                            // Unmeasured packets are marked by u64::MAX and
+                            // skipped in `record`.
+                            inject_cycle: if measured { now } else { u64::MAX },
+                            flits: 1,
+                            ejected: 0,
+                        });
+                        self.class_of.push(self.initial_class(NodeId(src as u16), dst));
+                        self.nodes[src].src_queue.push_back(pid);
+                        self.pending_sources += 1;
+                    }
+                }
+            } else if self.active_flits == 0 && self.pending_sources == 0 {
+                break;
+            }
+            self.step(now);
+            now += 1;
+            if now > self.cfg.max_cycles {
+                let stuck = self
+                    .packets
+                    .iter()
+                    .filter(|p| !p.is_complete())
+                    .count() as u64;
+                return Err(SimError::CycleLimit {
+                    stuck_packets: stuck,
+                });
+            }
+        }
+        self.stats.cycles = now;
+        Ok(self.stats)
+    }
+
+    /// Like [`run_trace`](Self::run_trace), but on a cycle-limit failure
+    /// prints a blocked-state dump to stderr before returning the error
+    /// (deadlock triage aid).
+    pub fn run_trace_debug(mut self, trace: &Trace) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.topo.num_nodes());
+        let mut now = 0u64;
+        let mut next_event = 0usize;
+        loop {
+            while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
+                let e = &trace.events[next_event];
+                next_event += 1;
+                let pid = self.packets.len() as u32;
+                self.packets.push(PacketInfo {
+                    src: e.src,
+                    dst: e.dst,
+                    inject_cycle: e.cycle,
+                    flits: e.flits,
+                    ejected: 0,
+                });
+                self.class_of.push(self.initial_class(e.src, e.dst));
+                self.nodes[e.src.index()].src_queue.push_back(pid);
+                self.pending_sources += 1;
+            }
+            let drained = self.active_flits == 0 && self.pending_sources == 0;
+            if drained {
+                if next_event == trace.events.len() {
+                    break;
+                }
+                now = trace.events[next_event].cycle;
+                continue;
+            }
+            self.step(now);
+            now += 1;
+            if now > self.cfg.max_cycles {
+                self.dump_blocked(now);
+                let stuck = self.packets.iter().filter(|p| !p.is_complete()).count() as u64;
+                return Err(SimError::CycleLimit {
+                    stuck_packets: stuck,
+                });
+            }
+        }
+        self.stats.cycles = now;
+        Ok(self.stats)
+    }
+
+    /// Builds the channel wait-for graph of the stuck state and prints one
+    /// cycle if present. Channels are (link, vc) pairs; injection VCs are
+    /// virtual channels numbered past the links.
+    fn dump_waitfor_cycle(&self) {
+        let vcs = self.cfg.vcs;
+        let links = self.topo.links().len();
+        let chan = |lid: usize, vc: usize| lid * vcs + vc;
+        let inj_chan = |node: usize, vc: usize| links * vcs + node * vcs + vc;
+        let total = links * vcs + self.nodes.len() * vcs;
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (node, st) in self.nodes.iter().enumerate() {
+            for (idx, vc) in st.vcs.iter().enumerate() {
+                if vc.queue.is_empty() {
+                    continue;
+                }
+                let in_port = idx / vcs;
+                let in_vc = idx % vcs;
+                let src_chan = if in_port == 0 {
+                    inj_chan(node, in_vc)
+                } else {
+                    chan(st.in_links[in_port - 1].index(), in_vc)
+                };
+                match vc.state {
+                    VcState::Active { out_port, out_vc } if out_port > 0 => {
+                        let lid = st.out_links[usize::from(out_port) - 1].index();
+                        if self.credits[lid][usize::from(out_vc)] == 0 {
+                            edges[src_chan].push(chan(lid, usize::from(out_vc)));
+                        }
+                    }
+                    VcState::Routed { out_port } if out_port > 0 => {
+                        // Waiting for a held out VC in the packet's class.
+                        let head = vc.queue.front().expect("nonempty");
+                        let range = self.vc_range(self.class_of[head.packet as usize]);
+                        for v in range {
+                            if st.out_holder[usize::from(out_port) * vcs + v].is_some() {
+                                let lid = st.out_links[usize::from(out_port) - 1].index();
+                                edges[src_chan].push(chan(lid, v));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Iterative DFS cycle detection.
+        let mut color = vec![0u8; total];
+        let mut parent = vec![usize::MAX; total];
+        for start in 0..total {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color[start] = 1;
+            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+                if *ei < edges[u].len() {
+                    let v = edges[u][*ei];
+                    *ei += 1;
+                    if color[v] == 0 {
+                        color[v] = 1;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    } else if color[v] == 1 {
+                        // Cycle found: unwind from u back to v.
+                        let mut cyc = vec![v, u];
+                        let mut w = u;
+                        while w != v {
+                            w = parent[w];
+                            cyc.push(w);
+                        }
+                        eprintln!("WAIT-FOR CYCLE ({} channels):", cyc.len() - 1);
+                        for &c in cyc.iter().rev() {
+                            if c >= links * vcs {
+                                let node = (c - links * vcs) / vcs;
+                                eprintln!("  inj node {} vc {}", node, c % vcs);
+                            } else {
+                                let l = self.topo.link(hyppi_topology::LinkId((c / vcs) as u32));
+                                eprintln!(
+                                    "  link {}->{} ({:?}) vc {}",
+                                    l.src.0,
+                                    l.dst.0,
+                                    l.class,
+                                    c % vcs
+                                );
+                            }
+                        }
+                        return;
+                    }
+                } else {
+                    color[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        eprintln!("no wait-for cycle found (stall, not deadlock)");
+    }
+
+    /// Prints every blocked head flit and why it cannot progress.
+    fn dump_blocked(&self, now: u64) {
+        self.dump_waitfor_cycle();
+        let vcs = self.cfg.vcs;
+        let mut lines = 0;
+        for (node, st) in self.nodes.iter().enumerate() {
+            for (idx, vc) in st.vcs.iter().enumerate() {
+                let Some(head) = vc.queue.front() else { continue };
+                let in_port = idx / vcs;
+                let in_vc = idx % vcs;
+                let reason = match vc.state {
+                    VcState::Idle => "idle (RC pending)".to_string(),
+                    VcState::Routed { out_port } => {
+                        let holders: Vec<String> = (0..vcs)
+                            .map(|v| match st.out_holder[usize::from(out_port) * vcs + v] {
+                                None => format!("vc{v}:free"),
+                                Some((ip, iv)) => format!("vc{v}:held({ip},{iv})"),
+                            })
+                            .collect();
+                        format!("awaiting VA on out{} [{}]", out_port, holders.join(" "))
+                    }
+                    VcState::Active { out_port, out_vc } => {
+                        if out_port == 0 {
+                            "active->eject".to_string()
+                        } else {
+                            let lid = st.out_links[usize::from(out_port) - 1];
+                            format!(
+                                "active out{} vc{} credits={} ready={}",
+                                out_port,
+                                out_vc,
+                                self.credits[lid.index()][usize::from(out_vc)],
+                                head.ready
+                            )
+                        }
+                    }
+                };
+                eprintln!(
+                    "cycle {now} node {node} in{in_port}.vc{in_vc} q={} pkt{} class={:?} dst={} {}",
+                    vc.queue.len(),
+                    head.packet,
+                    self.class_of[head.packet as usize],
+                    head.dst.0,
+                    reason
+                );
+                lines += 1;
+                if lines > 60 {
+                    eprintln!("... (truncated)");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One simulated cycle.
+    fn step(&mut self, now: u64) {
+        self.deliver_link_arrivals(now);
+        self.emit_from_sources(now);
+        self.route_compute();
+        self.allocate_vcs();
+        self.switch_traversal(now);
+        // Credits freed this cycle become visible next cycle.
+        for (lid, vc) in self.pending_credits.drain(..) {
+            self.credits[lid.index()][usize::from(vc)] += 1;
+        }
+    }
+
+    /// Stage 1: move flits that finished link traversal into input buffers.
+    fn deliver_link_arrivals(&mut self, now: u64) {
+        let dwell = self.cfg.pipeline_dwell();
+        for lid in 0..self.pipes.len() {
+            while let Some(&(arrive, vc, flit)) = self.pipes[lid].front() {
+                if arrive > now {
+                    break;
+                }
+                self.pipes[lid].pop_front();
+                let link = self.topo.link(LinkId(lid as u32));
+                let node = link.dst.index();
+                let in_port = usize::from(self.in_port_of_link[lid]);
+                let slot = in_port * self.cfg.vcs + usize::from(vc);
+                let mut f = flit;
+                // The arrival cycle is the link-traversal cycle; the router
+                // pipeline (RC, VA/SA, ST) starts the following cycle, so a
+                // hop costs `link latency + pipeline` cycles end to end.
+                f.ready = now + 1 + dwell;
+                self.nodes[node].vcs[slot].queue.push_back(f);
+                self.buffered[node] += 1;
+            }
+        }
+    }
+
+    /// Stage 2: NIC emission into the injection port.
+    fn emit_from_sources(&mut self, now: u64) {
+        let dwell = self.cfg.pipeline_dwell();
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            self.nodes[node].in_port_used = 0;
+            if self.nodes[node].emitting.is_none() {
+                if let Some(&pid) = self.nodes[node].src_queue.front() {
+                    // Pick an injection VC in the packet's class.
+                    let info = self.packets[pid as usize];
+                    let range = self.vc_range(self.class_of[pid as usize]);
+                    let pick = range.clone().find(|&v| {
+                        self.nodes[node].vcs[v].queue.len() < self.cfg.buffer_depth
+                    });
+                    if let Some(v) = pick {
+                        self.nodes[node].src_queue.pop_front();
+                        self.nodes[node].emitting = Some(Emission {
+                            packet: pid,
+                            emitted: 0,
+                            total: info.flits,
+                            vc: v as u8,
+                            dst: info.dst,
+                            inject_cycle: info.inject_cycle,
+                        });
+                    }
+                }
+            }
+            if let Some(mut em) = self.nodes[node].emitting {
+                let slot = usize::from(em.vc); // in-port 0 ⇒ flat index = vc
+                debug_assert!(slot < vcs);
+                if self.nodes[node].vcs[slot].queue.len() < self.cfg.buffer_depth {
+                    let flit = Flit {
+                        packet: em.packet,
+                        dst: em.dst,
+                        is_head: em.emitted == 0,
+                        is_tail: em.emitted + 1 == em.total,
+                        ready: now + dwell,
+                    };
+                    self.nodes[node].vcs[slot].queue.push_back(flit);
+                    self.buffered[node] += 1;
+                    self.active_flits += 1;
+                    em.emitted += 1;
+                    self.nodes[node].emitting = if em.emitted == em.total {
+                        self.pending_sources -= 1;
+                        None
+                    } else {
+                        Some(em)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Stage 3: route computation for fresh head packets.
+    fn route_compute(&mut self) {
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            let st = &mut self.nodes[node];
+            for vc in st.vcs.iter_mut() {
+                if vc.state == VcState::Idle {
+                    if let Some(head) = vc.queue.front() {
+                        debug_assert!(head.is_head, "queue head after Idle must be a head flit");
+                        vc.state = VcState::Routed {
+                            out_port: st.route_port[head.dst.index()],
+                        };
+                        st.routed_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 4: VC allocation (round-robin per output port).
+    fn allocate_vcs(&mut self) {
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            if self.nodes[node].routed_count == 0 {
+                continue;
+            }
+            let total_in_vcs = self.nodes[node].in_ports() * vcs;
+            for p in 0..self.nodes[node].out_ports() {
+                if self.nodes[node].routed_count == 0 {
+                    break;
+                }
+                let start = self.nodes[node].va_rr[p] as usize;
+                for k in 0..total_in_vcs {
+                    let idx = (start + k) % total_in_vcs;
+                    let VcState::Routed { out_port } = self.nodes[node].vcs[idx].state else {
+                        continue;
+                    };
+                    if usize::from(out_port) != p {
+                        continue;
+                    }
+                    let Some(head) = self.nodes[node].vcs[idx].queue.front() else {
+                        continue;
+                    };
+                    let head_packet = head.packet;
+                    let range = self.vc_range(self.class_of[head_packet as usize]);
+                    let free = range
+                        .clone()
+                        .find(|&v| self.nodes[node].out_holder[p * vcs + v].is_none());
+                    if let Some(ovc) = free {
+                        let in_port = (idx / vcs) as u8;
+                        let in_vc = (idx % vcs) as u8;
+                        self.nodes[node].out_holder[p * vcs + ovc] = Some((in_port, in_vc));
+                        self.nodes[node].vcs[idx].state = VcState::Active {
+                            out_port: p as u8,
+                            out_vc: ovc as u8,
+                        };
+                        self.nodes[node].routed_count -= 1;
+                        self.nodes[node].active_for_out[p] += 1;
+                        self.nodes[node].va_rr[p] = ((idx + 1) % total_in_vcs) as u32;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 5: switch allocation + traversal, one flit per out-port and
+    /// per in-port per cycle.
+    fn switch_traversal(&mut self, now: u64) {
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            let out_ports = self.nodes[node].out_ports();
+            let total_in_vcs = self.nodes[node].in_ports() * vcs;
+            for p in 0..out_ports {
+                if self.nodes[node].active_for_out[p] == 0 {
+                    continue;
+                }
+                let start = self.nodes[node].sa_rr[p] as usize;
+                let mut winner: Option<usize> = None;
+                for k in 0..total_in_vcs {
+                    let idx = (start + k) % total_in_vcs;
+                    let VcState::Active { out_port, out_vc } = self.nodes[node].vcs[idx].state
+                    else {
+                        continue;
+                    };
+                    if usize::from(out_port) != p {
+                        continue;
+                    }
+                    let in_port = idx / vcs;
+                    if self.nodes[node].in_port_used & (1 << in_port) != 0 {
+                        continue;
+                    }
+                    let Some(head) = self.nodes[node].vcs[idx].queue.front() else {
+                        continue;
+                    };
+                    if head.ready > now {
+                        continue;
+                    }
+                    if p > 0 {
+                        let lid = self.nodes[node].out_links[p - 1];
+                        if self.credits[lid.index()][usize::from(out_vc)] == 0 {
+                            continue;
+                        }
+                    }
+                    winner = Some(idx);
+                    break;
+                }
+                let Some(idx) = winner else { continue };
+                self.nodes[node].sa_rr[p] = ((idx + 1) % total_in_vcs) as u32;
+                let VcState::Active { out_vc, .. } = self.nodes[node].vcs[idx].state else {
+                    unreachable!("winner is Active");
+                };
+                let flit = self.nodes[node].vcs[idx].queue.pop_front().expect("winner has a flit");
+                self.buffered[node] -= 1;
+                let in_port = idx / vcs;
+                self.nodes[node].in_port_used |= 1 << in_port;
+                self.stats.router_flits[node] += 1;
+
+                // Return a credit upstream for the slot we just freed.
+                if in_port > 0 {
+                    let up = self.nodes[node].in_links[in_port - 1];
+                    self.pending_credits.push((up, (idx % vcs) as u8));
+                }
+
+                if p == 0 {
+                    // Ejection.
+                    let pid = flit.packet as usize;
+                    self.packets[pid].ejected += 1;
+                    self.stats.flits_delivered += 1;
+                    self.active_flits -= 1;
+                    if self.packets[pid].is_complete() {
+                        let info = &self.packets[pid];
+                        if info.inject_cycle != u64::MAX {
+                            self.stats
+                                .record_packet(info.flits, now + 1 - info.inject_cycle);
+                        }
+                    }
+                } else {
+                    let lid = self.nodes[node].out_links[p - 1];
+                    let link = self.topo.link(lid);
+                    self.credits[lid.index()][usize::from(out_vc)] -= 1;
+                    if link.is_express() {
+                        // Dateline: the packet is class B from here on.
+                        self.class_of[flit.packet as usize] = VcClass::PostExpress;
+                    }
+                    self.stats.link_flits[lid.index()] += 1;
+                    self.pipes[lid.index()].push_back((
+                        now + u64::from(link.latency_cycles),
+                        out_vc,
+                        flit,
+                    ));
+                }
+
+                if flit.is_tail {
+                    self.nodes[node].out_holder[p * vcs + usize::from(out_vc)] = None;
+                    self.nodes[node].vcs[idx].state = VcState::Idle;
+                    self.nodes[node].active_for_out[p] -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppi_phys::{Gbps, LinkTechnology};
+    use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec};
+    use hyppi_traffic::TraceEvent;
+
+    fn small_mesh(w: u16, h: u16) -> Topology {
+        mesh(MeshSpec {
+            width: w,
+            height: h,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        })
+    }
+
+    fn run(topo: &Topology, events: Vec<TraceEvent>) -> SimStats {
+        let routes = RoutingTable::compute_xy(topo);
+        let trace = Trace::new("test", topo.num_nodes() as u16, 0.0, events);
+        Simulator::new(topo, &routes, SimConfig::paper())
+            .run_trace(&trace)
+            .expect("run completes")
+    }
+
+    #[test]
+    fn single_flit_zero_load_latency() {
+        // 2×1 mesh, one hop: 3 (src router) + 1 (link) + 3 (dst router)
+        // = 7 cycles.
+        let t = small_mesh(2, 1);
+        let stats = run(
+            &t,
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+                flits: 1,
+            }],
+        );
+        assert_eq!(stats.all.count, 1);
+        assert_eq!(stats.all.max, 7);
+        assert_eq!(stats.flits_delivered, 1);
+    }
+
+    #[test]
+    fn latency_grows_by_four_per_electronic_hop() {
+        // Zero-load: each extra hop adds 3 (router) + 1 (link).
+        let t = small_mesh(8, 1);
+        let lat = |dst: u16| {
+            run(
+                &t,
+                vec![TraceEvent {
+                    cycle: 0,
+                    src: NodeId(0),
+                    dst: NodeId(dst),
+                    flits: 1,
+                }],
+            )
+            .all
+            .max
+        };
+        assert_eq!(lat(1), 7);
+        assert_eq!(lat(2), 11);
+        assert_eq!(lat(7), 31);
+    }
+
+    #[test]
+    fn data_packet_serialization_latency() {
+        // A 32-flit packet: head arrives like a 1-flit packet, tail follows
+        // 31 cycles later (1 flit/cycle link bandwidth).
+        let t = small_mesh(2, 1);
+        let stats = run(
+            &t,
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+                flits: 32,
+            }],
+        );
+        assert_eq!(stats.all.count, 1);
+        assert_eq!(stats.all.max, 7 + 31);
+        assert_eq!(stats.flits_delivered, 32);
+    }
+
+    #[test]
+    fn optical_express_link_costs_two_cycles() {
+        let spec = MeshSpec {
+            width: 8,
+            height: 1,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        };
+        let t = express_mesh(
+            spec,
+            ExpressSpec {
+                span: 3,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let stats = run(
+            &t,
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(3),
+                flits: 1,
+            }],
+        );
+        // One express hop: 3 + 2 + 3 = 8 vs 3 regular hops (15).
+        assert_eq!(stats.all.max, 8);
+    }
+
+    #[test]
+    fn all_packets_delivered_under_load() {
+        // Saturating burst: every node sends to the opposite corner region.
+        let t = small_mesh(4, 4);
+        let mut events = Vec::new();
+        for s in 0..16u16 {
+            for k in 0..8u16 {
+                events.push(TraceEvent {
+                    cycle: u64::from(k) * 2,
+                    src: NodeId(s),
+                    dst: NodeId(15 - s),
+                    flits: if k % 2 == 0 { 32 } else { 1 },
+                });
+            }
+        }
+        let total_flits: u64 = events.iter().map(|e| u64::from(e.flits)).sum();
+        let stats = run(&t, events);
+        assert_eq!(stats.all.count, 16 * 8);
+        assert_eq!(stats.flits_delivered, total_flits);
+    }
+
+    #[test]
+    fn determinism() {
+        let t = small_mesh(4, 4);
+        let mk = || {
+            let mut events = Vec::new();
+            for s in 0..16u16 {
+                events.push(TraceEvent {
+                    cycle: 0,
+                    src: NodeId(s),
+                    dst: NodeId((s + 5) % 16),
+                    flits: 32,
+                });
+            }
+            events
+        };
+        let a = run(&t, mk());
+        let b = run(&t, mk());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congestion_increases_latency() {
+        let t = small_mesh(4, 1);
+        // One packet alone…
+        let solo = run(
+            &t,
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(3),
+                flits: 32,
+            }],
+        );
+        // …vs the same packet competing with cross traffic on the line.
+        let mut events = vec![TraceEvent {
+            cycle: 0,
+            src: NodeId(0),
+            dst: NodeId(3),
+            flits: 32,
+        }];
+        for k in 0..6 {
+            events.push(TraceEvent {
+                cycle: k * 4,
+                src: NodeId(1),
+                dst: NodeId(3),
+                flits: 32,
+            });
+        }
+        let busy = run(&t, events);
+        assert!(busy.all.max > solo.all.max);
+        assert_eq!(busy.flits_delivered, 32 * 7);
+    }
+
+    #[test]
+    fn express_mesh_under_all_to_all_drains() {
+        // Deadlock regression test: span-5 express (the dip/overshoot case)
+        // under all-to-all wormhole traffic.
+        let spec = MeshSpec {
+            width: 16,
+            height: 2,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        };
+        for span in [3u16, 5, 15] {
+            let t = express_mesh(
+                spec,
+                ExpressSpec {
+                    span,
+                    tech: LinkTechnology::Hyppi,
+                },
+            );
+            let n = t.num_nodes() as u16;
+            let mut events = Vec::new();
+            for s in 0..n {
+                for k in 1..n {
+                    events.push(TraceEvent {
+                        cycle: u64::from(k) * 8,
+                        src: NodeId(s),
+                        dst: NodeId((s + k) % n),
+                        flits: 32,
+                    });
+                }
+            }
+            let stats = run(&t, events);
+            assert_eq!(stats.all.count, u64::from(n) * u64::from(n - 1), "span {span}");
+        }
+    }
+
+    #[test]
+    fn synthetic_injection_measures_only_after_warmup() {
+        let t = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&t);
+        let mut m = hyppi_traffic::TrafficMatrix::zero(16);
+        for s in 0..16u16 {
+            m.set(NodeId(s), NodeId((s + 3) % 16), 0.05);
+        }
+        let stats = Simulator::new(&t, &routes, SimConfig::paper())
+            .run_synthetic(&m, 200, 800, 42)
+            .expect("completes");
+        assert!(stats.all.count > 0);
+        // Delivered flits include warmup packets; measured count excludes.
+        assert!(stats.flits_delivered >= stats.all.count);
+    }
+
+    #[test]
+    fn express_path_memo_matches_ground_truth() {
+        // The dateline classification relies on the memoized
+        // express-on-path table; verify it against walking every route.
+        let spec = MeshSpec {
+            width: 16,
+            height: 2,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        };
+        for span in [3u16, 5, 15] {
+            let t = express_mesh(
+                spec,
+                ExpressSpec {
+                    span,
+                    tech: LinkTechnology::Hyppi,
+                },
+            );
+            let routes = RoutingTable::compute_xy(&t);
+            let sim = Simulator::new(&t, &routes, SimConfig::paper());
+            for src in t.nodes() {
+                for dst in t.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    let mut at = src;
+                    let mut crossed = false;
+                    while at != dst {
+                        let l = t.link(routes.next_link(at, dst).unwrap());
+                        crossed |= l.is_express();
+                        at = l.dst;
+                    }
+                    assert_eq!(
+                        sim.route_uses_express(src, dst),
+                        crossed,
+                        "span {span}: {src}->{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_gaps() {
+        let t = small_mesh(2, 1);
+        let stats = run(
+            &t,
+            vec![
+                TraceEvent {
+                    cycle: 0,
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    flits: 1,
+                },
+                TraceEvent {
+                    cycle: 1_000_000,
+                    src: NodeId(1),
+                    dst: NodeId(0),
+                    flits: 1,
+                },
+            ],
+        );
+        assert_eq!(stats.all.count, 2);
+        // Latency of the late packet is still 7: the gap was skipped, not
+        // simulated.
+        assert_eq!(stats.all.max, 7);
+    }
+}

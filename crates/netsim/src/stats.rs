@@ -1,0 +1,213 @@
+//! Simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of logarithmic histogram buckets (bucket k holds latencies in
+/// `[2^k, 2^(k+1))`; the last bucket is open-ended).
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Latency accumulator for one packet class, with a log₂ histogram for
+/// percentile estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Packets completed.
+    pub count: u64,
+    /// Sum of packet latencies (injection request → tail ejection), cycles.
+    pub sum: u64,
+    /// Worst latency observed.
+    pub max: u64,
+    /// Log₂ bucket counts.
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            max: 0,
+            histogram: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Records one completed packet.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
+            .min(HISTOGRAM_BUCKETS - 1);
+        self.histogram[bucket] += 1;
+    }
+
+    /// Mean latency in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in 0..=1).
+    /// Coarse by design (power-of-two buckets); useful for tail latency
+    /// ("p99 is below N cycles") without per-packet storage.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (k + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Latency over all packets.
+    pub all: LatencyStats,
+    /// Latency of 1-flit control packets.
+    pub control: LatencyStats,
+    /// Latency of multi-flit data packets.
+    pub data: LatencyStats,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total flits delivered to their destinations.
+    pub flits_delivered: u64,
+    /// Flit traversals per link (energy accounting), link-id indexed.
+    pub link_flits: Vec<u64>,
+    /// Switch traversals per router (energy accounting), node-id indexed.
+    pub router_flits: Vec<u64>,
+}
+
+impl SimStats {
+    /// Creates zeroed stats for a topology of `links` links and `nodes` nodes.
+    pub fn new(links: usize, nodes: usize) -> Self {
+        SimStats {
+            link_flits: vec![0; links],
+            router_flits: vec![0; nodes],
+            ..Default::default()
+        }
+    }
+
+    /// Records one completed packet.
+    pub fn record_packet(&mut self, flits: u32, latency: u64) {
+        self.all.record(latency);
+        if flits == 1 {
+            self.control.record(latency);
+        } else {
+            self.data.record(latency);
+        }
+    }
+
+    /// Mean packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.all.mean()
+    }
+
+    /// Delivered throughput in flits per cycle per node.
+    pub fn throughput_per_node(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_delivered as f64 / self.cycles as f64 / nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let mut l = LatencyStats::default();
+        l.record(10);
+        l.record(20);
+        assert_eq!(l.count, 2);
+        assert_eq!(l.mean(), 15.0);
+        assert_eq!(l.max, 20);
+    }
+
+    #[test]
+    fn packet_classes_split() {
+        let mut s = SimStats::new(4, 2);
+        s.record_packet(1, 8);
+        s.record_packet(32, 40);
+        s.record_packet(32, 60);
+        assert_eq!(s.control.count, 1);
+        assert_eq!(s.data.count, 2);
+        assert_eq!(s.all.count, 3);
+        assert_eq!(s.data.mean(), 50.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::default();
+        a.record(10);
+        let mut b = LatencyStats::default();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.mean(), 20.0);
+        assert_eq!(a.max, 30);
+        assert_eq!(a.histogram.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut l = LatencyStats::default();
+        l.record(1); // bucket 0
+        l.record(2); // bucket 1
+        l.record(3); // bucket 1
+        l.record(1000); // bucket 9
+        assert_eq!(l.histogram[0], 1);
+        assert_eq!(l.histogram[1], 2);
+        assert_eq!(l.histogram[9], 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let mut l = LatencyStats::default();
+        for v in [4u64, 5, 6, 7, 100] {
+            l.record(v);
+        }
+        // 80% of packets are ≤ 7 → p80 bound is the bucket above 4..8.
+        assert_eq!(l.quantile_upper_bound(0.8), 8);
+        // p100 covers the 100-cycle straggler (bucket 64..128).
+        assert_eq!(l.quantile_upper_bound(1.0), 128);
+        assert_eq!(LatencyStats::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        LatencyStats::default().quantile_upper_bound(1.5);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(LatencyStats::default().mean(), 0.0);
+        assert_eq!(SimStats::new(1, 1).throughput_per_node(1), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+use hyppi_analytic::NocModel;
+use hyppi_optical::all_optical_projection;
+use hyppi_phys::LinkTechnology;
+use hyppi_topology::{mesh, MeshSpec};
+use hyppi_traffic::SoteriouConfig;
+
+fn main() {
+    let model = NocModel::new(mesh(MeshSpec::paper(LinkTechnology::Electronic)));
+    let cfg = SoteriouConfig::paper();
+    let traffic = cfg.matrix(&model.topo);
+    let (mut hops_sum, mut turn_sum, mut rate_sum) = (0.0, 0.0, 0.0);
+    for (s, d, rate) in traffic.demands() {
+        let (sx, sy) = (s.0 % 16, s.0 / 16);
+        let (dx, dy) = (d.0 % 16, d.0 / 16);
+        let hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+        hops_sum += rate * f64::from(hops);
+        turn_sum += rate * f64::from(u16::from(sx != dx && sy != dy));
+        rate_sum += rate;
+    }
+    println!("avg hops {:.3} avg turns {:.3}", hops_sum / rate_sum, turn_sum / rate_sum);
+    for p in all_optical_projection() {
+        println!(
+            "{:16} lat {:8.2} energy {:12.2} fJ/bit area {:8.3} mm2",
+            p.design.name(), p.latency_clks, p.energy_per_bit_fj, p.area_mm2
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! All-optical NoC projections — §V of the paper.
+//!
+//! Fully optical NoCs are circuit-switched: a path is set up once, then
+//! light flows source → destination through a chain of optical routers
+//! with no intermediate O-E conversion. The paper compares three designs
+//! on a latency / energy-per-bit / area radar plot (its Fig. 8):
+//!
+//! * the **electronic mesh** baseline,
+//! * an **all-photonic NoC** built from microring (MRR) routers
+//!   (Table VI: 68.2 fJ/bit control, 0.39–1.5 dB loss range,
+//!   480 000 µm²),
+//! * an **all-HyPPI NoC** built from the ultra-compact plasmonic 2×2
+//!   switch router of the paper's Fig. 7 (3.73 fJ/bit, 0.32–9.1 dB,
+//!   500 µm²).
+//!
+//! [`router`] models the port-to-port loss matrices; [`projection`]
+//! assembles per-path loss budgets, the laser-power equation and the area
+//! roll-up into the radar-plot triples.
+
+pub mod projection;
+pub mod router;
+
+pub use projection::{all_optical_projection, AllOpticalDesign, RadarPoint};
+pub use router::{OpticalRouterModel, PortKind};

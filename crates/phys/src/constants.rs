@@ -1,0 +1,56 @@
+//! Physical constants shared by the link and network models.
+
+/// Speed of light in vacuum, in micrometers per picosecond.
+pub const SPEED_OF_LIGHT_UM_PER_PS: f64 = 299.792_458;
+
+/// Group index of a silicon-on-insulator (SOI) strip waveguide at 1550 nm.
+///
+/// Both the photonic and the HyPPI link use conventional SOI waveguides for
+/// passive propagation (paper §II), so their time of flight is identical.
+pub const SOI_GROUP_INDEX: f64 = 4.2;
+
+/// Effective group index for propagation along a plasmonic metal waveguide.
+///
+/// Surface plasmon polaritons propagate slightly slower than the SOI mode;
+/// the difference is irrelevant at the few-micron distances where plasmonic
+/// links are viable, but we keep it distinct for completeness.
+pub const PLASMONIC_GROUP_INDEX: f64 = 3.6;
+
+/// Propagation delay of an SOI waveguide, ps per micrometer.
+#[inline]
+pub fn soi_delay_ps_per_um() -> f64 {
+    SOI_GROUP_INDEX / SPEED_OF_LIGHT_UM_PER_PS
+}
+
+/// Propagation delay of a plasmonic waveguide, ps per micrometer.
+#[inline]
+pub fn plasmonic_delay_ps_per_um() -> f64 {
+    PLASMONIC_GROUP_INDEX / SPEED_OF_LIGHT_UM_PER_PS
+}
+
+/// Required receiver photocurrent per GHz of signal bandwidth, in microamps.
+///
+/// This is the single free constant of the receiver model: the photocurrent
+/// a receiver front-end needs scales with its bandwidth (shot/thermal noise
+/// floor). One microamp per gigahertz reproduces the paper's all-optical
+/// energy-per-bit projections (≈352 fJ/bit photonic, ≈354 fJ/bit HyPPI,
+/// Fig. 8) once combined with the Table I responsivities and laser
+/// efficiencies; see `crates/optical`.
+pub const RECEIVER_UA_PER_GHZ: f64 = 1.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soi_time_of_flight_is_about_14ps_per_mm() {
+        let per_mm = soi_delay_ps_per_um() * 1000.0;
+        assert!((per_mm - 14.0).abs() < 0.1, "got {per_mm}");
+    }
+
+    #[test]
+    fn plasmonic_slower_than_vacuum_faster_than_nothing() {
+        assert!(plasmonic_delay_ps_per_um() > 1.0 / SPEED_OF_LIGHT_UM_PER_PS);
+        assert!(plasmonic_delay_ps_per_um() < soi_delay_ps_per_um());
+    }
+}

@@ -1,0 +1,73 @@
+//! Decibel and dBm conversions.
+//!
+//! Optical link budgets are naturally expressed in decibels; laser power
+//! requirements come out of the budget through the linear ratio. These
+//! helpers are the single place in the workspace where the dB ↔ linear
+//! conversion happens.
+
+use crate::units::{Decibels, Milliwatts};
+
+/// Converts a loss/gain in dB to the corresponding linear power ratio.
+///
+/// A positive input is interpreted as a *gain*; loss budgets should negate
+/// or use [`LossBudget::transmission`](crate::loss::LossBudget::transmission).
+#[inline]
+pub fn db_to_ratio(db: Decibels) -> f64 {
+    10f64.powf(db.value() / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+#[inline]
+pub fn ratio_to_db(ratio: f64) -> Decibels {
+    debug_assert!(ratio > 0.0, "dB of a non-positive ratio is undefined");
+    Decibels::new(10.0 * ratio.log10())
+}
+
+/// Converts power in dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> Milliwatts {
+    Milliwatts::new(10f64.powf(dbm / 10.0))
+}
+
+/// Converts power in milliwatts to dBm.
+#[inline]
+pub fn mw_to_dbm(mw: Milliwatts) -> f64 {
+    debug_assert!(mw.value() > 0.0, "dBm of non-positive power is undefined");
+    10.0 * mw.value().log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_ratio_fixed_points() {
+        assert!((db_to_ratio(Decibels::new(0.0)) - 1.0).abs() < 1e-12);
+        assert!((db_to_ratio(Decibels::new(3.0103)) - 2.0).abs() < 1e-4);
+        assert!((db_to_ratio(Decibels::new(10.0)) - 10.0).abs() < 1e-12);
+        assert!((db_to_ratio(Decibels::new(-10.0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for &r in &[0.01, 0.5, 1.0, 2.0, 123.4] {
+            let back = db_to_ratio(ratio_to_db(r));
+            assert!((back - r).abs() / r < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dbm_fixed_points() {
+        assert!((dbm_to_mw(0.0).value() - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(10.0).value() - 10.0).abs() < 1e-12);
+        assert!((dbm_to_mw(-30.0).value() - 0.001).abs() < 1e-15);
+        assert!((mw_to_dbm(Milliwatts::new(1.0)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_roundtrip() {
+        for &p in &[-20.0, -3.0, 0.0, 7.0, 20.0] {
+            assert!((mw_to_dbm(dbm_to_mw(p)) - p).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Physical-layer models for the HyPPI NoC reproduction.
+//!
+//! This crate holds everything the rest of the workspace treats as *given
+//! physics*:
+//!
+//! * strongly-typed unit wrappers ([`units`]) so that decibels, picoseconds
+//!   and femtojoules cannot be mixed up silently;
+//! * decibel arithmetic and dBm power conversions ([`db`]);
+//! * physical constants such as the speed of light and the group index of an
+//!   SOI waveguide ([`constants`]);
+//! * the device parameter sets of Table I of the paper — photonic, plasmonic
+//!   and HyPPI modulators, detectors, lasers and waveguides — plus the
+//!   ITRS-derived electrical wire parameters ([`params`]);
+//! * optical loss budgets and the laser power equation used for every
+//!   optical-link energy estimate in the paper ([`loss`]).
+//!
+//! Everything downstream (`hyppi-dsent`, `hyppi-optical`, the link-level
+//! CLEAR evaluation) builds on these primitives.
+
+pub mod constants;
+pub mod db;
+pub mod loss;
+pub mod params;
+pub mod units;
+
+pub use db::{db_to_ratio, dbm_to_mw, mw_to_dbm, ratio_to_db};
+pub use loss::{laser_power_mw, LossBudget};
+pub use params::{
+    electronic_wire_params, hyppi_params, photonic_params, plasmonic_params, DetectorParams,
+    ElectronicWireParams, LaserParams, LinkTechnology, ModulatorParams, TechnologyParams,
+    WaveguideParams,
+};
+pub use units::{
+    Decibels, Femtojoules, Gbps, Micrometers, Milliwatts, Picoseconds, SquareMicrometers,
+};

@@ -1,0 +1,160 @@
+//! Optical loss budgets and the laser power equation.
+//!
+//! Every optical energy estimate in the paper bottoms out in the same
+//! physics: light leaves a laser with some wall-plug efficiency, loses power
+//! through modulator insertion loss, coupling interfaces, waveguide
+//! propagation and (for all-optical NoCs) router traversals, and must arrive
+//! at the detector with enough power for the receiver front-end to resolve
+//! bits at the line rate. This module implements that chain.
+
+use crate::constants::RECEIVER_UA_PER_GHZ;
+use crate::db::db_to_ratio;
+use crate::units::{Decibels, Gbps, Micrometers, Milliwatts};
+
+/// An accumulating optical loss budget along a light path.
+///
+/// Losses are stored as positive dB values; [`total`](Self::total) is their
+/// sum and [`transmission`](Self::transmission) the corresponding linear
+/// power fraction that survives.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LossBudget {
+    entries: Vec<(&'static str, Decibels)>,
+}
+
+impl LossBudget {
+    /// Starts an empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named loss contribution (positive dB).
+    pub fn add(&mut self, label: &'static str, loss: Decibels) -> &mut Self {
+        debug_assert!(
+            loss.value() >= 0.0,
+            "losses are positive dB, got {loss} for {label}"
+        );
+        self.entries.push((label, loss));
+        self
+    }
+
+    /// Adds waveguide propagation loss over `length` at the given dB/cm.
+    pub fn add_propagation(
+        &mut self,
+        label: &'static str,
+        db_per_cm: f64,
+        length: Micrometers,
+    ) -> &mut Self {
+        self.add(label, Decibels::new(db_per_cm * length.as_cm()))
+    }
+
+    /// Total loss in dB.
+    pub fn total(&self) -> Decibels {
+        self.entries.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Fraction of optical power that survives the path (0..=1).
+    pub fn transmission(&self) -> f64 {
+        db_to_ratio(-self.total())
+    }
+
+    /// Iterates over the named contributions.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, Decibels)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of contributions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any contributions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Minimum optical power the receiver needs at the detector, in milliwatts.
+///
+/// The receiver front-end needs a photocurrent proportional to the signal
+/// bandwidth ([`RECEIVER_UA_PER_GHZ`]); dividing by the detector
+/// responsivity converts that current requirement into optical power.
+#[inline]
+pub fn receiver_sensitivity_mw(rate: Gbps, responsivity_a_per_w: f64) -> Milliwatts {
+    debug_assert!(responsivity_a_per_w > 0.0);
+    // µA = µA/GHz × GHz; mW = µA / (A/W) × 1e-3.
+    let required_ua = RECEIVER_UA_PER_GHZ * rate.value();
+    Milliwatts::new(required_ua / responsivity_a_per_w * 1e-3)
+}
+
+/// Electrical (wall-plug) laser power needed to close a link budget.
+///
+/// `P_laser = P_receiver / transmission / wall_plug_efficiency`.
+#[inline]
+pub fn laser_power_mw(
+    rate: Gbps,
+    responsivity_a_per_w: f64,
+    loss: &LossBudget,
+    wall_plug_efficiency: f64,
+) -> Milliwatts {
+    debug_assert!((0.0..=1.0).contains(&wall_plug_efficiency) && wall_plug_efficiency > 0.0);
+    let at_detector = receiver_sensitivity_mw(rate, responsivity_a_per_w);
+    Milliwatts::new(at_detector.value() / loss.transmission() / wall_plug_efficiency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_lossless() {
+        let b = LossBudget::new();
+        assert!(b.is_empty());
+        assert_eq!(b.total().value(), 0.0);
+        assert!((b.transmission() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_accumulates() {
+        let mut b = LossBudget::new();
+        b.add("modulator", Decibels::new(0.6))
+            .add("coupling", Decibels::new(1.0))
+            .add_propagation("waveguide", 1.0, Micrometers::from_cm(1.4));
+        assert_eq!(b.len(), 3);
+        assert!((b.total().value() - 3.0).abs() < 1e-12);
+        assert!((b.transmission() - 0.501187).abs() < 1e-5);
+        let labels: Vec<_> = b.entries().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["modulator", "coupling", "waveguide"]);
+    }
+
+    #[test]
+    fn sensitivity_scales_with_rate_and_responsivity() {
+        // 50 Gb/s at 0.1 A/W: 50 µA / 0.1 = 500 µW = 0.5 mW.
+        let s = receiver_sensitivity_mw(Gbps::new(50.0), 0.1);
+        assert!((s.value() - 0.5).abs() < 1e-12);
+        // Higher responsivity needs proportionally less power.
+        let s8 = receiver_sensitivity_mw(Gbps::new(50.0), 0.8);
+        assert!((s.value() / s8.value() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laser_power_closes_the_budget() {
+        let mut loss = LossBudget::new();
+        loss.add("total", Decibels::new(3.0103)); // a factor of 2
+        let p = laser_power_mw(Gbps::new(50.0), 0.1, &loss, 0.2);
+        // 0.5 mW at detector × 2 loss / 0.2 efficiency = 5 mW.
+        assert!((p.value() - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn laser_energy_per_bit_is_rate_independent() {
+        // P ∝ rate, so P/rate (energy per bit) must not depend on rate.
+        let loss = LossBudget::new();
+        let e1 = laser_power_mw(Gbps::new(25.0), 0.8, &loss, 0.25)
+            .energy_per_bit(Gbps::new(25.0));
+        let e2 = laser_power_mw(Gbps::new(2100.0), 0.8, &loss, 0.25)
+            .energy_per_bit(Gbps::new(2100.0));
+        assert!((e1.value() - e2.value()).abs() < 1e-9);
+        // Lossless photonic laser floor: 1 µA/GHz / 0.8 A/W / 0.25 = 5 fJ/bit.
+        assert!((e1.value() - 5.0).abs() < 1e-9);
+    }
+}

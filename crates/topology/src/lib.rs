@@ -1,0 +1,32 @@
+//! NoC topologies and routing.
+//!
+//! Provides the network structures the paper evaluates (Fig. 2):
+//!
+//! * the base 16×16 **mesh** (Fig. 2a);
+//! * the **hybrid mesh with horizontal express links** of span 3, 5 or 15
+//!   (Fig. 2b) — span 15 turns each row into a ring, making the network
+//!   "effectively a 2D torus" in the paper's words;
+//! * a full **torus** and an **all-optical mesh** for the §V projections.
+//!
+//! Every link carries a [`LinkTechnology`] and a latency in clock cycles
+//! following Table II: 1 cycle for electronic links, 2 cycles for optical
+//! links (1 propagation + 1 O-E conversion).
+//!
+//! Routing ([`routing`]) is deterministic oblivious shortest-path with the
+//! per-hop cost equal to router pipeline delay + link latency, matching the
+//! paper's "oblivious shortest-path routing method … to match the routing
+//! technique used in the BookSim 2.0 simulator for custom networks".
+
+pub mod build;
+pub mod graph;
+pub mod ids;
+pub mod link;
+pub mod loads;
+pub mod routing;
+
+pub use build::{express_mesh, mesh, torus, ExpressSpec, MeshSpec};
+pub use graph::Topology;
+pub use ids::{Coord, LinkId, NodeId};
+pub use link::{Link, LinkClass, ROUTER_PIPELINE_CYCLES};
+pub use loads::LinkLoads;
+pub use routing::RoutingTable;

@@ -1,0 +1,381 @@
+//! Deterministic oblivious shortest-path routing.
+//!
+//! The paper adopts "an oblivious shortest-path routing method … in order to
+//! match the routing technique used in the BookSim 2.0 simulator for custom
+//! networks". We implement it as one reverse Dijkstra per destination with
+//! the per-hop cost `router pipeline (3 cycles) + link latency (1 or 2)`,
+//! yielding a per-node next-hop table. Ties are broken deterministically by
+//! link id, which (given builder creation order) prefers regular mesh links
+//! and produces dimension-ordered-looking staircase routes.
+
+use crate::graph::Topology;
+use crate::ids::{LinkId, NodeId};
+use crate::link::ROUTER_PIPELINE_CYCLES;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// All-pairs next-hop routing table.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// `next[dst][node]` = link to take at `node` toward `dst`.
+    next: Vec<Vec<Option<LinkId>>>,
+    /// `dist[dst][node]` = total path cost in cycles.
+    dist: Vec<Vec<u32>>,
+}
+
+impl RoutingTable {
+    /// Computes an X-then-Y ordered shortest-path table.
+    ///
+    /// Packets first complete all horizontal movement (using row express
+    /// links where they shorten the path), then travel straight in Y. This
+    /// matches the paper's router (Fig. 4: "the basic routing always uses
+    /// electronics", with horizontal express shortcuts) and — combined with
+    /// the express-dateline VC discipline in `hyppi-netsim` — is provably
+    /// deadlock-free (see that crate's documentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some row or column is not internally connected.
+    pub fn compute_xy(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        // Restricted next-hop tables: horizontal movement may only use
+        // links within the source row; vertical movement only links within
+        // the column.
+        let row_table = Self::restricted(topo, |t, l| {
+            t.coord(l.src).y == t.coord(l.dst).y
+        });
+        let col_table = Self::restricted(topo, |t, l| {
+            t.coord(l.src).x == t.coord(l.dst).x
+        });
+
+        let mut next = vec![vec![None; n]; n];
+        let mut dist = vec![vec![0u32; n]; n];
+        for dst in topo.nodes() {
+            let dc = topo.coord(dst);
+            for node in topo.nodes() {
+                let nc = topo.coord(node);
+                if node == dst {
+                    continue;
+                }
+                // The X-phase targets the node in this row at dst's column;
+                // the Y-phase then descends the column.
+                let row_target = topo.node_at(crate::ids::Coord { x: dc.x, y: nc.y });
+                if nc.x != dc.x {
+                    next[dst.index()][node.index()] =
+                        row_table.next[row_target.index()][node.index()];
+                    dist[dst.index()][node.index()] = row_table.dist[row_target.index()]
+                        [node.index()]
+                        + col_table.dist[dst.index()][row_target.index()];
+                } else {
+                    next[dst.index()][node.index()] =
+                        col_table.next[dst.index()][node.index()];
+                    dist[dst.index()][node.index()] =
+                        col_table.dist[dst.index()][node.index()];
+                }
+            }
+        }
+        RoutingTable { n, next, dist }
+    }
+
+    /// Computes a table restricted to links accepted by `allow`, leaving
+    /// unreachable pairs at `u32::MAX` (callers must only consult pairs
+    /// valid for the restriction).
+    fn restricted(topo: &Topology, allow: impl Fn(&Topology, &crate::link::Link) -> bool) -> Self {
+        let n = topo.num_nodes();
+        let mut next = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for d in topo.nodes() {
+            let (nd, dd) = Self::dijkstra_filtered(topo, d, &allow);
+            next.push(nd);
+            dist.push(dd);
+        }
+        RoutingTable { n, next, dist }
+    }
+
+    /// Computes the unrestricted shortest-path table for a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not strongly connected — every node must
+    /// reach every other node.
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut next = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for d in topo.nodes() {
+            let (nd, dd) = Self::reverse_dijkstra(topo, d);
+            next.push(nd);
+            dist.push(dd);
+        }
+        RoutingTable { n, next, dist }
+    }
+
+    /// One reverse Dijkstra rooted at destination `dst`.
+    fn reverse_dijkstra(topo: &Topology, dst: NodeId) -> (Vec<Option<LinkId>>, Vec<u32>) {
+        let (next, dist) = Self::dijkstra_filtered(topo, dst, &|_, _| true);
+        assert!(
+            dist.iter().all(|&d| d != u32::MAX),
+            "topology is not strongly connected toward {dst}"
+        );
+        (next, dist)
+    }
+
+    /// Reverse Dijkstra over the subgraph of links accepted by `allow`.
+    fn dijkstra_filtered(
+        topo: &Topology,
+        dst: NodeId,
+        allow: &impl Fn(&Topology, &crate::link::Link) -> bool,
+    ) -> (Vec<Option<LinkId>>, Vec<u32>) {
+        let n = topo.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut next: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[dst.index()] = 0;
+        heap.push(Reverse((0u32, dst)));
+        while let Some(Reverse((d, node))) = heap.pop() {
+            if d > dist[node.index()] {
+                continue;
+            }
+            // Relax over links *into* `node`: their sources route via `node`.
+            for &lid in topo.incoming(node) {
+                let link = topo.link(lid);
+                if !allow(topo, link) {
+                    continue;
+                }
+                let cost = ROUTER_PIPELINE_CYCLES + link.latency_cycles;
+                let cand = d + cost;
+                let src = link.src.index();
+                // Strictly-better, or equal-cost with a smaller link id:
+                // deterministic and independent of heap pop order.
+                let better = cand < dist[src]
+                    || (cand == dist[src] && next[src].is_some_and(|cur| lid < cur));
+                if better {
+                    dist[src] = cand;
+                    next[src] = Some(lid);
+                    heap.push(Reverse((cand, link.src)));
+                }
+            }
+        }
+        (next, dist)
+    }
+
+    /// Link to take at `node` toward `dst`; `None` when already there.
+    #[inline]
+    pub fn next_link(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next[dst.index()][node.index()]
+    }
+
+    /// Total path cost in clock cycles (router pipelines + link latencies
+    /// for every traversed hop).
+    #[inline]
+    pub fn cost(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.dist[dst.index()][src.index()]
+    }
+
+    /// The full link path from `src` to `dst` (empty when equal).
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut path = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let lid = self
+                .next_link(at, dst)
+                .expect("connected topology always has a next hop");
+            path.push(lid);
+            at = topo.link(lid).dst;
+            debug_assert!(path.len() <= self.n, "routing loop detected");
+        }
+        path
+    }
+
+    /// Number of hops (links traversed) from `src` to `dst`.
+    pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> u32 {
+        self.path(topo, src, dst).len() as u32
+    }
+
+    /// Number of nodes the table covers.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{express_mesh, mesh, ExpressSpec, MeshSpec};
+    use crate::ids::Coord;
+    use hyppi_phys::LinkTechnology;
+
+    fn paper_mesh() -> (Topology, RoutingTable) {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let r = RoutingTable::compute(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn mesh_paths_are_manhattan() {
+        let (t, r) = paper_mesh();
+        for &(a, b) in &[(0u16, 255u16), (17, 200), (15, 240), (100, 101)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let hops = r.hops(&t, a, b);
+            assert_eq!(hops, t.coord(a).manhattan(t.coord(b)), "{a}->{b}");
+            // Electronic mesh: cost = hops × (3 router + 1 link).
+            assert_eq!(r.cost(a, b), hops * 4);
+        }
+    }
+
+    #[test]
+    fn path_endpoints_connect(){
+        let (t, r) = paper_mesh();
+        let path = r.path(&t, NodeId(0), NodeId(255));
+        assert_eq!(t.link(path[0]).src, NodeId(0));
+        assert_eq!(t.link(*path.last().unwrap()).dst, NodeId(255));
+        for w in path.windows(2) {
+            assert_eq!(t.link(w[0]).dst, t.link(w[1]).src);
+        }
+    }
+
+    #[test]
+    fn express_links_shorten_long_paths() {
+        let t = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 3,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r = RoutingTable::compute(&t);
+        // West-to-east across a row: 15 regular hops (cost 60) should
+        // become 5 express hops (5 × (3+2) = 25).
+        let a = t.node_at(Coord { x: 0, y: 8 });
+        let b = t.node_at(Coord { x: 15, y: 8 });
+        assert_eq!(r.cost(a, b), 25);
+        let path = r.path(&t, a, b);
+        assert_eq!(path.len(), 5);
+        assert!(path.iter().all(|&l| t.link(l).is_express()));
+    }
+
+    #[test]
+    fn express_not_used_when_slower() {
+        let t = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 3,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r = RoutingTable::compute(&t);
+        // A 2-hop journey cannot profit from span-3 express links.
+        let a = t.node_at(Coord { x: 1, y: 0 });
+        let b = t.node_at(Coord { x: 3, y: 0 });
+        let path = r.path(&t, a, b);
+        assert_eq!(path.len(), 2);
+        assert!(path.iter().all(|&l| !t.link(l).is_express()));
+    }
+
+    #[test]
+    fn express_spans_mix_with_regular_tail() {
+        let t = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 5,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r = RoutingTable::compute(&t);
+        // x: 0 → 7 = one span-5 express (cost 5) + two regular (8) = 13
+        // vs 7 regular hops = 28.
+        let a = t.node_at(Coord { x: 0, y: 3 });
+        let b = t.node_at(Coord { x: 7, y: 3 });
+        assert_eq!(r.cost(a, b), 13);
+    }
+
+    #[test]
+    fn costs_are_symmetric_on_symmetric_topologies() {
+        let (_, r) = paper_mesh();
+        for a in [0u16, 5, 100, 255] {
+            for b in [0u16, 9, 77, 254] {
+                assert_eq!(r.cost(NodeId(a), NodeId(b)), r.cost(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_matches_dijkstra_costs_on_plain_mesh() {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let free = RoutingTable::compute(&t);
+        let xy = RoutingTable::compute_xy(&t);
+        for a in [0u16, 5, 100, 255, 240] {
+            for b in [0u16, 9, 77, 254, 15] {
+                assert_eq!(
+                    free.cost(NodeId(a), NodeId(b)),
+                    xy.cost(NodeId(a), NodeId(b)),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xy_paths_complete_x_before_y() {
+        let t = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 5,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r = RoutingTable::compute_xy(&t);
+        for (a, b) in [(0u16, 255u16), (17, 98), (250, 3), (16, 31)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let path = r.path(&t, a, b);
+            let mut seen_y = false;
+            for &lid in &path {
+                let l = t.link(lid);
+                let horizontal = t.coord(l.src).y == t.coord(l.dst).y;
+                if !horizontal {
+                    seen_y = true;
+                } else {
+                    assert!(!seen_y, "horizontal move after vertical: {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_uses_express_links() {
+        let t = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 3,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r = RoutingTable::compute_xy(&t);
+        let a = t.node_at(Coord { x: 0, y: 8 });
+        let b = t.node_at(Coord { x: 15, y: 8 });
+        assert_eq!(r.cost(a, b), 25); // 5 express hops × (3+2)
+        // Span-15 ring: a westward-wrap path may cost less than direct.
+        let t15 = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 15,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let r15 = RoutingTable::compute_xy(&t15);
+        let a = t15.node_at(Coord { x: 2, y: 0 });
+        let b = t15.node_at(Coord { x: 14, y: 0 });
+        // 2→1→0, express 0→15, 15→14: 2·4 + 5 + 4 = 17 vs 12·4 = 48.
+        assert_eq!(r15.cost(a, b), 17);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let (t, r) = paper_mesh();
+        assert_eq!(r.cost(NodeId(7), NodeId(7)), 0);
+        assert!(r.next_link(NodeId(7), NodeId(7)).is_none());
+        assert!(r.path(&t, NodeId(7), NodeId(7)).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Traffic generation for the HyPPI NoC reproduction.
+//!
+//! Two traffic sources drive the paper's evaluation:
+//!
+//! * the **Soteriou statistical model** (§III-B; [15] in the paper) with
+//!   acceptance probability `p = 0.02`, injection spread `σ = 0.4` and a
+//!   maximum injection rate of 0.1 flits/node/cycle — used for the
+//!   design-space exploration and the all-optical projections
+//!   ([`soteriou`]);
+//! * **NAS Parallel Benchmark traces** (§IV) — FT, CG, MG and LU at 256
+//!   ranks. The paper captured MPICL traces on a Cray XE6m; those are not
+//!   publicly available, so [`npb`] synthesizes traces from each kernel's
+//!   documented communication pattern (FT all-to-all transpose, CG
+//!   short-range row exchanges, MG long-range hierarchical exchanges, LU
+//!   1-hop wavefront). The paper itself reduces traces to flit counts per
+//!   source-destination pair and discards timing, so the spatial pattern is
+//!   the fidelity target.
+//!
+//! Supporting machinery: dense [`matrix::TrafficMatrix`] rate matrices,
+//! [`packetize`] (the paper's 1-flit / 32-flit packet split), the
+//! [`trace::Trace`] event container with a compact binary format, and
+//! [`volume::CommVolume`] flit-count aggregation for energy accounting.
+
+pub mod matrix;
+pub mod npb;
+pub mod packetize;
+pub mod soteriou;
+pub mod trace;
+pub mod volume;
+
+pub use matrix::TrafficMatrix;
+pub use npb::{NpbKernel, NpbTraceSpec};
+pub use packetize::{packetize_message, Packet, DATA_PACKET_FLITS};
+pub use soteriou::SoteriouConfig;
+pub use trace::{Trace, TraceEvent};
+pub use volume::CommVolume;

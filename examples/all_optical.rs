@@ -1,0 +1,20 @@
+//! §V: all-optical NoC projections — Table VI and the Fig. 8 radar plot.
+//!
+//! ```sh
+//! cargo run --release --example all_optical
+//! ```
+
+use hyppi::experiments::{fig8, table6};
+
+fn main() {
+    println!("== Table VI: WDM photonic vs HyPPI optical routers ==");
+    println!("{}", table6());
+
+    println!("== Fig. 8: all-optical projections (smaller triangle = better) ==");
+    let r = fig8();
+    println!("{}", r.render());
+    println!(
+        "Electronic / all-HyPPI energy per bit: {:.0}x (paper: ~255x)",
+        r.electronic_over_hyppi_energy()
+    );
+}

@@ -1,0 +1,31 @@
+//! The paper's §III-B design-space exploration: all thirty base × express
+//! combinations, plus Tables III and IV — Fig. 5 in table form.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use hyppi::experiments::{fig5, table3, table4};
+use hyppi::prelude::*;
+
+fn main() {
+    println!("== Table III: capability C and utilization growth R ==");
+    println!("{}", table3());
+
+    println!("== Fig. 5: hybrid design space (CLEAR / latency / power / area) ==");
+    let r = fig5();
+    println!("{}", r.render());
+
+    println!("Headline: electronic mesh + HyPPI express CLEAR gains vs plain mesh");
+    for span in [3u16, 5, 15] {
+        let gain = r.clear_gain(LinkTechnology::Electronic, (LinkTechnology::Hyppi, span));
+        println!("  span {span:2}: {gain:.2}x");
+    }
+    println!(
+        "  best: {:.2}x (paper reports up to 1.8x at span 3)\n",
+        r.headline_gain()
+    );
+
+    println!("== Table IV: static power, electronic base + express links ==");
+    println!("{}", table4());
+}

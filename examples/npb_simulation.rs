@@ -1,0 +1,47 @@
+//! §IV: cycle-accurate trace simulation of the NPB kernels (Fig. 6) and
+//! the FT dynamic-energy accounting (Table V).
+//!
+//! ```sh
+//! cargo run --release --example npb_simulation          # all kernels
+//! cargo run --release --example npb_simulation CG       # one kernel
+//! ```
+
+use hyppi::experiments::npb::{fig6_topology, FIG6_SPANS};
+use hyppi::experiments::table5;
+use hyppi::prelude::*;
+
+fn main() {
+    let only: Option<String> = std::env::args().nth(1);
+
+    println!("== Fig. 6: NPB average packet latency (clks) ==");
+    for kernel in NpbKernel::ALL {
+        if let Some(k) = &only {
+            if !kernel.name().eq_ignore_ascii_case(k) {
+                continue;
+            }
+        }
+        let trace = NpbTraceSpec::paper(kernel).default_window();
+        print!("  {kernel}:");
+        let mut base = 0.0;
+        for span in FIG6_SPANS {
+            let topo = fig6_topology(span);
+            let routes = RoutingTable::compute_xy(&topo);
+            let stats = Simulator::new(&topo, &routes, SimConfig::paper())
+                .run_trace(&trace)
+                .expect("simulation completes");
+            let lat = stats.mean_latency();
+            if span == 0 {
+                base = lat;
+                print!("  mesh {lat:7.2}");
+            } else {
+                print!("  x{span} {lat:7.2} ({:.2}x)", base / lat);
+            }
+        }
+        println!();
+    }
+
+    if only.is_none() {
+        println!("\n== Table V: FT total dynamic energy ==");
+        println!("{}", table5().render());
+    }
+}

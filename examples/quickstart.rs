@@ -1,0 +1,84 @@
+//! Quickstart: build a hybrid NoC, evaluate its CLEAR, and simulate a
+//! small trace on it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hyppi::prelude::*;
+
+fn main() {
+    // 1. Link level: which technology wins at inter-core distances?
+    println!("== Link-level CLEAR (equation 1) at 1 mm ==");
+    for tech in LinkTechnology::ALL {
+        let p = link_clear_point(tech, Micrometers::from_mm(1.0));
+        println!(
+            "  {:10} C={:7.0} Gb/s  L={:7.1} ps  E={:9.2} fJ/bit  A={:9.1} um^2  CLEAR={:.3e}",
+            tech.name(),
+            p.capability_gbps,
+            p.latency_ps,
+            p.energy_fj_per_bit,
+            p.area_um2,
+            p.clear
+        );
+    }
+
+    // 2. System level: the paper's headline hybrid — electronic mesh with
+    //    span-3 HyPPI express links.
+    println!("\n== System-level CLEAR (equation 2) ==");
+    let cfg = SoteriouConfig::paper();
+    for (label, topo) in [
+        (
+            "plain electronic mesh     ",
+            mesh(MeshSpec::paper(LinkTechnology::Electronic)),
+        ),
+        (
+            "  + HyPPI express, span 3 ",
+            express_mesh(
+                MeshSpec::paper(LinkTechnology::Electronic),
+                ExpressSpec {
+                    span: 3,
+                    tech: LinkTechnology::Hyppi,
+                },
+            ),
+        ),
+    ] {
+        let model = NocModel::new(topo);
+        let traffic = cfg.matrix(&model.topo);
+        let eval = model.evaluate(&traffic, cfg.max_injection_rate);
+        println!(
+            "  {label} CLEAR={:.4}  latency={:5.1} clks  power={:5.2} W  area={:5.1} mm^2",
+            eval.clear, eval.latency_clks, eval.power_w, eval.area_mm2
+        );
+    }
+
+    // 3. Cycle-accurate: a burst of packets corner-to-corner.
+    println!("\n== Cycle-accurate simulation ==");
+    let topo = express_mesh(
+        MeshSpec::paper(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    );
+    let routes = RoutingTable::compute_xy(&topo);
+    let events: Vec<TraceEvent> = (0..64u16)
+        .map(|k| TraceEvent {
+            cycle: u64::from(k) * 40,
+            src: NodeId(0),
+            dst: NodeId(255),
+            flits: if k % 4 == 0 { 1 } else { 32 },
+        })
+        .collect();
+    let trace = Trace::new("quickstart burst", 256, 0.0, events);
+    let stats = Simulator::new(&topo, &routes, SimConfig::paper())
+        .run_trace(&trace)
+        .expect("simulation completes");
+    println!(
+        "  {} packets delivered, mean latency {:.1} clks (control {:.1}, data {:.1})",
+        stats.all.count,
+        stats.mean_latency(),
+        stats.control.mean(),
+        stats.data.mean()
+    );
+}

@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: traffic generation → routing → simulation
+//! → energy accounting, on reduced-size networks so they stay fast in debug
+//! builds. Full-size paper numbers are covered by `paper_anchors.rs` and
+//! the bench harness.
+
+use hyppi::prelude::*;
+
+fn small_spec(base: LinkTechnology) -> MeshSpec {
+    MeshSpec {
+        width: 8,
+        height: 8,
+        core_spacing_mm: 1.0,
+        base_tech: base,
+        capacity: Gbps::new(50.0),
+    }
+}
+
+#[test]
+fn npb_windows_simulate_on_small_meshes() {
+    for kernel in NpbKernel::ALL {
+        let spec = NpbTraceSpec {
+            kernel,
+            width: 8,
+            height: 8,
+        };
+        let trace = spec.trace_window(1, 0.1);
+        for span in [0u16, 3] {
+            let topo = if span == 0 {
+                mesh(small_spec(LinkTechnology::Electronic))
+            } else {
+                express_mesh(
+                    small_spec(LinkTechnology::Electronic),
+                    ExpressSpec {
+                        span,
+                        tech: LinkTechnology::Hyppi,
+                    },
+                )
+            };
+            let routes = RoutingTable::compute_xy(&topo);
+            let stats = Simulator::new(&topo, &routes, SimConfig::paper())
+                .run_trace(&trace)
+                .unwrap_or_else(|e| panic!("{kernel} span {span}: {e}"));
+            assert_eq!(
+                stats.all.count,
+                trace.total_packets() as u64,
+                "{kernel} span {span}: all packets delivered"
+            );
+            assert_eq!(stats.flits_delivered, trace.total_flits());
+        }
+    }
+}
+
+#[test]
+fn simulated_flit_counts_match_analytic_routing() {
+    // The simulator and the analytic volume router must agree on link
+    // flit counts for identical traffic (they share the routing table).
+    let topo = express_mesh(
+        small_spec(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    );
+    let routes = RoutingTable::compute_xy(&topo);
+    let mut volume = CommVolume::zero(64, 0.0);
+    let mut events = Vec::new();
+    for (i, (s, d)) in [(0u16, 63u16), (5, 58), (17, 40), (63, 0), (32, 39)]
+        .iter()
+        .enumerate()
+    {
+        volume.add(NodeId(*s), NodeId(*d), 32);
+        events.push(TraceEvent {
+            cycle: i as u64 * 100,
+            src: NodeId(*s),
+            dst: NodeId(*d),
+            flits: 32,
+        });
+    }
+    let analytic = EnergyCounts::from_volume(&topo, &routes, &volume);
+    let trace = Trace::new("check", 64, 0.0, events);
+    let stats = Simulator::new(&topo, &routes, SimConfig::paper())
+        .run_trace(&trace)
+        .expect("completes");
+    assert_eq!(stats.link_flits, analytic.link_flits);
+    assert_eq!(stats.router_flits, analytic.router_flits);
+}
+
+#[test]
+fn express_links_reduce_simulated_latency_for_long_traffic() {
+    let base = mesh(small_spec(LinkTechnology::Electronic));
+    let hybrid = express_mesh(
+        small_spec(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Hyppi,
+        },
+    );
+    // Row-crossing traffic.
+    let events: Vec<TraceEvent> = (0..8u16)
+        .map(|y| TraceEvent {
+            cycle: 0,
+            src: NodeId(y * 8),
+            dst: NodeId(y * 8 + 7),
+            flits: 32,
+        })
+        .collect();
+    let run = |topo: &Topology| {
+        let routes = RoutingTable::compute_xy(topo);
+        Simulator::new(topo, &routes, SimConfig::paper())
+            .run_trace(&Trace::new("rows", 64, 0.0, events.clone()))
+            .expect("completes")
+            .mean_latency()
+    };
+    let plain = run(&base);
+    let express = run(&hybrid);
+    assert!(
+        express < plain,
+        "express {express} should beat plain {plain}"
+    );
+}
+
+#[test]
+fn trace_serialization_roundtrips_through_simulation() {
+    let spec = NpbTraceSpec {
+        kernel: NpbKernel::Lu,
+        width: 8,
+        height: 8,
+    };
+    let trace = spec.trace_window(2, 1.0);
+    let decoded = Trace::from_bytes(trace.to_bytes()).expect("roundtrip");
+    assert_eq!(trace, decoded);
+
+    let topo = mesh(small_spec(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let a = Simulator::new(&topo, &routes, SimConfig::paper())
+        .run_trace(&trace)
+        .expect("completes");
+    let b = Simulator::new(&topo, &routes, SimConfig::paper())
+        .run_trace(&decoded)
+        .expect("completes");
+    assert_eq!(a, b, "identical traces give identical runs");
+}
+
+#[test]
+fn analytic_evaluation_composes_for_all_technologies() {
+    let cfg = SoteriouConfig {
+        p: 0.02,
+        sigma: 0.4,
+        max_injection_rate: 0.1,
+        seed: 7,
+    };
+    for base in [
+        LinkTechnology::Electronic,
+        LinkTechnology::Photonic,
+        LinkTechnology::Hyppi,
+    ] {
+        let model = NocModel::new(mesh(small_spec(base)));
+        let traffic = cfg.matrix(&model.topo);
+        let eval = model.evaluate(&traffic, cfg.max_injection_rate);
+        assert!(eval.clear.is_finite() && eval.clear > 0.0, "{base}");
+        assert!(eval.power_w > 0.0 && eval.area_mm2 > 0.0);
+        assert!(eval.utilization > 0.0 && eval.utilization < 1.0);
+    }
+}
+
+#[test]
+fn energy_accounting_spans_crates() {
+    // Full pipeline: NPB volume → routed counts → DSENT energies.
+    let spec = NpbTraceSpec {
+        kernel: NpbKernel::Cg,
+        width: 8,
+        height: 8,
+    };
+    let volume = spec.volume();
+    let model = NocModel::new(mesh(small_spec(LinkTechnology::Electronic)));
+    let counts = EnergyCounts::from_volume(&model.topo, &model.routes, &volume);
+    let energy = dynamic_energy_joules(&model, &counts, volume.comm_wall_seconds);
+    assert!(energy.total_j() > 0.0);
+    assert_eq!(energy.optical_active_j, 0.0, "no optical links present");
+    // Hybrid with photonic express picks up the active-laser charge.
+    let hybrid = NocModel::new(express_mesh(
+        small_spec(LinkTechnology::Electronic),
+        ExpressSpec {
+            span: 3,
+            tech: LinkTechnology::Photonic,
+        },
+    ));
+    let counts = EnergyCounts::from_volume(&hybrid.topo, &hybrid.routes, &volume);
+    let e2 = dynamic_energy_joules(&hybrid, &counts, volume.comm_wall_seconds);
+    assert!(e2.optical_active_j > 0.0);
+    assert!(e2.total_j() > energy.total_j());
+}
+
+#[test]
+fn synthetic_injection_latency_grows_with_load() {
+    let topo = mesh(small_spec(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let latency_at = |rate: f64| {
+        let cfg = SoteriouConfig {
+            p: 0.1,
+            sigma: 0.4,
+            max_injection_rate: rate,
+            seed: 3,
+        };
+        let m = cfg.matrix(&topo);
+        Simulator::new(&topo, &routes, SimConfig::paper())
+            .run_synthetic(&m, 500, 2000, 99)
+            .expect("completes")
+            .mean_latency()
+    };
+    let low = latency_at(0.02);
+    let high = latency_at(0.30);
+    assert!(
+        high > low,
+        "latency should grow with injection: {low} vs {high}"
+    );
+}

@@ -1,0 +1,163 @@
+//! Property-based tests on the core invariants, across randomly drawn
+//! topologies, traffic and traces.
+
+use hyppi::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small mesh spec (3..=8 per side).
+fn mesh_dims() -> impl Strategy<Value = (u16, u16)> {
+    (3u16..=8, 3u16..=8)
+}
+
+fn spec(w: u16, h: u16) -> MeshSpec {
+    MeshSpec {
+        width: w,
+        height: h,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routing always delivers: following next-hops from any source
+    /// terminates at the destination within the node count, on plain and
+    /// express meshes.
+    #[test]
+    fn routing_delivers((w, h) in mesh_dims(), span in 2u16..=6, seed in 0u64..1000) {
+        prop_assume!(span < w);
+        let topo = express_mesh(spec(w, h), ExpressSpec { span, tech: LinkTechnology::Hyppi });
+        let routes = RoutingTable::compute_xy(&topo);
+        let n = topo.num_nodes() as u16;
+        let src = NodeId((seed % u64::from(n)) as u16);
+        let dst = NodeId(((seed / 7) % u64::from(n)) as u16);
+        let path = routes.path(&topo, src, dst);
+        prop_assert!(path.len() <= topo.num_nodes());
+        if src != dst {
+            prop_assert_eq!(topo.link(path[0]).src, src);
+            prop_assert_eq!(topo.link(*path.last().unwrap()).dst, dst);
+        } else {
+            prop_assert!(path.is_empty());
+        }
+    }
+
+    /// Path cost equals the sum of per-hop costs along the path.
+    #[test]
+    fn route_cost_is_consistent((w, h) in mesh_dims(), span in 2u16..=6) {
+        prop_assume!(span < w);
+        let topo = express_mesh(spec(w, h), ExpressSpec { span, tech: LinkTechnology::Hyppi });
+        let routes = RoutingTable::compute_xy(&topo);
+        for (s, d) in [(0u16, (w * h - 1)), (1, w * h / 2), (w, w - 1)] {
+            let (s, d) = (NodeId(s), NodeId(d));
+            let path = routes.path(&topo, s, d);
+            let cost: u32 = path
+                .iter()
+                .map(|&l| ROUTER_PIPELINE_CYCLES + topo.link(l).latency_cycles)
+                .sum();
+            prop_assert_eq!(cost, routes.cost(s, d));
+        }
+    }
+
+    /// The simulator conserves flits: everything injected is delivered
+    /// exactly once, for arbitrary packet mixes.
+    #[test]
+    fn simulator_conserves_flits(
+        (w, h) in mesh_dims(),
+        packets in proptest::collection::vec((0u64..500, 0u16..64, 0u16..64, prop_oneof![Just(1u32), Just(32u32)]), 1..40),
+    ) {
+        let topo = mesh(spec(w, h));
+        let n = (w * h) as u16;
+        let events: Vec<TraceEvent> = packets
+            .into_iter()
+            .map(|(cycle, s, d, flits)| TraceEvent {
+                cycle,
+                src: NodeId(s % n),
+                dst: NodeId(d % n),
+                flits,
+            })
+            .filter(|e| e.src != e.dst)
+            .collect();
+        prop_assume!(!events.is_empty());
+        let expected_flits: u64 = events.iter().map(|e| u64::from(e.flits)).sum();
+        let expected_packets = events.len() as u64;
+        let routes = RoutingTable::compute_xy(&topo);
+        let trace = Trace::new("prop", n, 0.0, events);
+        let stats = Simulator::new(&topo, &routes, SimConfig::paper())
+            .run_trace(&trace)
+            .expect("completes");
+        prop_assert_eq!(stats.flits_delivered, expected_flits);
+        prop_assert_eq!(stats.all.count, expected_packets);
+    }
+
+    /// Link loads scale linearly with traffic (oblivious routing).
+    #[test]
+    fn loads_are_linear_in_rate((w, h) in mesh_dims(), rate in 0.001f64..0.2) {
+        let topo = mesh(spec(w, h));
+        let routes = RoutingTable::compute_xy(&topo);
+        let n = topo.num_nodes() as u16;
+        let demands: Vec<_> = (0..n)
+            .map(|s| (NodeId(s), NodeId((s + 1) % n), rate))
+            .filter(|(s, d, _)| s != d)
+            .collect();
+        let one = LinkLoads::from_demands(&topo, &routes, demands.clone());
+        let double = LinkLoads::from_demands(
+            &topo,
+            &routes,
+            demands.iter().map(|&(s, d, r)| (s, d, 2.0 * r)),
+        );
+        prop_assert!((double.total() - 2.0 * one.total()).abs() < 1e-9);
+    }
+
+    /// CLEAR is monotone: making any cost factor worse lowers CLEAR.
+    #[test]
+    fn link_clear_monotone_in_length(tech_i in 0usize..4, a in 1f64..1e4, factor in 1.01f64..10.0) {
+        let tech = LinkTechnology::ALL[tech_i];
+        let near = hyppi::link_clear_point(tech, Micrometers::new(a));
+        let far = hyppi::link_clear_point(tech, Micrometers::new(a * factor));
+        prop_assert!(far.clear <= near.clear * (1.0 + 1e-9));
+    }
+
+    /// Traffic matrices from the Soteriou model never exceed the configured
+    /// injection rate and contain no self-traffic.
+    #[test]
+    fn soteriou_respects_bounds((w, h) in mesh_dims(), rate in 0.01f64..0.5, seed in 0u64..500) {
+        let topo = mesh(spec(w, h));
+        let cfg = SoteriouConfig { p: 0.05, sigma: 0.4, max_injection_rate: rate, seed };
+        let m = cfg.matrix(&topo);
+        for node in topo.nodes() {
+            prop_assert!(m.injection_rate(node) <= rate + 1e-9);
+            prop_assert_eq!(m.rate(node, node), 0.0);
+        }
+    }
+
+    /// Trace binary encoding round-trips for arbitrary traces.
+    #[test]
+    fn trace_roundtrip(
+        events in proptest::collection::vec((0u64..1_000_000, 0u16..256, 0u16..256, 1u32..64), 0..100),
+        wall in 0.0f64..10.0,
+    ) {
+        let events: Vec<TraceEvent> = events
+            .into_iter()
+            .map(|(cycle, s, d, flits)| TraceEvent { cycle, src: NodeId(s), dst: NodeId(d), flits })
+            .collect();
+        let t = Trace::new("prop", 256, wall, events);
+        let d = Trace::from_bytes(t.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(t, d);
+    }
+
+    /// Loss budgets compose: transmission of a combined budget equals the
+    /// product of the parts.
+    #[test]
+    fn loss_budgets_compose(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let mut whole = LossBudget::new();
+        whole.add("a", Decibels::new(a)).add("b", Decibels::new(b));
+        let mut pa = LossBudget::new();
+        pa.add("a", Decibels::new(a));
+        let mut pb = LossBudget::new();
+        pb.add("b", Decibels::new(b));
+        let combined = pa.transmission() * pb.transmission();
+        prop_assert!((whole.transmission() - combined).abs() < 1e-12);
+    }
+}
