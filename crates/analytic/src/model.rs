@@ -94,10 +94,7 @@ impl NocModel {
         let mut cache: std::collections::HashMap<u32, (f64, f64, f64)> =
             std::collections::HashMap::new();
         for n in topo.nodes() {
-            let has_express = topo
-                .outgoing(n)
-                .iter()
-                .any(|&l| topo.link(l).is_express());
+            let has_express = topo.outgoing(n).iter().any(|&l| topo.link(l).is_express());
             let ports = if has_express { 7 } else { 5 };
             let (s, d, a) = *cache.entry(ports).or_insert_with(|| {
                 let est = RouterModel::new(
@@ -135,8 +132,7 @@ impl NocModel {
 
     /// Total static power, watts (Table IV).
     pub fn static_power_w(&self) -> f64 {
-        (self.link_static_mw.iter().sum::<f64>() + self.router_static_mw.iter().sum::<f64>())
-            / 1e3
+        (self.link_static_mw.iter().sum::<f64>() + self.router_static_mw.iter().sum::<f64>()) / 1e3
     }
 
     /// Total area, mm².
@@ -180,8 +176,8 @@ impl NocModel {
         let mut lat_sum = 0.0;
         let mut rate_sum = 0.0;
         for (s, d, rate) in traffic.demands() {
-            lat_sum += rate
-                * (f64::from(self.routes.cost(s, d)) + f64::from(ROUTER_PIPELINE_CYCLES));
+            lat_sum +=
+                rate * (f64::from(self.routes.cost(s, d)) + f64::from(ROUTER_PIPELINE_CYCLES));
             rate_sum += rate;
         }
         let latency_clks = if rate_sum == 0.0 {
@@ -248,8 +244,16 @@ mod tests {
     #[test]
     fn anchor_static_power_and_area() {
         let m = e_mesh();
-        assert!((m.static_power_w() - 1.53).abs() / 1.53 < 0.01, "{}", m.static_power_w());
-        assert!((m.area_mm2() - 22.1).abs() / 22.1 < 0.01, "{}", m.area_mm2());
+        assert!(
+            (m.static_power_w() - 1.53).abs() / 1.53 < 0.01,
+            "{}",
+            m.static_power_w()
+        );
+        assert!(
+            (m.area_mm2() - 22.1).abs() / 22.1 < 0.01,
+            "{}",
+            m.area_mm2()
+        );
     }
 
     #[test]
@@ -262,7 +266,11 @@ mod tests {
         let m = e_mesh();
         let t = SoteriouConfig::paper().matrix(&m.topo);
         let e = m.evaluate(&t, 0.1);
-        assert!(e.latency_clks > 10.0 && e.latency_clks < 80.0, "{}", e.latency_clks);
+        assert!(
+            e.latency_clks > 10.0 && e.latency_clks < 80.0,
+            "{}",
+            e.latency_clks
+        );
         assert!(e.power_w > 1.53 && e.power_w < 5.0, "{}", e.power_w);
         assert!(e.utilization > 0.0 && e.utilization < 1.0);
         assert!(e.r_factor > 0.3 && e.r_factor < 3.0, "{}", e.r_factor);

@@ -2,8 +2,11 @@
 //!
 //! The Fig. 5 design-space exploration evaluates dozens of (base
 //! technology × express technology × span) combinations; each evaluation
-//! is independent, so they fan out across threads with crossbeam's scoped
-//! threads (no `'static` bounds needed on the inputs).
+//! is independent, so they fan out across `std::thread::scope` workers
+//! (no `'static` bounds needed on the inputs, no external dependencies).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on a pool of scoped worker threads, returning
 /// outputs in input order.
@@ -21,38 +24,35 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let jobs = std::sync::atomic::AtomicUsize::new(0);
-    // Atomically claimed job indices; items handed out through per-slot
-    // mutexes (parking_lot: no poisoning to reason about).
-    let items: Vec<parking_lot::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| parking_lot::Mutex::new(Some(t)))
-        .collect();
-    let results = parking_lot::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
-    crossbeam::scope(|scope| {
+    // Work queue: job indices claimed atomically; items handed out through
+    // per-slot mutexes so workers can take them by value.
+    let jobs = AtomicUsize::new(0);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = jobs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = jobs.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = items[i]
                     .lock()
+                    .expect("item mutex not poisoned")
                     .take()
                     .expect("each job index is claimed exactly once");
                 let out = f(item);
-                results.lock().push((i, out));
+                *slots[i].lock().expect("slot mutex not poisoned") = Some(out);
             });
         }
-    })
-    .expect("worker threads do not panic");
-    for (i, r) in results.into_inner() {
-        slots[i] = Some(r);
-    }
+    });
     slots
         .into_iter()
-        .map(|s| s.expect("every index produced a result"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot mutex not poisoned")
+                .expect("every index produced a result")
+        })
         .collect()
 }
 

@@ -6,9 +6,7 @@ use hyppi::prelude::*;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);
-    group.bench_function("full_projection", |b| {
-        b.iter(all_optical_projection)
-    });
+    group.bench_function("full_projection", |b| b.iter(all_optical_projection));
     group.finish();
 }
 

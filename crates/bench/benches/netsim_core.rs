@@ -1,5 +1,8 @@
 //! Microbenches of the cycle-accurate simulator core (ablation support:
-//! sensitivity of simulation throughput to load and packet size).
+//! sensitivity of simulation throughput to load and packet size), plus
+//! the paper-default NPB workload on both the active-set engine and the
+//! frozen seed engine — the ratio of those two is the engine-rewrite
+//! speedup tracked by `BENCH_netsim.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hyppi::prelude::*;
@@ -34,6 +37,23 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // Paper-default NPB load (MG window — the Fig. 6 workload shape) on
+    // both engines; compare these two lines for the engine speedup.
+    let npb = NpbTraceSpec::paper(NpbKernel::Mg).default_window();
+    group.bench_function("npb_mg_window_active_set", |b| {
+        b.iter(|| {
+            Simulator::new(&topo, &routes, SimConfig::paper())
+                .run_trace(&npb)
+                .expect("completes")
+        })
+    });
+    group.bench_function("npb_mg_window_seed_engine", |b| {
+        b.iter(|| {
+            ReferenceSimulator::new(&topo, &routes, SimConfig::paper())
+                .run_trace(&npb)
+                .expect("completes")
+        })
+    });
     group.finish();
 }
 

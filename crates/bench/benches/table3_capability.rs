@@ -5,9 +5,7 @@ use hyppi::prelude::*;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("table3/full_table", |b| {
-        b.iter(hyppi::experiments::table3)
-    });
+    c.bench_function("table3/full_table", |b| b.iter(hyppi::experiments::table3));
     let topo = express_mesh(
         MeshSpec::paper(LinkTechnology::Electronic),
         ExpressSpec {

@@ -16,7 +16,10 @@ fn main() {
 
     if all || arg == "table1" {
         ran = true;
-        println!("## Table I — device parameters (model inputs)\n{}", table1());
+        println!(
+            "## Table I — device parameters (model inputs)\n{}",
+            table1()
+        );
     }
     if all || arg == "table2" {
         ran = true;
@@ -28,7 +31,10 @@ fn main() {
     }
     if all || arg == "table3" {
         ran = true;
-        println!("## Table III — capability C and utilization growth R\n{}", table3());
+        println!(
+            "## Table III — capability C and utilization growth R\n{}",
+            table3()
+        );
     }
     if all || arg == "fig5" {
         ran = true;
@@ -41,7 +47,10 @@ fn main() {
     }
     if all || arg == "table4" {
         ran = true;
-        println!("## Table IV — static power, electronic base + express\n{}", table4());
+        println!(
+            "## Table IV — static power, electronic base + express\n{}",
+            table4()
+        );
     }
     if all || arg == "fig6" {
         ran = true;
@@ -50,7 +59,10 @@ fn main() {
     }
     if all || arg == "table5" {
         ran = true;
-        println!("## Table V — FT total dynamic energy\n{}", table5().render());
+        println!(
+            "## Table V — FT total dynamic energy\n{}",
+            table5().render()
+        );
     }
     if all || arg == "table6" {
         ran = true;

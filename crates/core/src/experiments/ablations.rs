@@ -67,7 +67,10 @@ fn parameter_sensitivity(
             format!("{v}"),
             format!("{:.2}", mesh_stats.mean_latency()),
             format!("{:.2}", hybrid_stats.mean_latency()),
-            format!("{:.2}x", mesh_stats.mean_latency() / hybrid_stats.mean_latency()),
+            format!(
+                "{:.2}x",
+                mesh_stats.mean_latency() / hybrid_stats.mean_latency()
+            ),
             format!("{}", mesh_stats.all.quantile_upper_bound(0.99)),
         ]);
     }

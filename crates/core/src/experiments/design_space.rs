@@ -169,7 +169,12 @@ pub fn table3() -> TextTable {
 /// Table IV: total NoC static power, electronic base + express links of
 /// each technology.
 pub fn table4() -> TextTable {
-    let mut t = TextTable::new(vec!["Express technology", "3 hops (W)", "5 hops (W)", "15 hops (W)"]);
+    let mut t = TextTable::new(vec![
+        "Express technology",
+        "3 hops (W)",
+        "5 hops (W)",
+        "15 hops (W)",
+    ]);
     for tech in BASE_TECHS {
         let mut cells = vec![tech.to_string()];
         for span in SPANS {

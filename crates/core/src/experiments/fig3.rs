@@ -61,8 +61,7 @@ impl Fig3Result {
                 .points
                 .iter()
                 .map(|p| p.length_um)
-                .filter(|l| (l - um).abs() / um < 0.13)
-                .next()
+                .find(|l| (l - um).abs() / um < 0.13)
                 .unwrap_or(um);
             t.row(vec![
                 label.to_string(),

@@ -239,10 +239,7 @@ mod tests {
         let p15 = r.energy(LinkTechnology::Photonic, 15);
         assert!((p3 / p15 - 1.0).abs() < 0.15, "photonic {p3} vs {p15}");
         // Electronic energy grows with span.
-        assert!(
-            r.energy(LinkTechnology::Electronic, 15)
-                > r.energy(LinkTechnology::Electronic, 3)
-        );
+        assert!(r.energy(LinkTechnology::Electronic, 15) > r.energy(LinkTechnology::Electronic, 3));
     }
 
     #[test]

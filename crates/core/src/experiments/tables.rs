@@ -44,7 +44,11 @@ pub fn table1() -> TextTable {
         format!("{}", p.modulator.capacitance_ff)
     });
     row3(&mut t, "Detector speed (Gb/s)", &|p| {
-        format!("{}/{}", p.detector.rate.value(), p.detector.intrinsic_rate.value())
+        format!(
+            "{}/{}",
+            p.detector.rate.value(),
+            p.detector.intrinsic_rate.value()
+        )
     });
     row3(&mut t, "Detector energy (fJ/bit)", &|p| {
         format!("{}", p.detector.energy_per_bit.value())
@@ -86,7 +90,10 @@ pub fn table2() -> TextTable {
             format!("{} bits", router.flit_bits),
         ])
         .row(vec!["# Ports", "5 (base) or 7 (hybrid)"])
-        .row(vec!["# Virtual channels".to_string(), format!("{}", sim.vcs)])
+        .row(vec![
+            "# Virtual channels".to_string(),
+            format!("{}", sim.vcs),
+        ])
         .row(vec![
             "Buffers per VC".to_string(),
             format!("{} flits", sim.buffer_depth),

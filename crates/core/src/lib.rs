@@ -56,7 +56,7 @@ pub mod prelude {
     pub use hyppi_dsent::{
         ElectricalLinkModel, OpticalLinkModel, RouterConfig, RouterModel, TechNode,
     };
-    pub use hyppi_netsim::{EnergyCounts, SimConfig, SimStats, Simulator};
+    pub use hyppi_netsim::{EnergyCounts, ReferenceSimulator, SimConfig, SimStats, Simulator};
     pub use hyppi_optical::{
         all_optical_projection, AllOpticalDesign, OpticalRouterModel, PortKind, RadarPoint,
     };

@@ -178,7 +178,10 @@ mod tests {
                 LinkTechnology::Photonic,
                 LinkTechnology::Plasmonic,
             ] {
-                assert!(h > clear_at(tech, um), "{tech} should lose to HyPPI at {mm} mm");
+                assert!(
+                    h > clear_at(tech, um),
+                    "{tech} should lose to HyPPI at {mm} mm"
+                );
             }
         }
     }
@@ -204,9 +207,7 @@ mod tests {
         let far = clear_at(LinkTechnology::Plasmonic, 1000.0);
         assert!(near / far > 1e3, "near {near}, far {far}");
         // And plasmonics beats photonics only at very short range.
-        assert!(
-            clear_at(LinkTechnology::Plasmonic, 5.0) > clear_at(LinkTechnology::Photonic, 5.0)
-        );
+        assert!(clear_at(LinkTechnology::Plasmonic, 5.0) > clear_at(LinkTechnology::Photonic, 5.0));
     }
 
     #[test]

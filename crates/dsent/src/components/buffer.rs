@@ -25,7 +25,9 @@ impl BufferModel {
     /// Total storage bits across the router.
     #[inline]
     pub fn total_bits(&self) -> u64 {
-        u64::from(self.ports) * u64::from(self.vcs) * u64::from(self.depth)
+        u64::from(self.ports)
+            * u64::from(self.vcs)
+            * u64::from(self.depth)
             * u64::from(self.flit_bits)
     }
 

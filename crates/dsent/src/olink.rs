@@ -91,7 +91,11 @@ impl OpticalLinkModel {
     pub fn paper_link(tech: LinkTechnology, length: Micrometers) -> Self {
         assert!(tech.is_optical(), "use ElectricalLinkModel for electronics");
         let params = TechnologyParams::for_technology(tech);
-        let lanes = if tech == LinkTechnology::Photonic { 2 } else { 1 };
+        let lanes = if tech == LinkTechnology::Photonic {
+            2
+        } else {
+            1
+        };
         Self {
             params,
             length,
@@ -163,8 +167,7 @@ impl OpticalLinkModel {
                 + self.params.waveguide.pitch.value() * self.length.value(),
         );
 
-        let tof_ps =
-            self.length.value() * hyppi_phys::constants::soi_delay_ps_per_um();
+        let tof_ps = self.length.value() * hyppi_phys::constants::soi_delay_ps_per_um();
         OpticalLinkEstimate {
             area,
             static_power,
@@ -203,7 +206,10 @@ mod tests {
                 .estimate()
                 .static_power
                 .as_watts();
-        assert!((total_span3 - 1.546).abs() / 1.546 < 0.01, "{total_span3} W");
+        assert!(
+            (total_span3 - 1.546).abs() / 1.546 < 0.01,
+            "{total_span3} W"
+        );
     }
 
     #[test]

@@ -116,9 +116,8 @@ impl RouterModel {
         let mut total = buffers.combine(xbar).combine(alloc).combine(clock);
         // Control, pipeline registers and intra-router wiring overhead,
         // proportional to radix.
-        total.area += SquareMicrometers::new(
-            self.node.router_overhead_area_um2 * f64::from(c.ports) / 5.0,
-        );
+        total.area +=
+            SquareMicrometers::new(self.node.router_overhead_area_um2 * f64::from(c.ports) / 5.0);
         RouterEstimate {
             area: total.area,
             static_power: total.static_power,
@@ -141,7 +140,11 @@ mod tests {
     fn base_router_estimate_is_stable() {
         let e = RouterModel::paper_base().estimate();
         // Calibrated values; see crate docs. Guard with 1% tolerance.
-        assert!((e.area.value() - 9531.0).abs() / 9531.0 < 0.01, "{}", e.area);
+        assert!(
+            (e.area.value() - 9531.0).abs() / 9531.0 < 0.01,
+            "{}",
+            e.area
+        );
         assert!(
             (e.static_power.value() - 5.832).abs() / 5.832 < 0.01,
             "{}",

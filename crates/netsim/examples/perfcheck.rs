@@ -1,22 +1,60 @@
-//! NPB latency matrix: every kernel × express span, cycle-accurate.
+//! NPB latency matrix + engine performance record.
 //!
-//! The raw data behind the Fig. 6 reproduction, with per-class latency
-//! splits and wall-clock timings.
+//! Runs every kernel × express span of the Fig. 6 grid on the active-set
+//! engine, reporting latency, simulation throughput (cycles/s and
+//! Mflit-hops/s), and — unless `--fast` is given — the wall-clock speedup
+//! over the frozen seed engine (`reference::ReferenceSimulator`) on the
+//! identical workload. Results are also written to `BENCH_netsim.json`
+//! (in the current directory) so future PRs can track the perf
+//! trajectory.
 //!
 //! ```sh
-//! cargo run --release -p hyppi-netsim --example perfcheck        # all
-//! cargo run --release -p hyppi-netsim --example perfcheck MG     # one
+//! cargo run --release -p hyppi-netsim --example perfcheck          # all, with baseline
+//! cargo run --release -p hyppi-netsim --example perfcheck MG      # one kernel
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --fast  # skip baseline
 //! ```
 
-use hyppi_netsim::{SimConfig, Simulator};
+use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator};
 use hyppi_phys::LinkTechnology;
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable};
 use hyppi_traffic::{NpbKernel, NpbTraceSpec};
+use std::fmt::Write as _;
 use std::time::Instant;
 
+struct Cell {
+    kernel: &'static str,
+    span: u16,
+    latency_clks: f64,
+    packets: u64,
+    cycles: u64,
+    flit_hops: u64,
+    new_secs: f64,
+    ref_secs: Option<f64>,
+}
+
+impl Cell {
+    fn mflit_hops_per_sec(&self) -> f64 {
+        self.flit_hops as f64 / self.new_secs / 1e6
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.new_secs
+    }
+
+    fn speedup(&self) -> Option<f64> {
+        self.ref_secs.map(|r| r / self.new_secs)
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let only: Option<&str> = args.get(1).map(|s| s.as_str());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let only: Option<&str> = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str());
+
+    let mut cells: Vec<Cell> = Vec::new();
     for kernel in NpbKernel::ALL {
         if let Some(k) = only {
             if kernel.name() != k {
@@ -30,26 +68,121 @@ fn main() {
             } else {
                 express_mesh(
                     MeshSpec::paper(LinkTechnology::Electronic),
-                    ExpressSpec { span, tech: LinkTechnology::Hyppi },
+                    ExpressSpec {
+                        span,
+                        tech: LinkTechnology::Hyppi,
+                    },
                 )
             };
             let routes = RoutingTable::compute_xy(&topo);
             let mut cfg = SimConfig::paper();
             cfg.max_cycles = 2_000_000; // deadlock guard for this check
+
             let t0 = Instant::now();
-            match Simulator::new(&topo, &routes, cfg).run_trace(&trace) {
-                Ok(stats) => println!(
-                    "{kernel} span {span:2}: lat {:7.2} clks (ctrl {:6.2} data {:6.2} max {:5}) | {:8} pkts | {:9} cycles | {:.2?}",
-                    stats.mean_latency(),
-                    stats.control.mean(),
-                    stats.data.mean(),
-                    stats.all.max,
-                    stats.all.count,
-                    stats.cycles,
-                    t0.elapsed()
-                ),
-                Err(e) => println!("{kernel} span {span:2}: ERROR {e}"),
-            }
+            let stats: SimStats = match Simulator::new(&topo, &routes, cfg).run_trace(&trace) {
+                Ok(s) => s,
+                Err(e) => {
+                    println!("{kernel} span {span:2}: ERROR {e}");
+                    continue;
+                }
+            };
+            let new_secs = t0.elapsed().as_secs_f64();
+
+            let ref_secs = if fast {
+                None
+            } else {
+                let t1 = Instant::now();
+                let ref_stats = ReferenceSimulator::new(&topo, &routes, cfg)
+                    .run_trace(&trace)
+                    .expect("reference engine completes");
+                let ref_secs = t1.elapsed().as_secs_f64();
+                assert_eq!(
+                    stats, ref_stats,
+                    "{kernel} span {span}: engine parity violated"
+                );
+                Some(ref_secs)
+            };
+
+            let cell = Cell {
+                kernel: kernel.name(),
+                span,
+                latency_clks: stats.mean_latency(),
+                packets: stats.all.count,
+                cycles: stats.cycles,
+                flit_hops: stats.total_flit_hops(),
+                new_secs,
+                ref_secs,
+            };
+            let speedup = cell
+                .speedup()
+                .map_or(String::new(), |s| format!(" | {s:4.2}x vs seed"));
+            println!(
+                "{kernel} span {span:2}: lat {:7.2} clks (ctrl {:6.2} data {:6.2} max {:5}) | {:8} pkts | {:9} cycles | {:6.1} Mflit-hops/s | {:8.0} cyc/s | {:.2?}{speedup}",
+                stats.mean_latency(),
+                stats.control.mean(),
+                stats.data.mean(),
+                stats.all.max,
+                stats.all.count,
+                stats.cycles,
+                cell.mflit_hops_per_sec(),
+                cell.cycles_per_sec(),
+                std::time::Duration::from_secs_f64(cell.new_secs),
+            );
+            cells.push(cell);
         }
+    }
+
+    if cells.is_empty() {
+        eprintln!("no cells simulated (unknown kernel filter?)");
+        std::process::exit(1);
+    }
+
+    let new_total: f64 = cells.iter().map(|c| c.new_secs).sum();
+    let ref_total: Option<f64> = cells
+        .iter()
+        .map(|c| c.ref_secs)
+        .collect::<Option<Vec<f64>>>()
+        .map(|v| v.iter().sum());
+    if let Some(rt) = ref_total {
+        println!(
+            "TOTAL: active-set {new_total:.2}s vs seed {rt:.2}s -> {:.2}x aggregate speedup",
+            rt / new_total
+        );
+    } else {
+        println!("TOTAL: active-set {new_total:.2}s (baseline skipped)");
+    }
+
+    // Machine-readable record for the perf trajectory.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"netsim perfcheck (NPB Fig. 6 grid, paper defaults)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{ \"new_engine_secs\": {new_total:.4}, \"seed_engine_secs\": {}, \"speedup\": {} }},",
+        ref_total.map_or("null".into(), |v| format!("{v:.4}")),
+        ref_total.map_or("null".into(), |v| format!("{:.4}", v / new_total)),
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"span\": {}, \"latency_clks\": {:.4}, \"packets\": {}, \"cycles\": {}, \"flit_hops\": {}, \"new_engine_secs\": {:.4}, \"seed_engine_secs\": {}, \"speedup\": {}, \"mflit_hops_per_sec\": {:.2}, \"cycles_per_sec\": {:.0} }}",
+            c.kernel,
+            c.span,
+            c.latency_clks,
+            c.packets,
+            c.cycles,
+            c.flit_hops,
+            c.new_secs,
+            c.ref_secs.map_or("null".into(), |v| format!("{v:.4}")),
+            c.speedup().map_or("null".into(), |v| format!("{v:.4}")),
+            c.mflit_hops_per_sec(),
+            c.cycles_per_sec(),
+        );
+        json.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_netsim.json", &json) {
+        Ok(()) => println!("wrote BENCH_netsim.json"),
+        Err(e) => eprintln!("could not write BENCH_netsim.json: {e}"),
     }
 }

@@ -33,6 +33,26 @@ impl SimConfig {
     pub fn pipeline_dwell(&self) -> u64 {
         self.pipeline_stages.saturating_sub(1)
     }
+
+    /// Panics on configurations the engine cannot represent. The packed
+    /// slot-metadata word gives out-VC ids 5 bits and ring positions /
+    /// queue lengths 8 bits each (see `sim::meta`), and the simulator
+    /// assumes at least one VC and one buffer slot per VC.
+    pub fn validate(&self) {
+        assert!(self.vcs >= 1, "at least one virtual channel required");
+        assert!(
+            self.vcs <= 32,
+            "out-VC ids are 5 bits in the packed slot metadata ({} VCs requested)",
+            self.vcs
+        );
+        assert!(self.buffer_depth >= 1, "VC buffers need at least one slot");
+        assert!(
+            self.buffer_depth <= u8::MAX as usize,
+            "ring positions are u8 ({} requested)",
+            self.buffer_depth
+        );
+        assert!(self.pipeline_stages >= 1, "pipeline needs >= 1 stage");
+    }
 }
 
 impl Default for SimConfig {
@@ -52,5 +72,30 @@ mod tests {
         assert_eq!(c.buffer_depth, 8);
         assert_eq!(c.pipeline_stages, 3);
         assert_eq!(c.pipeline_dwell(), 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual channel")]
+    fn rejects_zero_vcs() {
+        let mut c = SimConfig::paper();
+        c.vcs = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ring positions")]
+    fn rejects_unrepresentable_depth() {
+        let mut c = SimConfig::paper();
+        c.buffer_depth = 300;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "5 bits")]
+    fn rejects_unrepresentable_vc_count() {
+        let mut c = SimConfig::paper();
+        c.vcs = 33;
+        c.validate();
     }
 }

@@ -19,6 +19,30 @@
 //! The simulator is fully deterministic: identical inputs produce identical
 //! cycle-level behaviour.
 //!
+//! ## The active-set engine
+//!
+//! [`Simulator`] is the production engine. Its per-cycle cost scales with
+//! the number of in-flight flits rather than with network size:
+//!
+//! * link arrivals live in a cycle-indexed **arrival calendar** (a small
+//!   time wheel sized to the longest link latency) and are delivered by
+//!   draining one bucket per cycle — no per-link scanning;
+//! * **active node bitsets** (`work_mask` for buffered flits, `src_mask`
+//!   for NIC activity) gate every router pipeline stage, so quiescent
+//!   routers cost nothing;
+//! * VC buffers are a flat **structure-of-arrays flit slab** — fixed-depth
+//!   ring buffers per (node, port, vc) slot with parallel head/len/state
+//!   arrays — so steady-state simulation never allocates;
+//! * a **route-compute dirty list** visits exactly the VCs whose head
+//!   packet changed, and the run loops **fast-forward across idle gaps**
+//!   to the next calendar arrival or trace admission.
+//!
+//! The original full-scan engine survives unmodified in [`reference`] as
+//! the parity oracle: `tests/parity.rs` asserts both engines produce
+//! bit-for-bit identical [`SimStats`] (latency histograms, energy counts,
+//! per-link utilization) across seeds, topologies, and workloads, so the
+//! paper's Fig. 6 / Table V numbers are pinned while wall-clock drops.
+//!
 //! ## Entry points
 //!
 //! [`Simulator::run_trace`] drives a [`hyppi_traffic::Trace`] to completion
@@ -30,11 +54,13 @@
 pub mod config;
 pub mod energy_counts;
 pub mod flit;
+pub mod reference;
 pub mod router;
 pub mod sim;
 pub mod stats;
 
 pub use config::SimConfig;
 pub use energy_counts::EnergyCounts;
+pub use reference::ReferenceSimulator;
 pub use sim::Simulator;
 pub use stats::SimStats;

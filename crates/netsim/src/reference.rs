@@ -1,0 +1,598 @@
+//! The frozen seed engine, kept as the parity oracle.
+//!
+//! This is the original full-scan simulation engine exactly as seeded:
+//! every link pipe and every node is visited every cycle, VC buffers are
+//! per-node `Vec<VecDeque<Flit>>` nests, and the only fast-forward is the
+//! fully-drained case in [`ReferenceSimulator::run_trace`]. It is **not**
+//! maintained for speed — its sole job is to define the golden
+//! cycle-level behaviour that the active-set engine in [`crate::sim`]
+//! must reproduce bit-for-bit (see `tests/parity.rs`). Any intentional
+//! microarchitectural change must be made to both engines, with the
+//! parity fixtures re-examined.
+//!
+//! Do not add optimisations here.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketInfo};
+use crate::router::{Emission, VcState};
+use crate::sim::SimError;
+use crate::stats::SimStats;
+use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
+use hyppi_traffic::{Trace, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Dateline VC class of a packet (see the `router` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcClass {
+    Free,
+    PreExpress,
+    PostExpress,
+}
+
+/// One buffered input virtual channel (seed layout: queue-of-flits).
+#[derive(Debug, Clone)]
+struct InputVc {
+    queue: VecDeque<Flit>,
+    state: VcState,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> Self {
+        InputVc {
+            queue: VecDeque::with_capacity(depth),
+            state: VcState::Idle,
+        }
+    }
+}
+
+/// Full router + NIC state of one node (seed layout).
+#[derive(Debug, Clone)]
+struct NodeState {
+    in_links: Vec<LinkId>,
+    out_links: Vec<LinkId>,
+    route_port: Vec<u8>,
+    vcs: Vec<InputVc>,
+    out_holder: Vec<Option<(u8, u8)>>,
+    sa_rr: Vec<u32>,
+    va_rr: Vec<u32>,
+    src_queue: VecDeque<u32>,
+    emitting: Option<Emission>,
+    in_port_used: u32,
+    routed_count: u16,
+    active_for_out: Vec<u16>,
+}
+
+impl NodeState {
+    fn new(topo: &Topology, routes: &RoutingTable, node: NodeId, vcs: usize) -> Self {
+        let in_links = topo.incoming(node).to_vec();
+        let out_links = topo.outgoing(node).to_vec();
+        let mut route_port = vec![0u8; topo.num_nodes()];
+        for dst in topo.nodes() {
+            route_port[dst.index()] = match routes.next_link(node, dst) {
+                None => 0,
+                Some(lid) => {
+                    let pos = out_links
+                        .iter()
+                        .position(|&l| l == lid)
+                        .expect("routing table uses this node's own out links");
+                    (pos + 1) as u8
+                }
+            };
+        }
+        let in_ports = 1 + in_links.len();
+        let out_ports = 1 + out_links.len();
+        NodeState {
+            in_links,
+            out_links,
+            route_port,
+            vcs: (0..in_ports * vcs).map(|_| InputVc::new(8)).collect(),
+            out_holder: vec![None; out_ports * vcs],
+            sa_rr: vec![0; out_ports],
+            va_rr: vec![0; out_ports],
+            src_queue: VecDeque::new(),
+            emitting: None,
+            in_port_used: 0,
+            routed_count: 0,
+            active_for_out: vec![0; out_ports],
+        }
+    }
+
+    fn in_ports(&self) -> usize {
+        1 + self.in_links.len()
+    }
+
+    fn out_ports(&self) -> usize {
+        1 + self.out_links.len()
+    }
+}
+
+/// The seed full-scan simulator. Same microarchitecture and same public
+/// run methods as [`crate::Simulator`], kept only as the parity baseline.
+pub struct ReferenceSimulator<'a> {
+    topo: &'a Topology,
+    cfg: SimConfig,
+    dateline: bool,
+    nodes: Vec<NodeState>,
+    buffered: Vec<u32>,
+    credits: Vec<Vec<u16>>,
+    pipes: Vec<VecDeque<(u64, u8, Flit)>>,
+    in_port_of_link: Vec<u8>,
+    packets: Vec<PacketInfo>,
+    class_of: Vec<VcClass>,
+    express_on_path: Vec<Vec<bool>>,
+    pending_credits: Vec<(LinkId, u8)>,
+    active_flits: u64,
+    pending_sources: u64,
+    stats: SimStats,
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Builds the seed engine for `topo` with `routes` (X-then-Y).
+    pub fn new(topo: &'a Topology, routes: &'a RoutingTable, cfg: SimConfig) -> Self {
+        assert_eq!(routes.num_nodes(), topo.num_nodes());
+        let dateline = topo.count_links(|l| l.is_express()) > 0;
+        let nodes: Vec<NodeState> = topo
+            .nodes()
+            .map(|n| NodeState::new(topo, routes, n, cfg.vcs))
+            .collect();
+        let mut express_on_path: Vec<Vec<bool>> = Vec::new();
+        if dateline {
+            express_on_path.reserve(topo.num_nodes());
+            for dst in topo.nodes() {
+                let mut table = vec![false; topo.num_nodes()];
+                let mut visited = vec![false; topo.num_nodes()];
+                visited[dst.index()] = true;
+                for start in topo.nodes() {
+                    if visited[start.index()] {
+                        continue;
+                    }
+                    let mut chain = Vec::new();
+                    let mut at = start;
+                    while !visited[at.index()] {
+                        chain.push(at);
+                        let lid = routes.next_link(at, dst).expect("connected");
+                        let link = topo.link(lid);
+                        if link.is_express() {
+                            for &n in &chain {
+                                table[n.index()] = true;
+                                visited[n.index()] = true;
+                            }
+                            chain.clear();
+                        }
+                        at = link.dst;
+                    }
+                    let tail = table[at.index()];
+                    for &n in &chain {
+                        table[n.index()] = tail;
+                        visited[n.index()] = true;
+                    }
+                }
+                express_on_path.push(table);
+            }
+        }
+        let mut in_port_of_link = vec![0u8; topo.links().len()];
+        for (node, state) in topo.nodes().zip(&nodes) {
+            let _ = node;
+            for (i, &lid) in state.in_links.iter().enumerate() {
+                in_port_of_link[lid.index()] = (i + 1) as u8;
+            }
+        }
+        ReferenceSimulator {
+            topo,
+            cfg,
+            dateline,
+            buffered: vec![0; nodes.len()],
+            nodes,
+            credits: vec![vec![cfg.buffer_depth as u16; cfg.vcs]; topo.links().len()],
+            pipes: vec![VecDeque::new(); topo.links().len()],
+            in_port_of_link,
+            packets: Vec::new(),
+            class_of: Vec::new(),
+            express_on_path,
+            pending_credits: Vec::new(),
+            active_flits: 0,
+            pending_sources: 0,
+            stats: SimStats::new(topo.links().len(), topo.num_nodes()),
+        }
+    }
+
+    #[inline]
+    fn vc_range(&self, class: VcClass) -> std::ops::Range<usize> {
+        if !self.dateline {
+            return 0..self.cfg.vcs;
+        }
+        let b_start = self.cfg.vcs - (self.cfg.vcs / 4).max(1);
+        match class {
+            VcClass::Free | VcClass::PreExpress => 0..b_start,
+            VcClass::PostExpress => b_start..self.cfg.vcs,
+        }
+    }
+
+    fn route_uses_express(&self, src: NodeId, dst: NodeId) -> bool {
+        self.dateline && src != dst && self.express_on_path[dst.index()][src.index()]
+    }
+
+    #[inline]
+    fn initial_class(&self, src: NodeId, dst: NodeId) -> VcClass {
+        if self.route_uses_express(src, dst) {
+            VcClass::PreExpress
+        } else {
+            VcClass::Free
+        }
+    }
+
+    /// Runs a trace to completion (seed algorithm).
+    pub fn run_trace(mut self, trace: &Trace) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.topo.num_nodes());
+        let mut now = 0u64;
+        let mut next_event = 0usize;
+        loop {
+            while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
+                let e = &trace.events[next_event];
+                next_event += 1;
+                let pid = self.packets.len() as u32;
+                self.packets.push(PacketInfo {
+                    src: e.src,
+                    dst: e.dst,
+                    inject_cycle: e.cycle,
+                    flits: e.flits,
+                    ejected: 0,
+                });
+                self.class_of.push(self.initial_class(e.src, e.dst));
+                self.nodes[e.src.index()].src_queue.push_back(pid);
+                self.pending_sources += 1;
+            }
+
+            let drained = self.active_flits == 0 && self.pending_sources == 0;
+            if drained {
+                if next_event == trace.events.len() {
+                    break;
+                }
+                now = trace.events[next_event].cycle;
+                continue;
+            }
+
+            self.step(now);
+            now += 1;
+            if now > self.cfg.max_cycles {
+                let stuck = self.packets.iter().filter(|p| !p.is_complete()).count() as u64;
+                return Err(SimError::CycleLimit {
+                    stuck_packets: stuck,
+                });
+            }
+        }
+        self.stats.cycles = now;
+        Ok(self.stats)
+    }
+
+    /// Runs Bernoulli-injected synthetic traffic (seed algorithm).
+    pub fn run_synthetic(
+        mut self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        assert_eq!(matrix.num_nodes(), self.topo.num_nodes());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.topo.num_nodes();
+        let mut rates = Vec::with_capacity(n);
+        let mut cdfs: Vec<Vec<(f64, NodeId)>> = Vec::with_capacity(n);
+        for src in self.topo.nodes() {
+            let rate = matrix.injection_rate(src);
+            let mut cdf = Vec::new();
+            if rate > 0.0 {
+                let mut acc = 0.0;
+                for dst in self.topo.nodes() {
+                    let r = matrix.rate(src, dst);
+                    if r > 0.0 {
+                        acc += r / rate;
+                        cdf.push((acc, dst));
+                    }
+                }
+            }
+            rates.push(rate);
+            cdfs.push(cdf);
+        }
+
+        let mut now = 0u64;
+        let inject_until = warmup + measure;
+        loop {
+            if now < inject_until {
+                for src in 0..n {
+                    if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] {
+                        let u: f64 = rng.gen();
+                        // Seed behaviour: linear scan of the per-source CDF.
+                        let dst = cdfs[src]
+                            .iter()
+                            .find(|&&(acc, _)| u <= acc)
+                            .map(|&(_, d)| d)
+                            .unwrap_or(cdfs[src].last().expect("nonempty cdf").1);
+                        if dst == NodeId(src as u16) {
+                            continue;
+                        }
+                        let pid = self.packets.len() as u32;
+                        let measured = now >= warmup;
+                        self.packets.push(PacketInfo {
+                            src: NodeId(src as u16),
+                            dst,
+                            inject_cycle: if measured { now } else { u64::MAX },
+                            flits: 1,
+                            ejected: 0,
+                        });
+                        self.class_of
+                            .push(self.initial_class(NodeId(src as u16), dst));
+                        self.nodes[src].src_queue.push_back(pid);
+                        self.pending_sources += 1;
+                    }
+                }
+            } else if self.active_flits == 0 && self.pending_sources == 0 {
+                break;
+            }
+            self.step(now);
+            now += 1;
+            if now > self.cfg.max_cycles {
+                let stuck = self.packets.iter().filter(|p| !p.is_complete()).count() as u64;
+                return Err(SimError::CycleLimit {
+                    stuck_packets: stuck,
+                });
+            }
+        }
+        self.stats.cycles = now;
+        Ok(self.stats)
+    }
+
+    fn step(&mut self, now: u64) {
+        self.deliver_link_arrivals(now);
+        self.emit_from_sources(now);
+        self.route_compute();
+        self.allocate_vcs();
+        self.switch_traversal(now);
+        for (lid, vc) in self.pending_credits.drain(..) {
+            self.credits[lid.index()][usize::from(vc)] += 1;
+        }
+    }
+
+    /// Stage 1 (seed): scan every link pipe for due arrivals.
+    fn deliver_link_arrivals(&mut self, now: u64) {
+        let dwell = self.cfg.pipeline_dwell();
+        for lid in 0..self.pipes.len() {
+            while let Some(&(arrive, vc, flit)) = self.pipes[lid].front() {
+                if arrive > now {
+                    break;
+                }
+                self.pipes[lid].pop_front();
+                let link = self.topo.link(LinkId(lid as u32));
+                let node = link.dst.index();
+                let in_port = usize::from(self.in_port_of_link[lid]);
+                let slot = in_port * self.cfg.vcs + usize::from(vc);
+                let mut f = flit;
+                f.ready = now + 1 + dwell;
+                self.nodes[node].vcs[slot].queue.push_back(f);
+                self.buffered[node] += 1;
+            }
+        }
+    }
+
+    /// Stage 2 (seed): scan every node for NIC emission.
+    fn emit_from_sources(&mut self, now: u64) {
+        let dwell = self.cfg.pipeline_dwell();
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            self.nodes[node].in_port_used = 0;
+            if self.nodes[node].emitting.is_none() {
+                if let Some(&pid) = self.nodes[node].src_queue.front() {
+                    let info = self.packets[pid as usize];
+                    let range = self.vc_range(self.class_of[pid as usize]);
+                    let pick = range
+                        .clone()
+                        .find(|&v| self.nodes[node].vcs[v].queue.len() < self.cfg.buffer_depth);
+                    if let Some(v) = pick {
+                        self.nodes[node].src_queue.pop_front();
+                        self.nodes[node].emitting = Some(Emission {
+                            packet: pid,
+                            emitted: 0,
+                            total: info.flits,
+                            vc: v as u8,
+                            dst: info.dst,
+                            inject_cycle: info.inject_cycle,
+                        });
+                    }
+                }
+            }
+            if let Some(mut em) = self.nodes[node].emitting {
+                let slot = usize::from(em.vc);
+                debug_assert!(slot < vcs);
+                if self.nodes[node].vcs[slot].queue.len() < self.cfg.buffer_depth {
+                    let flit = Flit {
+                        packet: em.packet,
+                        dst: em.dst,
+                        is_head: em.emitted == 0,
+                        is_tail: em.emitted + 1 == em.total,
+                        ready: now + dwell,
+                    };
+                    self.nodes[node].vcs[slot].queue.push_back(flit);
+                    self.buffered[node] += 1;
+                    self.active_flits += 1;
+                    em.emitted += 1;
+                    self.nodes[node].emitting = if em.emitted == em.total {
+                        self.pending_sources -= 1;
+                        None
+                    } else {
+                        Some(em)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Stage 3 (seed): scan every VC of every buffered node for RC.
+    fn route_compute(&mut self) {
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            let st = &mut self.nodes[node];
+            for vc in st.vcs.iter_mut() {
+                if vc.state == VcState::Idle {
+                    if let Some(head) = vc.queue.front() {
+                        debug_assert!(head.is_head, "queue head after Idle must be a head flit");
+                        vc.state = VcState::Routed {
+                            out_port: st.route_port[head.dst.index()],
+                        };
+                        st.routed_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 4 (seed): VC allocation, round-robin per output port.
+    fn allocate_vcs(&mut self) {
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            if self.nodes[node].routed_count == 0 {
+                continue;
+            }
+            let total_in_vcs = self.nodes[node].in_ports() * vcs;
+            for p in 0..self.nodes[node].out_ports() {
+                if self.nodes[node].routed_count == 0 {
+                    break;
+                }
+                let start = self.nodes[node].va_rr[p] as usize;
+                for k in 0..total_in_vcs {
+                    let idx = (start + k) % total_in_vcs;
+                    let VcState::Routed { out_port } = self.nodes[node].vcs[idx].state else {
+                        continue;
+                    };
+                    if usize::from(out_port) != p {
+                        continue;
+                    }
+                    let Some(head) = self.nodes[node].vcs[idx].queue.front() else {
+                        continue;
+                    };
+                    let head_packet = head.packet;
+                    let range = self.vc_range(self.class_of[head_packet as usize]);
+                    let free = range
+                        .clone()
+                        .find(|&v| self.nodes[node].out_holder[p * vcs + v].is_none());
+                    if let Some(ovc) = free {
+                        let in_port = (idx / vcs) as u8;
+                        let in_vc = (idx % vcs) as u8;
+                        self.nodes[node].out_holder[p * vcs + ovc] = Some((in_port, in_vc));
+                        self.nodes[node].vcs[idx].state = VcState::Active {
+                            out_port: p as u8,
+                            out_vc: ovc as u8,
+                        };
+                        self.nodes[node].routed_count -= 1;
+                        self.nodes[node].active_for_out[p] += 1;
+                        self.nodes[node].va_rr[p] = ((idx + 1) % total_in_vcs) as u32;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 5 (seed): switch allocation + traversal.
+    fn switch_traversal(&mut self, now: u64) {
+        let vcs = self.cfg.vcs;
+        for node in 0..self.nodes.len() {
+            if self.buffered[node] == 0 {
+                continue;
+            }
+            let out_ports = self.nodes[node].out_ports();
+            let total_in_vcs = self.nodes[node].in_ports() * vcs;
+            for p in 0..out_ports {
+                if self.nodes[node].active_for_out[p] == 0 {
+                    continue;
+                }
+                let start = self.nodes[node].sa_rr[p] as usize;
+                let mut winner: Option<usize> = None;
+                for k in 0..total_in_vcs {
+                    let idx = (start + k) % total_in_vcs;
+                    let VcState::Active { out_port, out_vc } = self.nodes[node].vcs[idx].state
+                    else {
+                        continue;
+                    };
+                    if usize::from(out_port) != p {
+                        continue;
+                    }
+                    let in_port = idx / vcs;
+                    if self.nodes[node].in_port_used & (1 << in_port) != 0 {
+                        continue;
+                    }
+                    let Some(head) = self.nodes[node].vcs[idx].queue.front() else {
+                        continue;
+                    };
+                    if head.ready > now {
+                        continue;
+                    }
+                    if p > 0 {
+                        let lid = self.nodes[node].out_links[p - 1];
+                        if self.credits[lid.index()][usize::from(out_vc)] == 0 {
+                            continue;
+                        }
+                    }
+                    winner = Some(idx);
+                    break;
+                }
+                let Some(idx) = winner else { continue };
+                self.nodes[node].sa_rr[p] = ((idx + 1) % total_in_vcs) as u32;
+                let VcState::Active { out_vc, .. } = self.nodes[node].vcs[idx].state else {
+                    unreachable!("winner is Active");
+                };
+                let flit = self.nodes[node].vcs[idx]
+                    .queue
+                    .pop_front()
+                    .expect("winner has a flit");
+                self.buffered[node] -= 1;
+                let in_port = idx / vcs;
+                self.nodes[node].in_port_used |= 1 << in_port;
+                self.stats.router_flits[node] += 1;
+
+                if in_port > 0 {
+                    let up = self.nodes[node].in_links[in_port - 1];
+                    self.pending_credits.push((up, (idx % vcs) as u8));
+                }
+
+                if p == 0 {
+                    let pid = flit.packet as usize;
+                    self.packets[pid].ejected += 1;
+                    self.stats.flits_delivered += 1;
+                    self.active_flits -= 1;
+                    if self.packets[pid].is_complete() {
+                        let info = &self.packets[pid];
+                        if info.inject_cycle != u64::MAX {
+                            self.stats
+                                .record_packet(info.flits, now + 1 - info.inject_cycle);
+                        }
+                    }
+                } else {
+                    let lid = self.nodes[node].out_links[p - 1];
+                    let link = self.topo.link(lid);
+                    self.credits[lid.index()][usize::from(out_vc)] -= 1;
+                    if link.is_express() {
+                        self.class_of[flit.packet as usize] = VcClass::PostExpress;
+                    }
+                    self.stats.link_flits[lid.index()] += 1;
+                    self.pipes[lid.index()].push_back((
+                        now + u64::from(link.latency_cycles),
+                        out_vc,
+                        flit,
+                    ));
+                }
+
+                if flit.is_tail {
+                    self.nodes[node].out_holder[p * vcs + usize::from(out_vc)] = None;
+                    self.nodes[node].vcs[idx].state = VcState::Idle;
+                    self.nodes[node].active_for_out[p] -= 1;
+                }
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Per-node router state.
+//! Per-node router control state.
 //!
 //! Each node is an input-buffered virtual-channel router:
 //!
@@ -9,6 +9,15 @@
 //! * every in-port holds `vcs` buffered virtual channels with a three-state
 //!   machine (idle → routed → active) mirroring the RC / VA / SA+ST
 //!   pipeline of the paper's Fig. 4 router.
+//!
+//! Since the active-set engine rewrite, [`NodeState`] carries only the
+//! *cold* control state of a router: port wiring, the pre-resolved
+//! routing column, and the NIC source queue. Everything the arbitration
+//! hot path touches — VC flit rings, per-VC state machines, round-robin
+//! pointers, output-VC holders, routed/active bitmasks — lives in flat
+//! structure-of-arrays storage owned by [`crate::Simulator`], indexed by
+//! global VC slot or (node, out-port) entry; see the `sim` module docs
+//! for the layout.
 //!
 //! ## Deadlock freedom (express dateline classes)
 //!
@@ -23,7 +32,6 @@
 //! and class transitions only go A → B. Topologies without express links
 //! use all VCs as one class (X-then-Y alone is acyclic there).
 
-use crate::flit::Flit;
 use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
 use std::collections::VecDeque;
 
@@ -46,24 +54,6 @@ pub enum VcState {
     },
 }
 
-/// One buffered input virtual channel.
-#[derive(Debug, Clone)]
-pub struct InputVc {
-    /// Buffered flits, head at the front.
-    pub queue: VecDeque<Flit>,
-    /// Head-packet processing state.
-    pub state: VcState,
-}
-
-impl InputVc {
-    fn new(depth: usize) -> Self {
-        InputVc {
-            queue: VecDeque::with_capacity(depth),
-            state: VcState::Idle,
-        }
-    }
-}
-
 /// In-progress packet emission from the local core.
 #[derive(Debug, Clone, Copy)]
 pub struct Emission {
@@ -81,7 +71,8 @@ pub struct Emission {
     pub inject_cycle: u64,
 }
 
-/// Full router + NIC state of one node.
+/// Router + NIC control state of one node (flit buffers live in the
+/// simulator's SoA arrays).
 #[derive(Debug, Clone)]
 pub struct NodeState {
     /// This node's id.
@@ -92,30 +83,16 @@ pub struct NodeState {
     pub out_links: Vec<LinkId>,
     /// Out-port index (0 = eject) for every destination node.
     pub route_port: Vec<u8>,
-    /// Input VCs, indexed `in_port * vcs + vc`.
-    pub vcs: Vec<InputVc>,
-    /// Output VC holders, indexed `out_port * vcs + vc`:
-    /// `Some((in_port, in_vc))` while a packet owns the VC.
-    pub out_holder: Vec<Option<(u8, u8)>>,
-    /// Switch-allocation round-robin pointer per out-port.
-    pub sa_rr: Vec<u32>,
-    /// VC-allocation round-robin pointer per out-port.
-    pub va_rr: Vec<u32>,
     /// Packets waiting in the local source queue (unbounded NIC queue).
     pub src_queue: VecDeque<u32>,
     /// Packet currently being emitted into the injection port, if any.
     pub emitting: Option<Emission>,
-    /// Bitmask of in-ports that already sent a flit this cycle.
-    pub in_port_used: u32,
-    /// Input VCs currently in `Routed` state (VA fast path).
-    pub routed_count: u16,
-    /// Input VCs in `Active` state per out-port (SA fast path).
-    pub active_for_out: Vec<u16>,
 }
 
 impl NodeState {
-    /// Builds the state for one node, pre-resolving its routing column.
-    pub fn new(topo: &Topology, routes: &RoutingTable, node: NodeId, vcs: usize) -> Self {
+    /// Builds the control state for one node, pre-resolving its routing
+    /// column.
+    pub fn new(topo: &Topology, routes: &RoutingTable, node: NodeId) -> Self {
         let in_links = topo.incoming(node).to_vec();
         let out_links = topo.outgoing(node).to_vec();
         // Map "next link" to this node's out-port index for every dest.
@@ -132,22 +109,13 @@ impl NodeState {
                 }
             };
         }
-        let in_ports = 1 + in_links.len();
-        let out_ports = 1 + out_links.len();
         NodeState {
             node,
             in_links,
             out_links,
             route_port,
-            vcs: (0..in_ports * vcs).map(|_| InputVc::new(8)).collect(),
-            out_holder: vec![None; out_ports * vcs],
-            sa_rr: vec![0; out_ports],
-            va_rr: vec![0; out_ports],
             src_queue: VecDeque::new(),
             emitting: None,
-            in_port_used: 0,
-            routed_count: 0,
-            active_for_out: vec![0; out_ports],
         }
     }
 
@@ -162,11 +130,6 @@ impl NodeState {
     pub fn out_ports(&self) -> usize {
         1 + self.out_links.len()
     }
-
-    /// Whether any flit is buffered anywhere in this node.
-    pub fn has_buffered_flits(&self) -> bool {
-        self.vcs.iter().any(|v| !v.queue.is_empty())
-    }
 }
 
 #[cfg(test)]
@@ -180,13 +143,11 @@ mod tests {
         let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
         let r = RoutingTable::compute_xy(&t);
         // Interior node: 4 neighbours.
-        let n = NodeState::new(&t, &r, NodeId(17), 4);
+        let n = NodeState::new(&t, &r, NodeId(17));
         assert_eq!(n.in_ports(), 5);
         assert_eq!(n.out_ports(), 5);
-        assert_eq!(n.vcs.len(), 5 * 4);
-        assert_eq!(n.out_holder.len(), 5 * 4);
         // Corner node: 2 neighbours.
-        let c = NodeState::new(&t, &r, NodeId(0), 4);
+        let c = NodeState::new(&t, &r, NodeId(0));
         assert_eq!(c.in_ports(), 3);
     }
 
@@ -194,7 +155,7 @@ mod tests {
     fn route_ports_point_at_real_links() {
         let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
         let r = RoutingTable::compute_xy(&t);
-        let n = NodeState::new(&t, &r, NodeId(0), 4);
+        let n = NodeState::new(&t, &r, NodeId(0));
         // Destination = self: ejection port.
         assert_eq!(n.route_port[0], 0);
         for dst in t.nodes().skip(1) {
@@ -209,15 +170,8 @@ mod tests {
     fn fresh_state_is_quiescent() {
         let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
         let r = RoutingTable::compute_xy(&t);
-        let n = NodeState::new(&t, &r, NodeId(5), 4);
-        assert!(!n.has_buffered_flits());
-        assert!(n.vcs.iter().all(|v| v.state == VcState::Idle));
-        let _ = Flit {
-            packet: 0,
-            dst: NodeId(0),
-            is_head: true,
-            is_tail: true,
-            ready: 0,
-        };
+        let n = NodeState::new(&t, &r, NodeId(5));
+        assert!(n.src_queue.is_empty());
+        assert!(n.emitting.is_none());
     }
 }

@@ -37,8 +37,7 @@ impl LatencyStats {
         self.count += 1;
         self.sum += latency;
         self.max = self.max.max(latency);
-        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
-            .min(HISTOGRAM_BUCKETS - 1);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1);
         self.histogram[bucket] += 1;
     }
 
@@ -123,6 +122,18 @@ impl SimStats {
     /// Mean packet latency in cycles.
     pub fn mean_latency(&self) -> f64 {
         self.all.mean()
+    }
+
+    /// Total flit-link-traversals (flit-hops) — the physical work the
+    /// network performed; the simulation-throughput unit reported by
+    /// `perfcheck` (Mflit-hops/s).
+    pub fn total_flit_hops(&self) -> u64 {
+        self.link_flits.iter().sum()
+    }
+
+    /// Total switch traversals across all routers.
+    pub fn total_router_traversals(&self) -> u64 {
+        self.router_flits.iter().sum()
     }
 
     /// Delivered throughput in flits per cycle per node.

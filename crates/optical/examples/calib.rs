@@ -17,11 +17,18 @@ fn main() {
         turn_sum += rate * f64::from(u16::from(sx != dx && sy != dy));
         rate_sum += rate;
     }
-    println!("avg hops {:.3} avg turns {:.3}", hops_sum / rate_sum, turn_sum / rate_sum);
+    println!(
+        "avg hops {:.3} avg turns {:.3}",
+        hops_sum / rate_sum,
+        turn_sum / rate_sum
+    );
     for p in all_optical_projection() {
         println!(
             "{:16} lat {:8.2} energy {:12.2} fJ/bit area {:8.3} mm2",
-            p.design.name(), p.latency_clks, p.energy_per_bit_fj, p.area_mm2
+            p.design.name(),
+            p.latency_clks,
+            p.energy_per_bit_fj,
+            p.area_mm2
         );
     }
 }

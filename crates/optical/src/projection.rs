@@ -2,9 +2,7 @@
 
 use crate::router::{OpticalRouterModel, PortKind};
 use hyppi_analytic::{NocModel, CORE_CLK_GHZ};
-use hyppi_phys::{
-    laser_power_mw, LinkTechnology, LossBudget, Micrometers, TechnologyParams,
-};
+use hyppi_phys::{laser_power_mw, LinkTechnology, LossBudget, Micrometers, TechnologyParams};
 use hyppi_topology::{mesh, MeshSpec};
 use hyppi_traffic::{SoteriouConfig, TrafficMatrix};
 use serde::{Deserialize, Serialize};
@@ -138,8 +136,7 @@ fn optical_area_mm2(grid: u16, spacing_mm: f64, router: &OpticalRouterModel) -> 
     let params = TechnologyParams::for_technology(router.technology);
     let nodes = f64::from(grid) * f64::from(grid);
     let links = 2.0 * 2.0 * f64::from(grid) * (f64::from(grid) - 1.0);
-    let waveguide_um2 =
-        links * params.waveguide.pitch.value() * spacing_mm * 1000.0;
+    let waveguide_um2 = links * params.waveguide.pitch.value() * spacing_mm * 1000.0;
     let interface_um2 = params.modulator.area.value()
         + params.detector.area.value()
         + params.laser.area.value()
@@ -158,8 +155,7 @@ pub fn all_optical_projection() -> [RadarPoint; 3] {
     // Electronic energy per bit: total power over delivered bandwidth,
     // derated by the application duty factor (see APP_DUTY_FACTOR).
     let injected_bits_per_s = traffic.total_injection() * 64.0 * CORE_CLK_GHZ * 1e9;
-    let electronic_fj_per_bit =
-        eval.power_w / (injected_bits_per_s * APP_DUTY_FACTOR) * 1e15;
+    let electronic_fj_per_bit = eval.power_w / (injected_bits_per_s * APP_DUTY_FACTOR) * 1e15;
 
     let electronic = RadarPoint {
         design: AllOpticalDesign::ElectronicMesh,

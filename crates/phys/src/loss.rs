@@ -149,10 +149,9 @@ mod tests {
     fn laser_energy_per_bit_is_rate_independent() {
         // P ∝ rate, so P/rate (energy per bit) must not depend on rate.
         let loss = LossBudget::new();
-        let e1 = laser_power_mw(Gbps::new(25.0), 0.8, &loss, 0.25)
-            .energy_per_bit(Gbps::new(25.0));
-        let e2 = laser_power_mw(Gbps::new(2100.0), 0.8, &loss, 0.25)
-            .energy_per_bit(Gbps::new(2100.0));
+        let e1 = laser_power_mw(Gbps::new(25.0), 0.8, &loss, 0.25).energy_per_bit(Gbps::new(25.0));
+        let e2 =
+            laser_power_mw(Gbps::new(2100.0), 0.8, &loss, 0.25).energy_per_bit(Gbps::new(2100.0));
         assert!((e1.value() - e2.value()).abs() < 1e-9);
         // Lossless photonic laser floor: 1 µA/GHz / 0.8 A/W / 0.25 = 5 fJ/bit.
         assert!((e1.value() - 5.0).abs() < 1e-9);

@@ -104,7 +104,7 @@ pub fn express_mesh(spec: MeshSpec, express: ExpressSpec) -> Topology {
     for y in 0..spec.height {
         let mut x = 0u16;
         // Place end to end while the far end stays on the grid.
-        while x + express.span <= spec.width - 1 {
+        while x + express.span < spec.width {
             let a = t.node_at(Coord { x, y });
             let b = t.node_at(Coord {
                 x: x + express.span,

@@ -90,6 +90,7 @@ impl Topology {
     }
 
     /// Adds a unidirectional link and returns its id.
+    #[allow(clippy::too_many_arguments)] // full physical link description
     pub fn add_link(
         &mut self,
         src: NodeId,

@@ -118,8 +118,7 @@ mod tests {
     #[test]
     fn single_demand_loads_its_path() {
         let (t, r) = small();
-        let loads =
-            LinkLoads::from_demands(&t, &r, [(NodeId(0), NodeId(15), 0.5)]);
+        let loads = LinkLoads::from_demands(&t, &r, [(NodeId(0), NodeId(15), 0.5)]);
         // Path is 6 hops; each carries 0.5.
         assert!((loads.total() - 3.0).abs() < 1e-12);
         let path = r.path(&t, NodeId(0), NodeId(15));

@@ -42,12 +42,8 @@ impl RoutingTable {
         // Restricted next-hop tables: horizontal movement may only use
         // links within the source row; vertical movement only links within
         // the column.
-        let row_table = Self::restricted(topo, |t, l| {
-            t.coord(l.src).y == t.coord(l.dst).y
-        });
-        let col_table = Self::restricted(topo, |t, l| {
-            t.coord(l.src).x == t.coord(l.dst).x
-        });
+        let row_table = Self::restricted(topo, |t, l| t.coord(l.src).y == t.coord(l.dst).y);
+        let col_table = Self::restricted(topo, |t, l| t.coord(l.src).x == t.coord(l.dst).x);
 
         let mut next = vec![vec![None; n]; n];
         let mut dist = vec![vec![0u32; n]; n];
@@ -68,10 +64,8 @@ impl RoutingTable {
                         [node.index()]
                         + col_table.dist[dst.index()][row_target.index()];
                 } else {
-                    next[dst.index()][node.index()] =
-                        col_table.next[dst.index()][node.index()];
-                    dist[dst.index()][node.index()] =
-                        col_table.dist[dst.index()][node.index()];
+                    next[dst.index()][node.index()] = col_table.next[dst.index()][node.index()];
+                    dist[dst.index()][node.index()] = col_table.dist[dst.index()][node.index()];
                 }
             }
         }
@@ -226,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn path_endpoints_connect(){
+    fn path_endpoints_connect() {
         let (t, r) = paper_mesh();
         let path = r.path(&t, NodeId(0), NodeId(255));
         assert_eq!(t.link(path[0]).src, NodeId(0));
@@ -356,7 +350,7 @@ mod tests {
         let a = t.node_at(Coord { x: 0, y: 8 });
         let b = t.node_at(Coord { x: 15, y: 8 });
         assert_eq!(r.cost(a, b), 25); // 5 express hops × (3+2)
-        // Span-15 ring: a westward-wrap path may cost less than direct.
+                                      // Span-15 ring: a westward-wrap path may cost less than direct.
         let t15 = express_mesh(
             MeshSpec::paper(LinkTechnology::Electronic),
             ExpressSpec {

@@ -64,15 +64,11 @@ impl TrafficMatrix {
 
     /// Iterates over all nonzero `(src, dst, rate)` demands.
     pub fn demands(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.rates.iter().enumerate().filter_map(move |(i, &r)| {
-            (r > 0.0).then(|| {
-                (
-                    NodeId((i / self.n) as u16),
-                    NodeId((i % self.n) as u16),
-                    r,
-                )
-            })
-        })
+        self.rates
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &r)| r > 0.0)
+            .map(|(i, &r)| (NodeId((i / self.n) as u16), NodeId((i % self.n) as u16), r))
     }
 
     /// Total injection rate of a node, flits per cycle.

@@ -45,12 +45,7 @@ pub enum NpbKernel {
 
 impl NpbKernel {
     /// All four kernels, in the paper's order.
-    pub const ALL: [NpbKernel; 4] = [
-        NpbKernel::Ft,
-        NpbKernel::Cg,
-        NpbKernel::Mg,
-        NpbKernel::Lu,
-    ];
+    pub const ALL: [NpbKernel; 4] = [NpbKernel::Ft, NpbKernel::Cg, NpbKernel::Mg, NpbKernel::Lu];
 
     /// Kernel name as printed in reproduced tables.
     pub fn name(self) -> &'static str {
@@ -198,7 +193,7 @@ impl NpbTraceSpec {
     /// coarse-level long-range exchanges (row extremes and ±8 rows).
     fn mg_phase(&self, phase: u32) -> Phase {
         let mut out = Vec::new();
-        if phase % 2 == 0 {
+        if phase.is_multiple_of(2) {
             // Fine levels: nearest-neighbour halo exchange.
             for y in 0..self.height {
                 for x in 0..self.width {
@@ -244,7 +239,7 @@ impl NpbTraceSpec {
     /// LU: forward sweeps send east/south, backward sweeps west/north.
     fn lu_phase(&self, phase: u32) -> Phase {
         let mut out = Vec::new();
-        let forward = phase % 2 == 0;
+        let forward = phase.is_multiple_of(2);
         for y in 0..self.height {
             for x in 0..self.width {
                 if forward {

@@ -107,8 +107,7 @@ impl Trace {
         if data.remaining() < name_len {
             return Err(Truncated);
         }
-        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
-            .map_err(|_| BadName)?;
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec()).map_err(|_| BadName)?;
         if data.remaining() < 8 {
             return Err(Truncated);
         }

@@ -55,15 +55,11 @@ impl CommVolume {
 
     /// Iterates nonzero `(src, dst, flits)` entries.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
-        self.flits.iter().enumerate().filter_map(move |(i, &f)| {
-            (f > 0).then(|| {
-                (
-                    NodeId((i / self.n) as u16),
-                    NodeId((i % self.n) as u16),
-                    f,
-                )
-            })
-        })
+        self.flits
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &f)| f > 0)
+            .map(|(i, &f)| (NodeId((i / self.n) as u16), NodeId((i % self.n) as u16), f))
     }
 
     /// Mean hop-weighted quantity: `Σ flits(s,d)·w(s,d) / Σ flits`, for an

@@ -67,9 +67,7 @@ fn r_factor_orders_like_table_iii() {
         };
         let model = NocModel::new(topo);
         let traffic = cfg.matrix(&model.topo);
-        model
-            .evaluate(&traffic, cfg.max_injection_rate)
-            .r_factor
+        model.evaluate(&traffic, cfg.max_injection_rate).r_factor
     };
     let (r3, r5, r15, plain) = (r_of(Some(3)), r_of(Some(5)), r_of(Some(15)), r_of(None));
     assert!(
@@ -83,8 +81,7 @@ fn r_factor_orders_like_table_iii() {
 #[test]
 fn table_iv_static_power_anchors() {
     // Paper: photonic express adds ≈1.546/0.928/0.309 W; HyPPI ≈ nothing.
-    let base = NocModel::new(mesh(MeshSpec::paper(LinkTechnology::Electronic)))
-        .static_power_w();
+    let base = NocModel::new(mesh(MeshSpec::paper(LinkTechnology::Electronic))).static_power_w();
     // Expected photonic-minus-HyPPI increments: (per-link photonic static
     // ≈9.66 mW minus per-link HyPPI static ≈0.094 mW) × link count
     // (160 / 96 / 32), matching Table IV's deltas over the 1.53 W base.

@@ -68,7 +68,7 @@ proptest! {
         packets in proptest::collection::vec((0u64..500, 0u16..64, 0u16..64, prop_oneof![Just(1u32), Just(32u32)]), 1..40),
     ) {
         let topo = mesh(spec(w, h));
-        let n = (w * h) as u16;
+        let n = w * h;
         let events: Vec<TraceEvent> = packets
             .into_iter()
             .map(|(cycle, s, d, flits)| TraceEvent {

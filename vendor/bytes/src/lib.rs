@@ -1,0 +1,220 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the binary trace format uses: `BytesMut` as an
+//! append buffer with big-endian `put_*` (matching the real crate's
+//! network byte order), `freeze`, and `Bytes` as a cheap view supporting
+//! big-endian `get_*` cursor reads, `slice`, and `Deref<Target = [u8]>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over shared immutable bytes (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consumes `n` bytes into an owned view.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Consumes 2 bytes, big-endian.
+    fn get_u16(&mut self) -> u16;
+    /// Consumes 4 bytes, big-endian.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes 8 bytes, big-endian.
+    fn get_u64(&mut self) -> u64;
+    /// Consumes 8 bytes as an IEEE-754 double, big-endian.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Append interface for growable buffers (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends 2 bytes, big-endian.
+    fn put_u16(&mut self, v: u16);
+    /// Appends 4 bytes, big-endian.
+    fn put_u32(&mut self, v: u32);
+    /// Appends 8 bytes, big-endian.
+    fn put_u64(&mut self, v: u64);
+    /// Appends 8 bytes as an IEEE-754 double, big-endian.
+    fn put_f64(&mut self, v: f64);
+}
+
+/// Immutable shared byte view with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view over `range` of this view (no copy).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the view into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        self.take(N).try_into().expect("exact length")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+}
+
+/// Growable append buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_f64(std::f64::consts::PI);
+        b.put_slice(b"tail");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 2 + 4 + 8 + 8 + 4);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64(), std::f64::consts::PI);
+        assert_eq!(&r.copy_to_bytes(4)[..], b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_wire_order() {
+        let mut b = BytesMut::with_capacity(2);
+        b.put_u16(0x0102);
+        assert_eq!(&b.freeze()[..], &[1, 2]);
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slice(1..2).to_vec(), vec![2]);
+    }
+}

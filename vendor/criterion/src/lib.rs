@@ -1,0 +1,141 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's benches compiling and runnable without registry
+//! access. Each `bench_function` runs the closure for a warm-up iteration
+//! plus `sample_size` timed samples and prints min/mean per-iteration
+//! wall-clock times. No statistics, plots, or baselines — swap in the real
+//! `criterion` when the environment has network access; the bench sources
+//! need no changes.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples when the bench does not override it.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Opaque-to-the-optimizer value sink (`criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, one warm-up call plus `samples` measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let min = results.iter().min().expect("nonempty");
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    println!(
+        "{name}: min {min:.2?}, mean {mean:.2?} over {} samples",
+        results.len()
+    );
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    report(name, &b.results);
+}
+
+/// Named group of benches sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named bench in the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.into()),
+            self.samples,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion's API).
+    pub fn finish(&mut self) {
+        let _ = &self.parent;
+    }
+}
+
+/// Bench registry and runner (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named bench at the default sample count.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.into(), DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named bench group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Declares a bench group runner (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (stand-in for `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Runs each property as `cases` seeded random samples (deterministic per
+//! test name). No shrinking: a failing case panics with the sampled inputs
+//! unshrunk. Covers exactly the surface the workspace's property tests
+//! use: range / tuple / `Just` / `prop_oneof!` / `collection::vec`
+//! strategies, `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, and `ProptestConfig::with_cases`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw again, don't count the case.
+    Reject,
+    /// `prop_assert!`-style failure.
+    Fail(String),
+}
+
+/// Per-property configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator (subset of proptest's `Strategy`: sampling only).
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Strategy yielding a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (backs `prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+/// Integer-like types samplable from ranges.
+pub trait SampleRange: Copy + PartialOrd + std::fmt::Debug {
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange for $t {
+                fn sample_inclusive(lo: $t, hi: $t, rng: &mut StdRng) -> $t {
+                    debug_assert!(lo <= hi);
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange for f64 {
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+impl<T: SampleRange> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        // Half-open: rejection-sample away the end point for floats; for
+        // integers shift the upper bound down.
+        loop {
+            let v = T::sample_inclusive(self.start, self.end, rng);
+            if contains_half_open(self, &v) {
+                return v;
+            }
+        }
+    }
+}
+
+fn contains_half_open<T: PartialOrd>(r: &std::ops::Range<T>, v: &T) -> bool {
+    *v >= r.start && *v < r.end
+}
+
+impl<T: SampleRange> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runs one property body over `cases` accepted samples. Used by the
+/// `proptest!` expansion; not part of the public proptest API.
+pub fn run_property<F>(name: &str, cfg: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Deterministic per-test seed: FNV-1a over the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0usize;
+    let mut draws = 0usize;
+    let max_draws = cfg.cases.saturating_mul(50).max(100);
+    while accepted < cfg.cases {
+        draws += 1;
+        assert!(
+            draws <= max_draws,
+            "{name}: too many prop_assume! rejections ({draws} draws for {accepted} cases)"
+        );
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &cfg, |rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($pat in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current sample without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies (stand-in for `proptest::prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..=8, y in 0u64..100, f in 0.5f64..2.0) {
+            prop_assert!((3..=8).contains(&x));
+            prop_assert!(y < 100);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in collection::vec((0u32..10, prop_oneof![Just(1u8), Just(3u8)]), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 10);
+                prop_assert!(b == 1 || b == 3);
+            }
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::SeedableRng;
+        let mut draws_a = Vec::new();
+        let mut draws_b = Vec::new();
+        for out in [&mut draws_a, &mut draws_b] {
+            super::run_property("det", &ProptestConfig::with_cases(10), |rng| {
+                out.push(Strategy::sample(&(0u64..1000), rng));
+                Ok(())
+            });
+            let _ = rand::rngs::StdRng::seed_from_u64(0);
+        }
+        assert_eq!(draws_a, draws_b);
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace uses: `rngs::StdRng`
+//! seeded via [`SeedableRng::seed_from_u64`], and [`Rng::gen`] /
+//! [`Rng::gen_range`] for `f64`. The generator is xoshiro256** seeded
+//! through SplitMix64 — deterministic and high quality, but **not**
+//! stream-compatible with the real `rand` crate's `StdRng` (ChaCha12).
+//! All seeds in this workspace originate here, so every simulation result
+//! is reproducible against this generator.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to fill xoshiro state.
+        let mut z = seed;
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        rngs::StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types samplable uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Maps one uniform `u64` draw to a sample.
+    fn from_draw(draw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_draw(draw: u64) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_draw(draw: u64) -> u64 {
+        draw
+    }
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// One uniform 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (for `f64`: uniform in `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_draw(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    #[inline]
+    fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        debug_assert!(range.start < range.end);
+        range.start + self.gen::<f64>() * (range.end - range.start)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let x = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+        }
+    }
+}

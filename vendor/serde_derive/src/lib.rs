@@ -1,0 +1,44 @@
+//! No-op derives backing the offline `serde` stand-in.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` blocks
+//! for the derived type. Only non-generic structs and enums are supported —
+//! which covers every derive in this workspace (checked: no generic type
+//! derives Serialize/Deserialize here).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword. Attribute
+/// and doc-comment tokens before the item never contain a bare top-level
+/// `struct`/`enum` ident, so a flat scan is sufficient.
+fn derived_type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                for tt2 in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = tt2 {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in derive input")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
