@@ -4,91 +4,10 @@
 //! technology × express technology × span) combinations; each evaluation
 //! is independent, so they fan out across `std::thread::scope` workers
 //! (no `'static` bounds needed on the inputs, no external dependencies).
+//!
+//! The worker-pool primitive itself lives in `hyppi_netsim::sweep` (the
+//! simulator's load-sweep subsystem batches its own runs with it, and
+//! `hyppi-analytic` already depends on `hyppi-netsim`); it is re-exported
+//! here so analytic callers keep their historical import path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item on a pool of scoped worker threads, returning
-/// outputs in input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    // Work queue: job indices claimed atomically; items handed out through
-    // per-slot mutexes so workers can take them by value.
-    let jobs = AtomicUsize::new(0);
-    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = jobs.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = items[i]
-                    .lock()
-                    .expect("item mutex not poisoned")
-                    .take()
-                    .expect("each job index is claimed exactly once");
-                let out = f(item);
-                *slots[i].lock().expect("slot mutex not poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot mutex not poisoned")
-                .expect("every index produced a result")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(vec![7], |x: u64| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn heavier_work_still_ordered() {
-        let out = parallel_map((0..32).collect(), |x: u64| {
-            // Unequal work per item to shuffle completion order.
-            let mut acc = 0u64;
-            for i in 0..(x * 1000) {
-                acc = acc.wrapping_add(i);
-            }
-            (x, acc)
-        });
-        for (i, (x, _)) in out.iter().enumerate() {
-            assert_eq!(*x, i as u64);
-        }
-    }
-}
+pub use hyppi_netsim::sweep::parallel_map;

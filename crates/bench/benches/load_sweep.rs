@@ -1,0 +1,39 @@
+//! Microbenches of the sweep subsystem: one merged-seed load point and a
+//! full bisection saturation search on a mid-size mesh. Tracks the cost
+//! of the batch runner itself (fan-out, merge, search trajectory) rather
+//! than a single simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyppi::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let topo = mesh(MeshSpec {
+        width: 8,
+        height: 8,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let routes = RoutingTable::compute_xy(&topo);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+
+    let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::paper());
+    let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+    group.bench_function("uniform_8x8_point_r0.10", |b| {
+        let m = gen(0.10);
+        b.iter(|| runner.run_point(&m))
+    });
+    group.bench_function("uniform_8x8_grid_4_rates", |b| {
+        b.iter(|| runner.run_grid(&gen, &[0.02, 0.08, 0.16, 0.25]))
+    });
+
+    let quick = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+    group.bench_function("uniform_8x8_saturation_search", |b| {
+        b.iter(|| quick.find_saturation(&gen, 0.8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run --release -p hyppi-bench --bin repro            # everything
 //! cargo run --release -p hyppi-bench --bin repro fig6       # one artefact
+//! cargo run --release -p hyppi-bench --bin repro load_sweep # latency-load curves
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
 
@@ -77,6 +78,13 @@ fn main() {
             r.electronic_over_hyppi_energy()
         );
     }
+    if arg == "load_sweep" {
+        // Cycle-accurate and ~200 simulations deep: on-demand only, like
+        // the ablations.
+        ran = true;
+        println!("## Load sweep — latency-throughput curves + saturation loads");
+        println!("{}", hyppi::experiments::load_sweep().render());
+    }
     if arg == "sweep-span" {
         ran = true;
         sweep_span();
@@ -104,7 +112,7 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
-             sweep-span, sweep-rate, sweep-vcs, sweep-buffers, sweep-routing"
+             load_sweep, sweep-span, sweep-rate, sweep-vcs, sweep-buffers, sweep-routing"
         );
         std::process::exit(2);
     }

@@ -56,7 +56,10 @@ pub mod prelude {
     pub use hyppi_dsent::{
         ElectricalLinkModel, OpticalLinkModel, RouterConfig, RouterModel, TechNode,
     };
-    pub use hyppi_netsim::{EnergyCounts, ReferenceSimulator, SimConfig, SimStats, Simulator};
+    pub use hyppi_netsim::{
+        EnergyCounts, LatencyStats, LoadCurve, LoadPoint, ReferenceSimulator, SaturationSearch,
+        SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
+    };
     pub use hyppi_optical::{
         all_optical_projection, AllOpticalDesign, OpticalRouterModel, PortKind, RadarPoint,
     };
@@ -70,7 +73,7 @@ pub mod prelude {
         MeshSpec, NodeId, RoutingTable, Topology, ROUTER_PIPELINE_CYCLES,
     };
     pub use hyppi_traffic::{
-        packetize_message, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig, Trace,
-        TraceEvent, TrafficMatrix, DATA_PACKET_FLITS,
+        packetize_message, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig,
+        SyntheticPattern, Trace, TraceEvent, TrafficMatrix, DATA_PACKET_FLITS,
     };
 }

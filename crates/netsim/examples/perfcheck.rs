@@ -1,23 +1,29 @@
-//! NPB latency matrix + engine performance record.
+//! NPB latency matrix + sweep throughput + engine performance record.
 //!
-//! Runs every kernel × express span of the Fig. 6 grid on the active-set
-//! engine, reporting latency, simulation throughput (cycles/s and
-//! Mflit-hops/s), and — unless `--fast` is given — the wall-clock speedup
-//! over the frozen seed engine (`reference::ReferenceSimulator`) on the
-//! identical workload. Results are also written to `BENCH_netsim.json`
-//! (in the current directory) so future PRs can track the perf
-//! trajectory.
+//! Runs NPB kernel × express span cells of the Fig. 6 grid on the
+//! active-set engine, reporting latency (mean and p50/p95/p99 tails),
+//! simulation throughput (cycles/s and Mflit-hops/s), and — unless
+//! `--fast` is given — the wall-clock speedup over the frozen seed engine
+//! (`reference::ReferenceSimulator`) on the identical workload, with
+//! bit-for-bit parity asserted. A load-sweep section then exercises the
+//! batch runner (`hyppi_netsim::sweep`) and records its throughput
+//! (runs/s, aggregate simulated cycles/s) plus the uniform saturation
+//! load. Results are written to `BENCH_netsim.json` (in the current
+//! directory) so future PRs can track the perf trajectory.
 //!
 //! ```sh
-//! cargo run --release -p hyppi-netsim --example perfcheck          # all, with baseline
-//! cargo run --release -p hyppi-netsim --example perfcheck MG      # one kernel
-//! cargo run --release -p hyppi-netsim --example perfcheck -- --fast  # skip baseline
+//! cargo run --release -p hyppi-netsim --example perfcheck              # all, with baseline
+//! cargo run --release -p hyppi-netsim --example perfcheck MG           # one kernel
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --cells MG:0,FT:5
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --fast    # skip baseline
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --quick   # CI smoke:
+//! #   one small NPB cell + one sweep point, parity asserted on both
 //! ```
 
-use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator};
-use hyppi_phys::LinkTechnology;
-use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable};
-use hyppi_traffic::{NpbKernel, NpbTraceSpec};
+use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner};
+use hyppi_phys::{Gbps, LinkTechnology};
+use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
+use hyppi_traffic::{NpbKernel, NpbTraceSpec, SyntheticPattern, Trace};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -25,6 +31,8 @@ struct Cell {
     kernel: &'static str,
     span: u16,
     latency_clks: f64,
+    p50: u64,
+    p99: u64,
     packets: u64,
     cycles: u64,
     flit_hops: u64,
@@ -46,34 +54,127 @@ impl Cell {
     }
 }
 
+struct SweepRecord {
+    points: usize,
+    seeds: usize,
+    runs: u32,
+    /// Grid + saturation search wall time.
+    secs: f64,
+    /// Wall time of the grid portion only (the cycle totals below cover
+    /// just the grid, so cycles/s is grid-cycles over grid-seconds).
+    grid_secs: f64,
+    aggregate_cycles: u64,
+    saturation_load: f64,
+    saturated_in_range: bool,
+    zero_load_latency: f64,
+}
+
+impl SweepRecord {
+    fn runs_per_sec(&self) -> f64 {
+        f64::from(self.runs) / self.secs
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.aggregate_cycles as f64 / self.grid_secs
+    }
+}
+
+/// Cell filters parsed from `--cells KERNEL[:SPAN],...` or the positional
+/// kernel argument.
+#[derive(Clone)]
+struct CellFilter(Vec<(String, Option<u16>)>);
+
+impl CellFilter {
+    fn parse(spec: &str) -> Self {
+        let entries = spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|entry| match entry.split_once(':') {
+                Some((k, s)) => {
+                    let span: u16 = s.parse().unwrap_or_else(|_| {
+                        eprintln!("bad span in --cells entry '{entry}'");
+                        std::process::exit(2);
+                    });
+                    (k.to_uppercase(), Some(span))
+                }
+                None => (entry.to_uppercase(), None),
+            })
+            .collect();
+        CellFilter(entries)
+    }
+
+    fn accepts(&self, kernel: &str, span: u16) -> bool {
+        self.0.is_empty()
+            || self
+                .0
+                .iter()
+                .any(|(k, s)| k == kernel && s.is_none_or(|s| s == span))
+    }
+}
+
+fn fig6_topology(span: u16) -> Topology {
+    if span == 0 {
+        mesh(MeshSpec::paper(LinkTechnology::Electronic))
+    } else {
+        express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span,
+                tech: LinkTechnology::Hyppi,
+            },
+        )
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let only: Option<&str> = args
+    let quick = args.iter().any(|a| a == "--quick");
+    let cells_arg = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|s| s.as_str());
+        .position(|a| a == "--cells")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let positional: Option<String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--cells"))
+        .map(|(_, a)| a.clone())
+        .next();
+    let filter = if let Some(spec) = cells_arg {
+        CellFilter::parse(&spec)
+    } else if let Some(kernel) = positional {
+        CellFilter::parse(&kernel)
+    } else if quick {
+        // CI smoke default: the cheapest meaningful cell. An explicit
+        // --cells / kernel filter above still wins (--quick then only
+        // shrinks the workload).
+        CellFilter::parse("MG:0")
+    } else {
+        CellFilter(Vec::new())
+    };
 
     let mut cells: Vec<Cell> = Vec::new();
     for kernel in NpbKernel::ALL {
-        if let Some(k) = only {
-            if kernel.name() != k {
+        if ![0u16, 3, 5, 15]
+            .iter()
+            .any(|&s| filter.accepts(kernel.name(), s))
+        {
+            continue;
+        }
+        let spec = NpbTraceSpec::paper(kernel);
+        let trace: Trace = if quick {
+            // One phase at reduced volume: small but still a real
+            // parity workload.
+            spec.trace_window(1, 0.25)
+        } else {
+            spec.default_window()
+        };
+        for span in [0u16, 3, 5, 15] {
+            if !filter.accepts(kernel.name(), span) {
                 continue;
             }
-        }
-        let trace = NpbTraceSpec::paper(kernel).default_window();
-        for span in [0u16, 3, 5, 15] {
-            let topo = if span == 0 {
-                mesh(MeshSpec::paper(LinkTechnology::Electronic))
-            } else {
-                express_mesh(
-                    MeshSpec::paper(LinkTechnology::Electronic),
-                    ExpressSpec {
-                        span,
-                        tech: LinkTechnology::Hyppi,
-                    },
-                )
-            };
+            let topo = fig6_topology(span);
             let routes = RoutingTable::compute_xy(&topo);
             let mut cfg = SimConfig::paper();
             cfg.max_cycles = 2_000_000; // deadlock guard for this check
@@ -107,6 +208,8 @@ fn main() {
                 kernel: kernel.name(),
                 span,
                 latency_clks: stats.mean_latency(),
+                p50: stats.all.p50(),
+                p99: stats.all.p99(),
                 packets: stats.all.count,
                 cycles: stats.cycles,
                 flit_hops: stats.total_flit_hops(),
@@ -117,10 +220,10 @@ fn main() {
                 .speedup()
                 .map_or(String::new(), |s| format!(" | {s:4.2}x vs seed"));
             println!(
-                "{kernel} span {span:2}: lat {:7.2} clks (ctrl {:6.2} data {:6.2} max {:5}) | {:8} pkts | {:9} cycles | {:6.1} Mflit-hops/s | {:8.0} cyc/s | {:.2?}{speedup}",
+                "{kernel} span {span:2}: lat {:7.2} clks (p50 {:4} p99 {:5} max {:5}) | {:8} pkts | {:9} cycles | {:6.1} Mflit-hops/s | {:8.0} cyc/s | {:.2?}{speedup}",
                 stats.mean_latency(),
-                stats.control.mean(),
-                stats.data.mean(),
+                cell.p50,
+                cell.p99,
                 stats.all.max,
                 stats.all.count,
                 stats.cycles,
@@ -152,23 +255,50 @@ fn main() {
         println!("TOTAL: active-set {new_total:.2}s (baseline skipped)");
     }
 
+    let sweep = run_sweep_section(quick, fast);
+
     // Machine-readable record for the perf trajectory.
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"netsim perfcheck (NPB Fig. 6 grid, paper defaults)\",\n");
+    json.push_str(
+        "{\n  \"bench\": \"netsim perfcheck (NPB Fig. 6 grid + load sweep, paper defaults)\",\n",
+    );
+    if quick {
+        json.push_str("  \"quick\": true,\n");
+    }
     let _ = writeln!(
         json,
         "  \"aggregate\": {{ \"new_engine_secs\": {new_total:.4}, \"seed_engine_secs\": {}, \"speedup\": {} }},",
         ref_total.map_or("null".into(), |v| format!("{v:.4}")),
         ref_total.map_or("null".into(), |v| format!("{:.4}", v / new_total)),
     );
+    let _ = writeln!(
+        json,
+        "  \"sweep\": {{ \"pattern\": \"uniform\", \"mesh\": \"8x8\", \"points\": {}, \"seeds\": {}, \"runs\": {}, \"secs\": {:.4}, \"grid_secs\": {:.4}, \"runs_per_sec\": {:.2}, \"aggregate_cycles\": {}, \"cycles_per_sec\": {:.0}, \"saturation_load\": {}, \"zero_load_latency\": {:.4} }},",
+        sweep.points,
+        sweep.seeds,
+        sweep.runs,
+        sweep.secs,
+        sweep.grid_secs,
+        sweep.runs_per_sec(),
+        sweep.aggregate_cycles,
+        sweep.cycles_per_sec(),
+        if sweep.saturated_in_range {
+            format!("{:.4}", sweep.saturation_load)
+        } else {
+            "null".into()
+        },
+        sweep.zero_load_latency,
+    );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{ \"kernel\": \"{}\", \"span\": {}, \"latency_clks\": {:.4}, \"packets\": {}, \"cycles\": {}, \"flit_hops\": {}, \"new_engine_secs\": {:.4}, \"seed_engine_secs\": {}, \"speedup\": {}, \"mflit_hops_per_sec\": {:.2}, \"cycles_per_sec\": {:.0} }}",
+            "    {{ \"kernel\": \"{}\", \"span\": {}, \"latency_clks\": {:.4}, \"p50\": {}, \"p99\": {}, \"packets\": {}, \"cycles\": {}, \"flit_hops\": {}, \"new_engine_secs\": {:.4}, \"seed_engine_secs\": {}, \"speedup\": {}, \"mflit_hops_per_sec\": {:.2}, \"cycles_per_sec\": {:.0} }}",
             c.kernel,
             c.span,
             c.latency_clks,
+            c.p50,
+            c.p99,
             c.packets,
             c.cycles,
             c.flit_hops,
@@ -185,4 +315,94 @@ fn main() {
         Ok(()) => println!("wrote BENCH_netsim.json"),
         Err(e) => eprintln!("could not write BENCH_netsim.json: {e}"),
     }
+}
+
+/// Exercises the sweep subsystem on an 8×8 uniform load and, unless
+/// `fast`, asserts engine parity on a synthetic sweep point (the trace
+/// cells above only cover `run_trace`).
+fn run_sweep_section(quick: bool, fast: bool) -> SweepRecord {
+    let topo = mesh(MeshSpec {
+        width: 8,
+        height: 8,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), cfg.clone());
+    let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+
+    if !fast {
+        // Parity smoke on the synthetic path the sweep rides.
+        let m = gen(0.10);
+        let sim_cfg = SimConfig::paper();
+        let new = Simulator::new(&topo, &routes, sim_cfg)
+            .run_synthetic(&m, cfg.warmup, cfg.measure, cfg.seeds[0])
+            .expect("active-set engine completes");
+        let reference = ReferenceSimulator::new(&topo, &routes, sim_cfg)
+            .run_synthetic(&m, cfg.warmup, cfg.measure, cfg.seeds[0])
+            .expect("reference engine completes");
+        assert_eq!(new, reference, "sweep-point engine parity violated");
+        println!(
+            "sweep parity: uniform 8x8 r=0.10 seed {} OK (p50 {} p99 {})",
+            cfg.seeds[0],
+            new.all.p50(),
+            new.all.p99()
+        );
+    }
+
+    let rates: &[f64] = if quick {
+        &[0.10]
+    } else {
+        &[0.05, 0.10, 0.16, 0.25]
+    };
+    let t0 = Instant::now();
+    let points = runner.run_grid(&gen, rates);
+    let grid_secs = t0.elapsed().as_secs_f64();
+    let saturation = runner.find_saturation(&gen, 0.8);
+    let secs = t0.elapsed().as_secs_f64();
+
+    let grid_runs = (points.len() * cfg.seeds.len()) as u32;
+    let record = SweepRecord {
+        points: points.len(),
+        seeds: cfg.seeds.len(),
+        runs: grid_runs + saturation.runs,
+        secs,
+        grid_secs,
+        aggregate_cycles: points.iter().map(|p| p.cycles).sum(),
+        saturation_load: saturation.saturation_load,
+        saturated_in_range: saturation.saturated_in_range,
+        zero_load_latency: saturation.zero_load_latency,
+    };
+    for p in &points {
+        println!(
+            "sweep uniform 8x8 r={:.3}: lat {:6.2} clks (p50 {:3} p95 {:3} p99 {:3}) | accepted {:.3} | {}",
+            p.offered,
+            p.mean_latency(),
+            p.latency.p50(),
+            p.latency.p95(),
+            p.latency.p99(),
+            p.throughput,
+            if p.stable { "ok" } else { "overload" },
+        );
+    }
+    println!(
+        "SWEEP: {} runs in {:.2}s -> {:.1} runs/s, {:.0} sim-cycles/s | saturation {} (zero-load {:.2} clks)",
+        record.runs,
+        record.secs,
+        record.runs_per_sec(),
+        record.cycles_per_sec(),
+        if record.saturated_in_range {
+            format!("{:.3}", record.saturation_load)
+        } else {
+            format!("> {:.3}", record.saturation_load)
+        },
+        record.zero_load_latency,
+    );
+    record
 }

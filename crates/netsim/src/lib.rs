@@ -37,7 +37,7 @@
 //!   packet changed, and the run loops **fast-forward across idle gaps**
 //!   to the next calendar arrival or trace admission.
 //!
-//! The original full-scan engine survives unmodified in [`reference`] as
+//! The original full-scan engine survives unmodified in [`mod@reference`] as
 //! the parity oracle: `tests/parity.rs` asserts both engines produce
 //! bit-for-bit identical [`SimStats`] (latency histograms, energy counts,
 //! per-link utilization) across seeds, topologies, and workloads, so the
@@ -50,6 +50,17 @@
 //! per-router flit counts for energy accounting). [`Simulator::run_synthetic`]
 //! injects Bernoulli traffic from a [`hyppi_traffic::TrafficMatrix`] for a
 //! fixed warm-up + measurement window, used for load-latency curves.
+//!
+//! ## Load sweeps and saturation search
+//!
+//! The [`sweep`] module batches independent runs: [`SweepRunner`] fans an
+//! injection-rate grid × seed matrix across scoped worker threads
+//! ([`sweep::parallel_map`]) and reduces each offered load to a
+//! [`sweep::LoadPoint`] — mean latency, log-linear p50/p95/p99 tails, and
+//! accepted throughput — while [`SweepRunner::find_saturation`] bisects
+//! for the smallest offered load whose mean latency exceeds a multiple of
+//! the zero-load latency. Both engines share the [`stats::LatencyStats`]
+//! histogram, so sweep statistics stay under the parity oracle.
 
 pub mod config;
 pub mod energy_counts;
@@ -58,9 +69,11 @@ pub mod reference;
 pub mod router;
 pub mod sim;
 pub mod stats;
+pub mod sweep;
 
 pub use config::SimConfig;
 pub use energy_counts::EnergyCounts;
 pub use reference::ReferenceSimulator;
 pub use sim::Simulator;
-pub use stats::SimStats;
+pub use stats::{LatencyStats, SimStats};
+pub use sweep::{LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner};

@@ -2,12 +2,50 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of logarithmic histogram buckets (bucket k holds latencies in
-/// `[2^k, 2^(k+1))`; the last bucket is open-ended).
-pub const HISTOGRAM_BUCKETS: usize = 24;
+/// Sub-bucket resolution: every power-of-two octave of the latency
+/// histogram is split into `2^HISTOGRAM_SUB_BITS` linear sub-buckets, so
+/// a bucket's relative width — and hence the worst-case percentile error —
+/// is `2^-HISTOGRAM_SUB_BITS` (12.5%).
+pub const HISTOGRAM_SUB_BITS: u32 = 3;
 
-/// Latency accumulator for one packet class, with a log₂ histogram for
-/// percentile estimation.
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << HISTOGRAM_SUB_BITS;
+
+/// Number of log-linear histogram buckets. Buckets `0..8` hold the exact
+/// values 0–7; above that, each octave `[2^k, 2^(k+1))` is split into 8
+/// linear sub-buckets. 28 octaves cover latencies below 2^30 cycles;
+/// anything larger lands in the open-ended last bucket (resolved against
+/// `max` when reporting percentiles).
+pub const HISTOGRAM_BUCKETS: usize = 28 * SUBS;
+
+/// Bucket index of a latency value (HDR-style log-linear indexing).
+#[inline]
+fn bucket_of(latency: u64) -> usize {
+    if latency < SUBS as u64 {
+        return latency as usize;
+    }
+    let msb = 63 - latency.leading_zeros() as usize;
+    let shift = msb - HISTOGRAM_SUB_BITS as usize;
+    let octave = shift + 1;
+    let sub = ((latency >> shift) & (SUBS as u64 - 1)) as usize;
+    (octave * SUBS + sub).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Largest latency value that falls into bucket `k`.
+#[inline]
+fn bucket_upper(k: usize) -> u64 {
+    if k < SUBS {
+        return k as u64;
+    }
+    let octave = k / SUBS;
+    let sub = (k % SUBS) as u64;
+    let width = 1u64 << (octave - 1);
+    (SUBS as u64 + sub) * width + width - 1
+}
+
+/// Latency accumulator for one packet class, with a log-linear histogram
+/// for percentile estimation (p50/p95/p99 within 12.5% without per-packet
+/// storage).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Packets completed.
@@ -16,8 +54,11 @@ pub struct LatencyStats {
     pub sum: u64,
     /// Worst latency observed.
     pub max: u64,
-    /// Log₂ bucket counts.
-    pub histogram: [u64; HISTOGRAM_BUCKETS],
+    /// Log-linear bucket counts, always [`HISTOGRAM_BUCKETS`] long. A
+    /// `Vec` rather than an array because the real `serde` only derives
+    /// for arrays up to 32 elements — the planned vendor-swap must not
+    /// break on this field.
+    pub histogram: Vec<u64>,
 }
 
 impl Default for LatencyStats {
@@ -26,7 +67,7 @@ impl Default for LatencyStats {
             count: 0,
             sum: 0,
             max: 0,
-            histogram: [0; HISTOGRAM_BUCKETS],
+            histogram: vec![0; HISTOGRAM_BUCKETS],
         }
     }
 }
@@ -37,8 +78,7 @@ impl LatencyStats {
         self.count += 1;
         self.sum += latency;
         self.max = self.max.max(latency);
-        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1);
-        self.histogram[bucket] += 1;
+        self.histogram[bucket_of(latency)] += 1;
     }
 
     /// Mean latency in cycles (0 when empty).
@@ -50,23 +90,57 @@ impl LatencyStats {
         }
     }
 
-    /// Upper bound of the bucket containing the q-quantile (q in 0..=1).
-    /// Coarse by design (power-of-two buckets); useful for tail latency
-    /// ("p99 is below N cycles") without per-packet storage.
-    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+    /// Bucket index holding the q-quantile sample (rank `ceil(q·count)`,
+    /// at least 1). `None` when empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (k, &c) in self.histogram.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << (k + 1);
+                return Some(k);
             }
         }
-        self.max
+        Some(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in 0..=1).
+    /// The log-linear buckets bound the true quantile within 12.5%; use
+    /// [`percentile`](Self::percentile) for a value clamped to the observed
+    /// maximum. The last bucket is open-ended, so its only usable upper
+    /// bound is the observed maximum.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        match self.quantile_bucket(q) {
+            None => 0,
+            Some(k) if k == HISTOGRAM_BUCKETS - 1 => self.max,
+            Some(k) => bucket_upper(k),
+        }
+    }
+
+    /// The q-quantile latency estimate: the containing bucket's upper
+    /// bound, clamped to the observed maximum (so `percentile(1.0) == max`
+    /// and a single-sample distribution reports that sample exactly).
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.quantile_upper_bound(q).min(self.max)
+    }
+
+    /// Median latency estimate, cycles.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency estimate, cycles.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency estimate, cycles.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 
     /// Merges another accumulator into this one.
@@ -183,18 +257,48 @@ mod tests {
         assert_eq!(a.mean(), 20.0);
         assert_eq!(a.max, 30);
         assert_eq!(a.histogram.iter().sum::<u64>(), 2);
+        // Merged percentiles see both samples.
+        assert_eq!(a.percentile(1.0), 30);
     }
 
     #[test]
-    fn histogram_buckets_by_log2() {
+    fn buckets_are_exact_below_eight() {
         let mut l = LatencyStats::default();
-        l.record(1); // bucket 0
-        l.record(2); // bucket 1
-        l.record(3); // bucket 1
-        l.record(1000); // bucket 9
-        assert_eq!(l.histogram[0], 1);
-        assert_eq!(l.histogram[1], 2);
-        assert_eq!(l.histogram[9], 1);
+        for v in 1..8u64 {
+            l.record(v);
+        }
+        for v in 1..8usize {
+            assert_eq!(l.histogram[v], 1);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's upper bound maps back into that bucket, and the
+        // value one above it maps into the next.
+        for k in 1..HISTOGRAM_BUCKETS - 1 {
+            let hi = bucket_upper(k);
+            assert_eq!(bucket_of(hi), k, "upper({k}) = {hi}");
+            assert_eq!(bucket_of(hi + 1), k + 1, "upper({k})+1 = {}", hi + 1);
+        }
+        // The last bucket is open-ended.
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn log_linear_resolution_bounds_error() {
+        // The bucket containing v is never wider than v/8 (12.5%).
+        for v in [9u64, 100, 1000, 12345, 1 << 20] {
+            let k = bucket_of(v);
+            let hi = bucket_upper(k);
+            let lo = if k == 0 { 0 } else { bucket_upper(k - 1) + 1 };
+            assert!(lo <= v && v <= hi, "{v} in [{lo}, {hi}]");
+            assert!(
+                (hi - lo + 1) as f64 <= v as f64 / 8.0 + 1.0,
+                "{v}: width {}",
+                hi - lo + 1
+            );
+        }
     }
 
     #[test]
@@ -203,11 +307,61 @@ mod tests {
         for v in [4u64, 5, 6, 7, 100] {
             l.record(v);
         }
-        // 80% of packets are ≤ 7 → p80 bound is the bucket above 4..8.
-        assert_eq!(l.quantile_upper_bound(0.8), 8);
-        // p100 covers the 100-cycle straggler (bucket 64..128).
-        assert_eq!(l.quantile_upper_bound(1.0), 128);
+        // 80% of packets are ≤ 7; values below 8 are bucketed exactly.
+        assert_eq!(l.quantile_upper_bound(0.8), 7);
+        // p100 covers the 100-cycle straggler: bucket [96, 103] clamps to
+        // the observed max.
+        assert_eq!(l.quantile_upper_bound(1.0), 103);
+        assert_eq!(l.percentile(1.0), 100);
         assert_eq!(LatencyStats::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut l = LatencyStats::default();
+        for v in 1..=1000u64 {
+            l.record(v);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let p = l.percentile(q);
+            assert!(p >= prev, "percentile({q}) = {p} < {prev}");
+            prev = p;
+        }
+        assert_eq!(l.percentile(1.0), 1000);
+        // p50 of 1..=1000 is ~500; log-linear error is bounded by 12.5%.
+        let p50 = l.p50() as f64;
+        assert!((500.0..=570.0).contains(&p50), "p50 {p50}");
+        let p99 = l.p99() as f64;
+        assert!((990.0..=1000.0 * 1.125).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn open_ended_last_bucket_reports_max() {
+        // Values past the covered range land in the clamped last bucket;
+        // its only honest upper bound is the observed maximum.
+        let mut l = LatencyStats::default();
+        l.record(1 << 31);
+        assert_eq!(l.histogram[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(l.percentile(1.0), 1 << 31);
+        assert_eq!(l.quantile_upper_bound(0.5), 1 << 31);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = LatencyStats::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Single sample: every quantile is that sample, exactly.
+        let mut one = LatencyStats::default();
+        one.record(37);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(q), 37, "q={q}");
+        }
+        assert_eq!(one.p50(), 37);
+        assert_eq!(one.p99(), 37);
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Load sweeps, saturation search, and the parallel batch runner.
+//!
+//! The paper's headline results are latency-vs-load curves and saturation
+//! throughput; this module turns the single-run [`Simulator`] into a
+//! batch instrument:
+//!
+//! * [`parallel_map`] — the workspace's scoped-thread fan-out (moved here
+//!   from `hyppi-analytic`, which re-exports it, so the simulator crate
+//!   can batch its own runs without a dependency cycle);
+//! * [`SweepRunner`] — fans independent synthetic runs (injection-rate
+//!   grid × seeds) across threads and merges each rate's seeds into one
+//!   [`LoadPoint`] with mean/p50/p95/p99 latency and accepted throughput;
+//! * [`SweepRunner::find_saturation`] — bisection search for the smallest
+//!   offered load whose mean latency exceeds a configured multiple of the
+//!   zero-load latency (or whose run no longer completes).
+//!
+//! Every run is deterministic given its seed, so sweep results — including
+//! the bisection trajectory — are bit-for-bit reproducible.
+
+use crate::config::SimConfig;
+use crate::sim::{SimError, Simulator};
+use crate::stats::{LatencyStats, SimStats};
+use hyppi_topology::{RoutingTable, Topology};
+use hyppi_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a pool of scoped worker threads, returning
+/// outputs in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    // Work queue: job indices claimed atomically; items handed out through
+    // per-slot mutexes so workers can take them by value.
+    let jobs = AtomicUsize::new(0);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = jobs.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("item mutex not poisoned")
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let out = f(item);
+                *slots[i].lock().expect("slot mutex not poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot mutex not poisoned")
+                .expect("every index produced a result")
+        })
+        .collect()
+}
+
+/// Sweep run-control parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Injection cycles discarded before measurement starts.
+    pub warmup: u64,
+    /// Measured injection cycles per run.
+    pub measure: u64,
+    /// RNG seeds; each offered load runs once per seed and the seeds'
+    /// statistics are merged.
+    pub seeds: Vec<u64>,
+    /// A load is saturated when its mean latency exceeds
+    /// `sat_multiple × zero-load latency` (or a run hits the cycle cap).
+    pub sat_multiple: f64,
+    /// Offered load used to probe the zero-load latency.
+    pub zero_load_rate: f64,
+    /// Bisection terminates when the load bracket is narrower than this.
+    pub tolerance: f64,
+    /// Per-run cycle cap; hitting it marks the point unstable.
+    pub run_max_cycles: u64,
+}
+
+impl SweepConfig {
+    /// Defaults sized for the paper's 16×16 mesh: 500 warm-up + 2000
+    /// measured cycles, two seeds, saturation at 3× zero-load latency.
+    pub fn paper() -> Self {
+        SweepConfig {
+            warmup: 500,
+            measure: 2000,
+            seeds: vec![11, 42],
+            sat_multiple: 3.0,
+            zero_load_rate: 0.005,
+            tolerance: 0.01,
+            run_max_cycles: 2_000_000,
+        }
+    }
+
+    /// A cheap variant for CI smoke runs and unit tests: shorter windows,
+    /// one seed, coarser bisection.
+    pub fn quick() -> Self {
+        SweepConfig {
+            warmup: 200,
+            measure: 800,
+            seeds: vec![11],
+            tolerance: 0.04,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One measured point of a load-latency curve (all seeds merged).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Mean offered load, flits per node per cycle.
+    pub offered: f64,
+    /// Merged latency statistics of every completed seed run.
+    pub latency: LatencyStats,
+    /// Accepted throughput: measured flits delivered per node per
+    /// measured injection cycle, averaged over completed seeds. Injection
+    /// is open-loop and the network drains before a run finishes, so this
+    /// tracks the offered load for every completed run; it only drops
+    /// below it when a run hits the cycle cap. Judge saturation by
+    /// latency (see [`SweepRunner::find_saturation`]), not by this value.
+    pub throughput: f64,
+    /// Total cycles simulated across completed seed runs (simulation-cost
+    /// accounting for `perfcheck`).
+    pub cycles: u64,
+    /// Seeds that completed within the cycle cap.
+    pub completed_runs: u32,
+    /// False when any seed hit the cycle cap (overloaded/unstable).
+    pub stable: bool,
+}
+
+impl LoadPoint {
+    /// Mean packet latency, cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+/// Outcome of a bisection saturation search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationSearch {
+    /// Mean latency at the zero-load probe rate, cycles.
+    pub zero_load_latency: f64,
+    /// Latency threshold that defines saturation, cycles.
+    pub threshold: f64,
+    /// Smallest probed load observed saturated. When
+    /// [`saturated_in_range`](Self::saturated_in_range) is false the
+    /// network never crossed the threshold and this holds the search's
+    /// upper rate bound.
+    pub saturation_load: f64,
+    /// Highest probed load still below the threshold.
+    pub last_stable_load: f64,
+    /// Whether the threshold was crossed within the searched range.
+    pub saturated_in_range: bool,
+    /// Simulation runs spent (probes × seeds).
+    pub runs: u32,
+}
+
+/// One latency-throughput curve: a measured rate grid plus the saturation
+/// search outcome for the same traffic pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadCurve {
+    /// Pattern / topology label.
+    pub label: String,
+    /// Measured grid points, in offered-load order.
+    pub points: Vec<LoadPoint>,
+    /// Saturation search outcome.
+    pub saturation: SaturationSearch,
+}
+
+/// Batch runner: fans independent [`Simulator`] runs over a rate grid ×
+/// seed matrix via [`parallel_map`] and reduces them to [`LoadPoint`]s.
+///
+/// The traffic pattern is supplied as a rate → [`TrafficMatrix`] generator
+/// (see `hyppi_traffic::SyntheticPattern`), so the same runner sweeps
+/// uniform, transpose, Soteriou or NPB-shaped loads.
+pub struct SweepRunner<'a> {
+    topo: &'a Topology,
+    routes: &'a RoutingTable,
+    sim: SimConfig,
+    cfg: SweepConfig,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// Builds a runner. `sim.max_cycles` is replaced by the sweep's
+    /// per-run cap.
+    pub fn new(
+        topo: &'a Topology,
+        routes: &'a RoutingTable,
+        mut sim: SimConfig,
+        cfg: SweepConfig,
+    ) -> Self {
+        assert!(!cfg.seeds.is_empty(), "at least one seed required");
+        assert!(cfg.measure > 0, "measurement window must be non-empty");
+        assert!(cfg.sat_multiple > 1.0, "saturation multiple must exceed 1");
+        assert!(
+            cfg.zero_load_rate > 0.0 && cfg.tolerance > 0.0,
+            "rates must be positive"
+        );
+        sim.max_cycles = cfg.run_max_cycles;
+        SweepRunner {
+            topo,
+            routes,
+            sim,
+            cfg,
+        }
+    }
+
+    /// The sweep configuration in force.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    fn run_one(&self, matrix: &TrafficMatrix, seed: u64) -> Result<SimStats, SimError> {
+        Simulator::new(self.topo, self.routes, self.sim).run_synthetic(
+            matrix,
+            self.cfg.warmup,
+            self.cfg.measure,
+            seed,
+        )
+    }
+
+    /// Reduces per-seed outcomes for one offered load to a [`LoadPoint`].
+    fn reduce(&self, offered: f64, outcomes: Vec<Result<SimStats, SimError>>) -> LoadPoint {
+        let nodes = self.topo.num_nodes() as f64;
+        let mut latency = LatencyStats::default();
+        let mut completed = 0u32;
+        let mut cycles = 0u64;
+        for stats in outcomes.iter().flatten() {
+            latency.merge(&stats.all);
+            cycles += stats.cycles;
+            completed += 1;
+        }
+        let stable = completed as usize == outcomes.len();
+        // Synthetic packets are 1 flit, so measured packets = measured
+        // flits; normalize by the measured injection window.
+        let throughput = if completed == 0 {
+            0.0
+        } else {
+            latency.count as f64 / (f64::from(completed) * self.cfg.measure as f64 * nodes)
+        };
+        LoadPoint {
+            offered,
+            latency,
+            throughput,
+            cycles,
+            completed_runs: completed,
+            stable,
+        }
+    }
+
+    /// Runs every seed of one traffic matrix in parallel and merges them.
+    pub fn run_point(&self, matrix: &TrafficMatrix) -> LoadPoint {
+        let offered = matrix.mean_injection();
+        let outcomes = parallel_map(self.cfg.seeds.clone(), |seed| self.run_one(matrix, seed));
+        self.reduce(offered, outcomes)
+    }
+
+    /// Sweeps a rate grid: all (rate × seed) runs fan out across threads
+    /// at once, then each rate's seeds are merged. Points come back in
+    /// `rates` order.
+    pub fn run_grid<G>(&self, gen: &G, rates: &[f64]) -> Vec<LoadPoint>
+    where
+        G: Fn(f64) -> TrafficMatrix + Sync,
+    {
+        let matrices: Vec<TrafficMatrix> = rates.iter().map(|&r| gen(r)).collect();
+        let mut jobs = Vec::with_capacity(rates.len() * self.cfg.seeds.len());
+        for i in 0..rates.len() {
+            for &seed in &self.cfg.seeds {
+                jobs.push((i, seed));
+            }
+        }
+        let outs = parallel_map(jobs, |(i, seed)| (i, self.run_one(&matrices[i], seed)));
+        let mut per_rate: Vec<Vec<Result<SimStats, SimError>>> =
+            (0..rates.len()).map(|_| Vec::new()).collect();
+        for (i, out) in outs {
+            per_rate[i].push(out);
+        }
+        matrices
+            .iter()
+            .zip(per_rate)
+            .map(|(m, outcomes)| self.reduce(m.mean_injection(), outcomes))
+            .collect()
+    }
+
+    /// Mean latency at the zero-load probe rate.
+    pub fn zero_load_latency<G>(&self, gen: &G) -> f64
+    where
+        G: Fn(f64) -> TrafficMatrix + Sync,
+    {
+        self.run_point(&gen(self.cfg.zero_load_rate)).mean_latency()
+    }
+
+    /// Bisection search for the saturation point: the smallest offered
+    /// load in `(zero_load_rate, max_rate]` whose mean latency exceeds
+    /// `sat_multiple ×` the zero-load latency, or whose runs no longer
+    /// complete. Mean latency grows monotonically with offered load for
+    /// the Bernoulli injectors used here, which is what makes bisection
+    /// sound; the reported load is never below a probed stable rate.
+    pub fn find_saturation<G>(&self, gen: &G, max_rate: f64) -> SaturationSearch
+    where
+        G: Fn(f64) -> TrafficMatrix + Sync,
+    {
+        assert!(
+            max_rate > self.cfg.zero_load_rate,
+            "degenerate search range"
+        );
+        let seeds = self.cfg.seeds.len() as u32;
+        let zero_load_latency = self.zero_load_latency(gen);
+        let threshold = self.cfg.sat_multiple * zero_load_latency;
+        let saturated = |p: &LoadPoint| !p.stable || p.mean_latency() > threshold;
+
+        let mut lo = self.cfg.zero_load_rate;
+        let mut hi = max_rate;
+        let mut runs = 2 * seeds; // zero-load probe + top-of-range probe
+        if !saturated(&self.run_point(&gen(hi))) {
+            // The network never saturates within the searched range.
+            return SaturationSearch {
+                zero_load_latency,
+                threshold,
+                saturation_load: hi,
+                last_stable_load: hi,
+                saturated_in_range: false,
+                runs,
+            };
+        }
+        while hi - lo > self.cfg.tolerance {
+            let mid = 0.5 * (lo + hi);
+            runs += seeds;
+            if saturated(&self.run_point(&gen(mid))) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        SaturationSearch {
+            zero_load_latency,
+            threshold,
+            saturation_load: hi,
+            last_stable_load: lo,
+            saturated_in_range: true,
+            runs,
+        }
+    }
+
+    /// One full curve: the measured grid plus the saturation search.
+    pub fn run_curve<G>(
+        &self,
+        label: impl Into<String>,
+        gen: &G,
+        rates: &[f64],
+        max_rate: f64,
+    ) -> LoadCurve
+    where
+        G: Fn(f64) -> TrafficMatrix + Sync,
+    {
+        LoadCurve {
+            label: label.into(),
+            points: self.run_grid(gen, rates),
+            saturation: self.find_saturation(gen, max_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppi_phys::{Gbps, LinkTechnology};
+    use hyppi_topology::{mesh, MeshSpec};
+    use hyppi_traffic::SyntheticPattern;
+
+    fn small_mesh(w: u16, h: u16) -> Topology {
+        mesh(MeshSpec {
+            width: w,
+            height: h,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        })
+    }
+
+    // -- parallel_map (moved from hyppi-analytic) ------------------------
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(vec![7], |x: u64| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_heavier_work_still_ordered() {
+        let out = parallel_map((0..32).collect(), |x: u64| {
+            // Unequal work per item to shuffle completion order.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    // -- sweep runner ----------------------------------------------------
+
+    #[test]
+    fn zero_load_latency_matches_topology() {
+        // 2×1 mesh: every packet crosses one hop, 3 + 1 + 3 = 7 cycles; at
+        // the zero-load probe rate contention is negligible.
+        let topo = small_mesh(2, 1);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let zl = runner.zero_load_latency(&gen);
+        assert!((6.9..8.0).contains(&zl), "zero-load latency {zl}");
+    }
+
+    #[test]
+    fn grid_latency_grows_with_load() {
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let points = runner.run_grid(&gen, &[0.02, 0.30]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.stable && p.latency.count > 0));
+        assert!(points[1].mean_latency() > points[0].mean_latency());
+        // Percentiles order correctly on a congested point.
+        let p = &points[1];
+        assert!(p.latency.p50() <= p.latency.p95());
+        assert!(p.latency.p95() <= p.latency.p99());
+        assert!(p.latency.p99() <= p.latency.max);
+        // Accepted throughput tracks offered load while stable.
+        assert!(points[0].throughput > 0.0);
+    }
+
+    #[test]
+    fn saturation_search_brackets_and_is_deterministic() {
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let a = runner.find_saturation(&gen, 1.0);
+        assert!(a.saturated_in_range, "4×4 uniform saturates below 1.0");
+        // The reported saturation load is bracketed by construction.
+        assert!(a.saturation_load > a.last_stable_load);
+        assert!(a.saturation_load - a.last_stable_load <= runner.config().tolerance + 1e-12);
+        assert!(a.saturation_load > runner.config().zero_load_rate);
+        assert!(a.saturation_load < 1.0);
+        // Same seeds ⇒ identical outcome, including the probe count.
+        let b = runner.find_saturation(&gen, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsaturable_range_reports_no_crossing() {
+        // 2×1 mesh searched only up to a tiny rate: never saturates.
+        let topo = small_mesh(2, 1);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let s = runner.find_saturation(&gen, 0.02);
+        assert!(!s.saturated_in_range);
+        assert_eq!(s.saturation_load, 0.02);
+        assert_eq!(s.last_stable_load, 0.02);
+    }
+
+    #[test]
+    fn run_curve_combines_grid_and_search() {
+        let topo = small_mesh(3, 3);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let curve = runner.run_curve("uniform 3x3", &gen, &[0.02, 0.10], 1.0);
+        assert_eq!(curve.label, "uniform 3x3");
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.saturation.zero_load_latency > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_seed_list() {
+        let topo = small_mesh(2, 1);
+        let routes = RoutingTable::compute_xy(&topo);
+        let cfg = SweepConfig {
+            seeds: vec![],
+            ..SweepConfig::quick()
+        };
+        let _ = SweepRunner::new(&topo, &routes, SimConfig::paper(), cfg);
+    }
+}

@@ -119,6 +119,19 @@ fn assert_synthetic_parity(topo: &Topology, seed: u64, label: &str) {
         .run_synthetic(&m, 150, 600, seed)
         .expect("reference engine completes");
     assert_eq!(new, reference, "synthetic parity diverged: {label}");
+    // `SimStats` equality already covers the histogram arrays; spell the
+    // derived tail statistics out too so a change to the percentile
+    // estimator itself (not just the collection) is caught against the
+    // frozen engine's data.
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(
+            new.all.percentile(q),
+            reference.all.percentile(q),
+            "p{} diverged: {label}",
+            (q * 100.0) as u32
+        );
+    }
+    assert!(new.all.histogram.iter().sum::<u64>() == new.all.count);
 }
 
 /// The fixture matrix from the issue: ≥3 seeds × {plain mesh, express
@@ -215,5 +228,49 @@ fn golden_zero_load_anchors() {
         assert_eq!(stats.total_flit_hops(), 1);
         // Source switch + destination switch.
         assert_eq!(stats.total_router_traversals(), 2);
+        // The log-linear histogram buckets 7-cycle latencies exactly
+        // (values below 8 are their own bucket), so every percentile of
+        // the single-packet run is 7.
+        assert_eq!(stats.all.histogram[7], 1);
+        assert_eq!(stats.all.histogram.iter().sum::<u64>(), 1);
+        assert_eq!(stats.all.p50(), 7);
+        assert_eq!(stats.all.p99(), 7);
+    }
+}
+
+/// Latency histograms and their percentile read-outs agree bit-for-bit
+/// between the engines under heavy contention, where latencies span many
+/// octaves of the log-linear histogram.
+#[test]
+fn histogram_parity_under_contention() {
+    let topo = plain_mesh(4, 4);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let mut events = Vec::new();
+    for s in 0..16u16 {
+        for k in 1..16u16 {
+            events.push(TraceEvent {
+                cycle: 0,
+                src: NodeId(s),
+                dst: NodeId((s + k) % 16),
+                flits: 32,
+            });
+        }
+    }
+    let trace = Trace::new("histogram burst", 16, 0.0, events);
+    let new = Simulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("completes");
+    let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("completes");
+    assert_eq!(new.all.histogram, reference.all.histogram);
+    assert_eq!(new.data.histogram, reference.data.histogram);
+    // The burst spreads latencies across several buckets, so the tail
+    // statistics are non-degenerate.
+    assert!(new.all.histogram.iter().filter(|&&c| c > 0).count() > 3);
+    assert!(new.all.p50() < new.all.p99());
+    for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(new.all.percentile(q), reference.all.percentile(q));
     }
 }

@@ -2,7 +2,7 @@
 //! electrical wire parameters used for the electronic baseline.
 //!
 //! These are *inputs* to every model in the workspace. The paper takes them
-//! from the literature ([14], [9] in its bibliography); we transcribe them
+//! from the literature (\[14\], \[9\] in its bibliography); we transcribe them
 //! verbatim. Where Table I lists two modulator speeds — the peak device
 //! capability and the SERDES-limited rate used at the NoC level (in
 //! parentheses in the paper) — both are kept.

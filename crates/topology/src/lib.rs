@@ -8,7 +8,8 @@
 //!   "effectively a 2D torus" in the paper's words;
 //! * a full **torus** and an **all-optical mesh** for the §V projections.
 //!
-//! Every link carries a [`LinkTechnology`] and a latency in clock cycles
+//! Every link carries a [`LinkTechnology`](hyppi_phys::LinkTechnology)
+//! and a latency in clock cycles
 //! following Table II: 1 cycle for electronic links, 2 cycles for optical
 //! links (1 propagation + 1 O-E conversion).
 //!

@@ -2,7 +2,7 @@
 //!
 //! Two traffic sources drive the paper's evaluation:
 //!
-//! * the **Soteriou statistical model** (§III-B; [15] in the paper) with
+//! * the **Soteriou statistical model** (§III-B; \[15\] in the paper) with
 //!   acceptance probability `p = 0.02`, injection spread `σ = 0.4` and a
 //!   maximum injection rate of 0.1 flits/node/cycle — used for the
 //!   design-space exploration and the all-optical projections
@@ -18,12 +18,16 @@
 //!
 //! Supporting machinery: dense [`matrix::TrafficMatrix`] rate matrices,
 //! [`packetize`] (the paper's 1-flit / 32-flit packet split), the
-//! [`trace::Trace`] event container with a compact binary format, and
-//! [`volume::CommVolume`] flit-count aggregation for energy accounting.
+//! [`trace::Trace`] event container with a compact binary format,
+//! [`volume::CommVolume`] flit-count aggregation for energy accounting,
+//! and rate-scaled [`patterns::SyntheticPattern`] generators (uniform,
+//! transpose, complement, hotspot, Soteriou, NPB-shaped) that feed the
+//! simulator's load sweeps.
 
 pub mod matrix;
 pub mod npb;
 pub mod packetize;
+pub mod patterns;
 pub mod soteriou;
 pub mod trace;
 pub mod volume;
@@ -31,6 +35,7 @@ pub mod volume;
 pub use matrix::TrafficMatrix;
 pub use npb::{NpbKernel, NpbTraceSpec};
 pub use packetize::{packetize_message, Packet, DATA_PACKET_FLITS};
+pub use patterns::SyntheticPattern;
 pub use soteriou::SoteriouConfig;
 pub use trace::{Trace, TraceEvent};
 pub use volume::CommVolume;
