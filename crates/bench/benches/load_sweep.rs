@@ -33,6 +33,55 @@ fn bench(c: &mut Criterion) {
         b.iter(|| quick.find_saturation(&gen, 0.8))
     });
     group.finish();
+
+    // Shard scaling on the 32×32 mesh the sweeps exist to open: the same
+    // uniform point on the P=1 engine, the quadrant-sharded engine, and
+    // the sharded protocol forced onto one thread (protocol overhead).
+    let big = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let big_routes = RoutingTable::compute_xy(&big);
+    let big_gen = |r: f64| SyntheticPattern::Uniform.matrix(&big, r);
+    let m32 = big_gen(0.10);
+    let mut shard_group = c.benchmark_group("shard_32x32");
+    shard_group.sample_size(10);
+    shard_group.bench_function("uniform_point_r0.10_p1", |b| {
+        b.iter(|| {
+            Simulator::new(&big, &big_routes, SimConfig::paper())
+                .run_synthetic(&m32, 100, 300, 11)
+                .expect("completes")
+        })
+    });
+    shard_group.bench_function("uniform_point_r0.10_4shards", |b| {
+        b.iter(|| {
+            ShardedSimulator::new(
+                &big,
+                &big_routes,
+                SimConfig::paper(),
+                ShardSpec::quadrants(),
+            )
+            .run_synthetic(&m32, 100, 300, 11)
+            .expect("completes")
+        })
+    });
+    shard_group.bench_function("uniform_point_r0.10_4shards_seq", |b| {
+        b.iter(|| {
+            ShardedSimulator::new(
+                &big,
+                &big_routes,
+                SimConfig::paper(),
+                ShardSpec::quadrants(),
+            )
+            .with_threads(1)
+            .run_synthetic(&m32, 100, 300, 11)
+            .expect("completes")
+        })
+    });
+    shard_group.finish();
 }
 
 criterion_group!(benches, bench);

@@ -4,14 +4,45 @@
 //! cargo run --release -p hyppi-bench --bin repro            # everything
 //! cargo run --release -p hyppi-bench --bin repro fig6       # one artefact
 //! cargo run --release -p hyppi-bench --bin repro load_sweep # latency-load curves
+//! cargo run --release -p hyppi-bench --bin repro load_sweep -- --json curves.json
+//! cargo run --release -p hyppi-bench --bin repro load_sweep32 -- --shards 4
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
 
 use hyppi::experiments::{fig3, fig5, fig8, table1, table2, table3, table4, table5, table6};
 use hyppi::prelude::*;
 
+/// Value of a `--flag VALUE` pair anywhere in the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes the JSON export of a load-sweep dataset when `--json PATH` was
+/// given.
+fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResult) {
+    if let Some(path) = flag_value(args, "--json") {
+        match std::fs::write(&path, result.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // First token that is neither a --flag nor a --flag's value.
+    let arg = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || !args[i - 1].starts_with("--")))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| "all".into());
     let all = arg == "all";
     let mut ran = false;
 
@@ -83,7 +114,26 @@ fn main() {
         // the ablations.
         ran = true;
         println!("## Load sweep — latency-throughput curves + saturation loads");
-        println!("{}", hyppi::experiments::load_sweep().render());
+        let r = hyppi::experiments::load_sweep();
+        println!("{}", r.render());
+        maybe_write_json(&args, &r);
+    }
+    if arg == "load_sweep32" {
+        // The 32×32 scale-up through the sharded engine; minutes of
+        // runtime, on-demand only.
+        ran = true;
+        let shards: usize = flag_value(&args, "--shards")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(4);
+        println!("## Load sweep 32x32 — sharded engine, {shards} shards");
+        let r = hyppi::experiments::load_sweep32(shards);
+        println!("{}", r.render());
+        maybe_write_json(&args, &r);
     }
     if arg == "sweep-span" {
         ran = true;
@@ -112,7 +162,9 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
-             load_sweep, sweep-span, sweep-rate, sweep-vcs, sweep-buffers, sweep-routing"
+             load_sweep, load_sweep32, sweep-span, sweep-rate, sweep-vcs, sweep-buffers, \
+             sweep-routing (load_sweep/load_sweep32 accept --json PATH; load_sweep32 \
+             accepts --shards N)"
         );
         std::process::exit(2);
     }

@@ -3,16 +3,22 @@
 //! The paper's headline network results are latency-vs-offered-load
 //! curves; this driver reproduces that methodology on the paper's 16×16
 //! mesh for the synthetic patterns (uniform, Soteriou, transpose), the
-//! spatial shape of every NPB kernel, and an express-mesh topology
-//! variant. Each curve reports mean latency plus p50/p95/p99 tails from
-//! the simulator's log-linear histograms, accepted throughput, and the
-//! bisection-searched saturation load (mean latency crossing
-//! `sat_multiple ×` the zero-load latency — see
-//! `hyppi_netsim::sweep`).
+//! spatial shape of every NPB kernel, and the express-mesh topology
+//! variants (spans 3, 5 and 15 — the full Fig. 2b family). Each curve
+//! reports mean latency plus p50/p95/p99 tails from the simulator's
+//! log-linear histograms, accepted throughput, and the bisection-searched
+//! saturation load (mean latency crossing `sat_multiple ×` the zero-load
+//! latency — see `hyppi_netsim::sweep`).
+//!
+//! [`load_sweep32`] scales the methodology to a 32×32 mesh by routing
+//! every run through the sharded engine
+//! (`hyppi_netsim::ShardedSimulator`), and [`LoadSweepResult::to_json`]
+//! emits the whole dataset — curves and saturation table — as plot-ready
+//! JSON (hand-rolled writer; the vendored `serde` derives are no-ops).
 
 use crate::table::TextTable;
 use hyppi_netsim::{LoadCurve, SimConfig, SweepConfig, SweepRunner};
-use hyppi_phys::LinkTechnology;
+use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
 use hyppi_traffic::{NpbKernel, SyntheticPattern};
 use serde::{Deserialize, Serialize};
@@ -108,6 +114,85 @@ impl LoadSweepResult {
         out.push_str(&self.saturation_table().render());
         out
     }
+
+    /// Serializes the dataset as plot-ready JSON: one object per curve
+    /// with its grid points (offered/accepted load, mean and tail
+    /// latencies, stability) and the saturation-search outcome, plus the
+    /// flattened saturation table. Hand-rolled writer, same pattern as
+    /// `perfcheck` — the vendored `serde` is a no-op stand-in.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut j = String::from("{\n  \"curves\": [\n");
+        for (ci, c) in self.curves.iter().enumerate() {
+            let _ = writeln!(j, "    {{ \"label\": \"{}\",", esc(&c.label));
+            let s = &c.saturation;
+            let _ = writeln!(
+                j,
+                "      \"saturation\": {{ \"zero_load_latency\": {:.4}, \"threshold\": {:.4}, \"saturation_load\": {:.4}, \"last_stable_load\": {:.4}, \"saturated_in_range\": {}, \"runs\": {} }},",
+                s.zero_load_latency,
+                s.threshold,
+                s.saturation_load,
+                s.last_stable_load,
+                s.saturated_in_range,
+                s.runs
+            );
+            j.push_str("      \"points\": [\n");
+            for (pi, p) in c.points.iter().enumerate() {
+                let _ = write!(
+                    j,
+                    "        {{ \"offered\": {:.4}, \"accepted\": {:.4}, \"mean_latency\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"packets\": {}, \"cycles\": {}, \"completed_runs\": {}, \"stable\": {} }}",
+                    p.offered,
+                    p.throughput,
+                    p.mean_latency(),
+                    p.latency.p50(),
+                    p.latency.p95(),
+                    p.latency.p99(),
+                    p.latency.max,
+                    p.latency.count,
+                    p.cycles,
+                    p.completed_runs,
+                    p.stable
+                );
+                j.push_str(if pi + 1 == c.points.len() {
+                    "\n"
+                } else {
+                    ",\n"
+                });
+            }
+            j.push_str("      ]\n    }");
+            j.push_str(if ci + 1 == self.curves.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        j.push_str("  ],\n  \"saturation_table\": [\n");
+        for (ci, c) in self.curves.iter().enumerate() {
+            let sustained = c
+                .points
+                .iter()
+                .filter(|p| p.stable && p.mean_latency() <= c.saturation.threshold)
+                .map(|p| p.throughput)
+                .fold(0.0f64, f64::max);
+            let _ = write!(
+                j,
+                "    {{ \"curve\": \"{}\", \"zero_load_latency\": {:.4}, \"saturation_load\": {:.4}, \"saturated_in_range\": {}, \"sustained_accepted\": {:.4} }}",
+                esc(&c.label),
+                c.saturation.zero_load_latency,
+                c.saturation.saturation_load,
+                c.saturation.saturated_in_range,
+                sustained
+            );
+            j.push_str(if ci + 1 == self.curves.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
 }
 
 /// Sweeps `patterns` on one topology, labelling curves
@@ -132,9 +217,12 @@ pub fn sweep_curves(
 }
 
 /// The full figure: synthetic patterns + per-kernel NPB shapes on the
-/// paper's plain 16×16 mesh, plus the uniform pattern on the span-5
-/// express variant. Every underlying run is deterministic, so the whole
-/// dataset is reproducible bit-for-bit.
+/// paper's plain 16×16 mesh, plus the uniform pattern on every express
+/// variant the paper studies (spans 3, 5 and 15 — the dateline VC
+/// discipline and 2-cycle optical links shift each saturation knee
+/// differently, and the saturation table covers all of them). Every
+/// underlying run is deterministic, so the whole dataset is reproducible
+/// bit-for-bit.
 pub fn load_sweep() -> LoadSweepResult {
     let cfg = SweepConfig::paper();
     let plain = mesh(MeshSpec::paper(LinkTechnology::Electronic));
@@ -148,30 +236,68 @@ pub fn load_sweep() -> LoadSweepResult {
         &SWEEP_RATES,
         SWEEP_MAX_RATE,
     );
-    // Topology variant: express span 5 under uniform load (the dateline VC
-    // discipline and 2-cycle optical links shift the saturation knee).
-    let xpress = express_mesh(
-        MeshSpec::paper(LinkTechnology::Electronic),
-        ExpressSpec {
-            span: 5,
-            tech: LinkTechnology::Hyppi,
-        },
-    );
-    curves.extend(sweep_curves(
-        &xpress,
-        "express-x5",
-        &[SyntheticPattern::Uniform],
+    for span in [3u16, 5, 15] {
+        let xpress = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        curves.extend(sweep_curves(
+            &xpress,
+            &format!("express-x{span}"),
+            &[SyntheticPattern::Uniform],
+            &cfg,
+            &SWEEP_RATES,
+            SWEEP_MAX_RATE,
+        ));
+    }
+    LoadSweepResult { curves }
+}
+
+/// The 32×32 scale-up: uniform and transpose latency-throughput curves
+/// on a 1024-node mesh, each run partitioned across `shards` shards of
+/// the parallel engine (`hyppi_netsim::ShardedSimulator`). The serial
+/// engine could not sweep this mesh in reasonable time; sharding opens
+/// it. Statistics are bit-for-bit independent of the shard count, so the
+/// dataset is reproducible on any host.
+pub fn load_sweep32(shards: usize) -> LoadSweepResult {
+    let cfg = SweepConfig {
+        // The 1024-node mesh is ~4× the per-cycle work of the paper mesh;
+        // a slightly shorter window keeps the full sweep affordable while
+        // measuring ~4× the packets per cycle.
+        warmup: 400,
+        measure: 1500,
+        // The rate × seed fan-out of the batch runner already saturates
+        // the host; keep each sharded run on its batch worker's thread
+        // instead of oversubscribing with per-run worker pools (results
+        // are bit-for-bit identical either way).
+        threads: 1,
+        ..SweepConfig::paper()
+    }
+    .with_shards(shards);
+    let topo = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let curves = sweep_curves(
+        &topo,
+        "mesh32",
+        &[SyntheticPattern::Uniform, SyntheticPattern::Transpose],
         &cfg,
         &SWEEP_RATES,
         SWEEP_MAX_RATE,
-    ));
+    );
     LoadSweepResult { curves }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyppi_phys::Gbps;
 
     // The full-size figure runs in the `repro` binary; the unit test
     // exercises the machinery on a small mesh for speed.
@@ -210,5 +336,76 @@ mod tests {
         let rendered = r.render();
         assert!(rendered.contains("Saturation summary"));
         assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn json_export_is_structured_and_balanced() {
+        let topo = mesh(MeshSpec {
+            width: 4,
+            height: 4,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        });
+        let curves = sweep_curves(
+            &topo,
+            "4x4",
+            &[SyntheticPattern::Uniform],
+            &SweepConfig::quick(),
+            &[0.02, 0.10],
+            0.8,
+        );
+        let r = LoadSweepResult { curves };
+        let j = r.to_json();
+        for key in [
+            "\"curves\"",
+            "\"label\": \"uniform 4x4\"",
+            "\"saturation\"",
+            "\"points\"",
+            "\"offered\"",
+            "\"p95\"",
+            "\"saturation_table\"",
+            "\"sustained_accepted\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        // Balanced braces/brackets (a cheap well-formedness check given
+        // the vendored serde cannot parse).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Two grid points per curve.
+        assert_eq!(j.matches("\"offered\"").count(), 2);
+    }
+
+    #[test]
+    fn sharded_small_sweep_matches_unsharded() {
+        // The 32×32 driver is repro-only (minutes of runtime); pin its
+        // machinery — sweep_curves through the sharded engine — on a
+        // small mesh instead.
+        let topo = mesh(MeshSpec {
+            width: 6,
+            height: 6,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        });
+        let rates = [0.03, 0.12];
+        let single = sweep_curves(
+            &topo,
+            "6x6",
+            &[SyntheticPattern::Uniform],
+            &SweepConfig::quick(),
+            &rates,
+            0.8,
+        );
+        let sharded = sweep_curves(
+            &topo,
+            "6x6",
+            &[SyntheticPattern::Uniform],
+            &SweepConfig::quick().with_shards(4),
+            &rates,
+            0.8,
+        );
+        assert_eq!(single, sharded);
     }
 }

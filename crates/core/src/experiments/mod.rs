@@ -13,6 +13,7 @@
 //! | Table VI (optical routers) | [`all_optical::table6`] | router comparison |
 //! | Fig. 8 (all-optical radar) | [`all_optical::fig8`] | latency/energy/area triples |
 //! | load sweep (methodology ext.) | [`load_sweep::load_sweep`] | latency-throughput curves + saturation |
+//! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves via the parallel engine |
 //!
 //! Every driver is deterministic; the `repro` binary in `crates/bench`
 //! regenerates all of them, and `EXPERIMENTS.md` records paper-vs-measured.
@@ -29,6 +30,8 @@ pub use ablations::{buffer_sensitivity, routing_policy_comparison, vc_sensitivit
 pub use all_optical::{fig8, table6, Fig8Result};
 pub use design_space::{fig5, table3, table4, DesignPoint, Fig5Result};
 pub use fig3::{fig3, Fig3Result};
-pub use load_sweep::{load_sweep, sweep_curves, LoadSweepResult, SWEEP_MAX_RATE, SWEEP_RATES};
+pub use load_sweep::{
+    load_sweep, load_sweep32, sweep_curves, LoadSweepResult, SWEEP_MAX_RATE, SWEEP_RATES,
+};
 pub use npb::{fig6, table5, Fig6Result, Table5Result};
 pub use tables::{table1, table2};

@@ -58,7 +58,7 @@ pub mod prelude {
     };
     pub use hyppi_netsim::{
         EnergyCounts, LatencyStats, LoadCurve, LoadPoint, ReferenceSimulator, SaturationSearch,
-        SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
+        ShardedSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
     };
     pub use hyppi_optical::{
         all_optical_projection, AllOpticalDesign, OpticalRouterModel, PortKind, RadarPoint,
@@ -70,7 +70,7 @@ pub mod prelude {
     };
     pub use hyppi_topology::{
         express_mesh, mesh, torus, Coord, ExpressSpec, Link, LinkClass, LinkId, LinkLoads,
-        MeshSpec, NodeId, RoutingTable, Topology, ROUTER_PIPELINE_CYCLES,
+        MeshSpec, NodeId, Partition, RoutingTable, ShardSpec, Topology, ROUTER_PIPELINE_CYCLES,
     };
     pub use hyppi_traffic::{
         packetize_message, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig,

@@ -8,7 +8,10 @@
 //! bit-for-bit parity asserted. A load-sweep section then exercises the
 //! batch runner (`hyppi_netsim::sweep`) and records its throughput
 //! (runs/s, aggregate simulated cycles/s) plus the uniform saturation
-//! load. Results are written to `BENCH_netsim.json` (in the current
+//! load, and a shard-scaling section times a 32×32 uniform cell on the
+//! sharded engine (P=1 vs `--shards N`, parity asserted, host
+//! parallelism recorded so single-core CI numbers read honestly).
+//! Results are written to `BENCH_netsim.json` (in the current
 //! directory) so future PRs can track the perf trajectory.
 //!
 //! ```sh
@@ -16,13 +19,19 @@
 //! cargo run --release -p hyppi-netsim --example perfcheck MG           # one kernel
 //! cargo run --release -p hyppi-netsim --example perfcheck -- --cells MG:0,FT:5
 //! cargo run --release -p hyppi-netsim --example perfcheck -- --fast    # skip baseline
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --shards 8
 //! cargo run --release -p hyppi-netsim --example perfcheck -- --quick   # CI smoke:
-//! #   one small NPB cell + one sweep point, parity asserted on both
+//! #   one small NPB cell + one sweep point + one sharded 32x32 cell,
+//! #   parity asserted on all three
 //! ```
 
-use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner};
+use hyppi_netsim::{
+    ReferenceSimulator, ShardedSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
+};
 use hyppi_phys::{Gbps, LinkTechnology};
-use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
+use hyppi_topology::{
+    express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, ShardSpec, Topology,
+};
 use hyppi_traffic::{NpbKernel, NpbTraceSpec, SyntheticPattern, Trace};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -76,6 +85,37 @@ impl SweepRecord {
 
     fn cycles_per_sec(&self) -> f64 {
         self.aggregate_cycles as f64 / self.grid_secs
+    }
+}
+
+/// Shard-scaling measurements on the 32×32 uniform cell.
+struct ShardRecord {
+    mesh: &'static str,
+    rate: f64,
+    warmup: u64,
+    measure: u64,
+    shards: usize,
+    /// Wall time of the P=1 engine on the cell.
+    single_secs: f64,
+    /// Wall time of the sharded engine, one worker per shard.
+    sharded_secs: f64,
+    /// Wall time of the sharded engine forced onto one thread (protocol
+    /// overhead isolated from parallel speedup).
+    sequential_secs: f64,
+    /// `available_parallelism()` of the machine that produced the record
+    /// — on a single-core host the speedup column cannot exceed ~1.
+    host_threads: usize,
+    packets: u64,
+    cycles: u64,
+}
+
+impl ShardRecord {
+    fn speedup(&self) -> f64 {
+        self.single_secs / self.sharded_secs
+    }
+
+    fn protocol_overhead(&self) -> f64 {
+        self.sequential_secs / self.single_secs
     }
 }
 
@@ -135,10 +175,24 @@ fn main() {
         .position(|a| a == "--cells")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --shards value '{s}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4);
     let positional: Option<String> = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--cells"))
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && (i == 0 || (args[i - 1] != "--cells" && args[i - 1] != "--shards"))
+        })
         .map(|(_, a)| a.clone())
         .next();
     let filter = if let Some(spec) = cells_arg {
@@ -256,6 +310,7 @@ fn main() {
     }
 
     let sweep = run_sweep_section(quick, fast);
+    let shard = run_shard_section(quick, shards);
 
     // Machine-readable record for the perf trajectory.
     let mut json = String::new();
@@ -288,6 +343,23 @@ fn main() {
             "null".into()
         },
         sweep.zero_load_latency,
+    );
+    let _ = writeln!(
+        json,
+        "  \"shard_scaling\": {{ \"mesh\": \"{}\", \"rate\": {:.3}, \"warmup\": {}, \"measure\": {}, \"shards\": {}, \"host_threads\": {}, \"packets\": {}, \"cycles\": {}, \"single_shard_secs\": {:.4}, \"sharded_secs\": {:.4}, \"sequential_sharded_secs\": {:.4}, \"speedup\": {:.4}, \"protocol_overhead\": {:.4} }},",
+        shard.mesh,
+        shard.rate,
+        shard.warmup,
+        shard.measure,
+        shard.shards,
+        shard.host_threads,
+        shard.packets,
+        shard.cycles,
+        shard.single_secs,
+        shard.sharded_secs,
+        shard.sequential_secs,
+        shard.speedup(),
+        shard.protocol_overhead(),
     );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -403,6 +475,76 @@ fn run_sweep_section(quick: bool, fast: bool) -> SweepRecord {
             format!("> {:.3}", record.saturation_load)
         },
         record.zero_load_latency,
+    );
+    record
+}
+
+/// Times the 32×32 uniform cell on the P=1 engine, the sharded engine
+/// (one worker per shard), and the sharded engine forced sequential —
+/// asserting bit-for-bit parity between all three. The recorded
+/// `host_threads` is the machine's `available_parallelism()`: on a
+/// single-core host the speedup column is physically bounded near 1 and
+/// must be read together with it.
+fn run_shard_section(quick: bool, shards: usize) -> ShardRecord {
+    let topo = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let (rate, warmup, measure) = if quick {
+        (0.10, 100, 300)
+    } else {
+        (0.15, 400, 1600)
+    };
+    let m = SyntheticPattern::Uniform.matrix(&topo, rate);
+    let t0 = Instant::now();
+    let single = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, 42)
+        .expect("single-shard engine completes");
+    let single_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+        .run_synthetic(&m, warmup, measure, 42)
+        .expect("sharded engine completes");
+    let sharded_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(sharded, single, "32x32 shard parity violated (threaded)");
+
+    let t2 = Instant::now();
+    let sequential = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+        .with_threads(1)
+        .run_synthetic(&m, warmup, measure, 42)
+        .expect("sequential sharded engine completes");
+    let sequential_secs = t2.elapsed().as_secs_f64();
+    assert_eq!(
+        sequential, single,
+        "32x32 shard parity violated (sequential)"
+    );
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let record = ShardRecord {
+        mesh: "32x32",
+        rate,
+        warmup,
+        measure,
+        shards,
+        single_secs,
+        sharded_secs,
+        sequential_secs,
+        host_threads,
+        packets: single.all.count,
+        cycles: single.cycles,
+    };
+    println!(
+        "SHARD 32x32 uniform r={rate:.2}: P=1 {single_secs:.2}s | {shards} shards {sharded_secs:.2}s ({:.2}x, host_threads={host_threads}) | sequential {sequential_secs:.2}s (protocol {:.2}x) | {} pkts, {} cycles | parity OK",
+        record.speedup(),
+        record.protocol_overhead(),
+        record.packets,
+        record.cycles,
     );
     record
 }

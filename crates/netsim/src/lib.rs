@@ -51,6 +51,27 @@
 //! injects Bernoulli traffic from a [`hyppi_traffic::TrafficMatrix`] for a
 //! fixed warm-up + measurement window, used for load-latency curves.
 //!
+//! ## The sharded parallel engine
+//!
+//! The [`mod@shard`] module partitions the mesh into P rectangular shards
+//! ([`hyppi_topology::ShardSpec`], quadrants by default), each owning its
+//! routers' full active-set state — calendar wheel, bitsets, flit slab.
+//! Shards advance in **cycle-synchronous supersteps**: each superstep is
+//! a step phase (the five pipeline stages, run per shard in parallel) and
+//! an exchange phase, separated by barriers. Boundary-link arrivals and
+//! upstream credit returns travel through per-edge **double-buffered
+//! mailboxes**; because every link has latency ≥ 1 cycle and credits
+//! freed in cycle `t` become visible in `t+1`, a message exchanged at the
+//! end of superstep `t` lands exactly where the in-shard calendar would
+//! have put it — so [`ShardedSimulator`] is **bit-for-bit
+//! `SimStats`-identical** to [`Simulator`], which is itself just the
+//! P=1 case of the same engine core (`shard::ShardState`).
+//! `tests/shard_parity.rs` pins this on 16×16 cells across seeds ×
+//! topologies × workloads. Head flits crossing a boundary carry their
+//! packet's metadata (size, injection cycle, dateline VC class); the
+//! receiving shard mints a local packet handle and re-tags the wormhole's
+//! body flits through a per-(link, VC) remap slot.
+//!
 //! ## Load sweeps and saturation search
 //!
 //! The [`sweep`] module batches independent runs: [`SweepRunner`] fans an
@@ -60,13 +81,16 @@
 //! accepted throughput — while [`SweepRunner::find_saturation`] bisects
 //! for the smallest offered load whose mean latency exceeds a multiple of
 //! the zero-load latency. Both engines share the [`stats::LatencyStats`]
-//! histogram, so sweep statistics stay under the parity oracle.
+//! histogram, so sweep statistics stay under the parity oracle. A
+//! [`SweepConfig::shards`] knob routes each run through the sharded
+//! engine, opening 32×32+ meshes.
 
 pub mod config;
 pub mod energy_counts;
 pub mod flit;
 pub mod reference;
 pub mod router;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
@@ -74,6 +98,7 @@ pub mod sweep;
 pub use config::SimConfig;
 pub use energy_counts::EnergyCounts;
 pub use reference::ReferenceSimulator;
+pub use shard::ShardedSimulator;
 pub use sim::Simulator;
 pub use stats::{LatencyStats, SimStats};
 pub use sweep::{LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner};

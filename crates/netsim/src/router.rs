@@ -15,9 +15,11 @@
 //! routing column, and the NIC source queue. Everything the arbitration
 //! hot path touches — VC flit rings, per-VC state machines, round-robin
 //! pointers, output-VC holders, routed/active bitmasks — lives in flat
-//! structure-of-arrays storage owned by [`crate::Simulator`], indexed by
-//! global VC slot or (node, out-port) entry; see the `sim` module docs
-//! for the layout.
+//! structure-of-arrays storage owned by the engine core
+//! (`crate::shard::ShardState`, of which [`crate::Simulator`] is the
+//! single-shard case), indexed by shard-local VC slot or (node,
+//! out-port) entry; see the `shard` module docs for the layout and the
+//! superstep exchange protocol.
 //!
 //! ## Deadlock freedom (express dateline classes)
 //!

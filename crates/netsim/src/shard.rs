@@ -1,0 +1,2094 @@
+//! Sharded parallel simulation: the engine core plus the superstep
+//! protocol that runs P mesh shards in lockstep.
+//!
+//! ## The engine core
+//!
+//! `ShardState` owns the full active-set router state — calendar wheel,
+//! work/src bitsets, SoA flit slab, arbitration masks — for one subset of
+//! the mesh's nodes (node subsets come from
+//! [`hyppi_topology::Partition`]). `EnginePlan` holds everything
+//! read-only and shared: topology, routing, config, the partition tables,
+//! and the express-dateline memo. The single-shard engine
+//! ([`crate::Simulator`]) is literally a `ShardState` built over the
+//! trivial partition — there is one set of pipeline-stage loops, not two.
+//!
+//! ## The superstep protocol
+//!
+//! With P > 1 shards, every simulated cycle is one superstep of two
+//! phases separated by barriers:
+//!
+//! 1. **Step phase.** Each shard runs the five pipeline stages for its
+//!    own routers. A flit leaving through an intra-shard link is booked
+//!    into the local calendar wheel as usual; a flit leaving through a
+//!    *boundary link* (dst owned by another shard) is appended to the
+//!    per-edge outbox for the destination shard, together with its
+//!    absolute arrival cycle. Credits freed for a boundary link's
+//!    upstream buffer go to the outbox of the shard owning the link's
+//!    source. At the end of the phase each shard swaps its filled
+//!    outboxes into the shared double-buffered mailbox grid.
+//! 2. **Exchange phase.** After the barrier, each shard drains the
+//!    mailboxes addressed to it: boundary credits increment the owner's
+//!    credit counters (visible next cycle — the same timing as the local
+//!    `pending_credits` drain), and boundary flits are booked into the
+//!    receiving wheel at their carried arrival cycle. Because every link
+//!    has latency ≥ 1, a flit sent in superstep `t` arrives in a bucket
+//!    `≥ t+1`, so landing it during the exchange of superstep `t` puts it
+//!    in **exactly** the bucket the in-shard calendar would have used —
+//!    this is what makes the sharded engine bit-for-bit identical to the
+//!    single-shard engine.
+//!
+//! ## Cross-shard packet identity
+//!
+//! Packet bookkeeping (`PacketInfo`, dateline `VcClass`) is shard-local.
+//! A head flit crossing a boundary carries its packet's metadata (size,
+//! injection cycle, current VC class) in the mailbox message; the
+//! receiving shard mints a fresh local packet handle and records it in a
+//! per-(link, VC) remap slot. Wormhole flow control guarantees the flits
+//! of a packet traverse a link's VC contiguously and in order, so body
+//! and tail flits are re-tagged from the same remap slot. Latency is
+//! recorded where the tail ejects, from the carried injection cycle;
+//! [`crate::stats::LatencyStats`] merging is commutative, so the merged
+//! histogram equals the single-shard one exactly.
+//!
+//! ## Lockstep control
+//!
+//! Run-loop decisions (idle fast-forward, termination, cycle-limit
+//! failure) are taken redundantly by every worker from identical data:
+//! each worker scans the *full* trace (admitting only its own sources) or
+//! replays the *same* Bernoulli RNG stream (drawing for every node,
+//! admitting only its own), and per-worker activity flags / next-arrival
+//! cycles are published at the end of each superstep. All workers
+//! therefore jump, step, and stop on the same cycle without a central
+//! coordinator.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketInfo};
+use crate::router::{Emission, NodeState};
+use crate::sim::SimError;
+use crate::stats::SimStats;
+use hyppi_topology::{LinkId, NodeId, Partition, RoutingTable, ShardSpec, Topology};
+use hyppi_traffic::{Trace, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Dateline VC class of a packet (see the `router` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcClass {
+    /// The route never crosses an express link: any VC is safe.
+    Free,
+    /// Express route, before the first express traversal: class A VCs.
+    PreExpress,
+    /// Express route, after the first express traversal: class B VCs.
+    PostExpress,
+}
+
+/// One booked link arrival: (link, destination VC, flit).
+pub(crate) type ArrivalEvent = (u32, u8, Flit);
+
+/// Packed per-slot metadata word: the VC state machine and the ring
+/// cursor of one input VC, in a single `u32` so the arbitration loops
+/// read and write slot state with one memory access.
+///
+/// | bits    | field                                   |
+/// |---------|-----------------------------------------|
+/// | 0..2    | state tag (Idle / Routed / Active)      |
+/// | 2..6    | out-port (valid when Routed or Active)  |
+/// | 6..11   | out-VC (valid when Active)              |
+/// | 11..19  | ring head index                         |
+/// | 19..27  | queue length                            |
+///
+/// Field widths are enforced by `SimConfig::validate` (VCs ≤ 32, buffer
+/// depth ≤ 255) and the per-node port assert in `ShardState::new`.
+pub(crate) mod meta {
+    pub const IDLE: u32 = 0;
+    pub const ROUTED: u32 = 1;
+    pub const ACTIVE: u32 = 2;
+    const TAG_MASK: u32 = 0b11;
+    pub const PORT_SHIFT: u32 = 2;
+    const PORT_MASK: u32 = 0xF;
+    pub const OVC_SHIFT: u32 = 6;
+    const OVC_MASK: u32 = 0x1F;
+    pub const HEAD_SHIFT: u32 = 11;
+    pub const HEAD_MASK: u32 = 0xFF;
+    const LEN_SHIFT: u32 = 19;
+    const LEN_MASK: u32 = 0xFF;
+    /// Adding this to a word increments the queue length.
+    pub const LEN_ONE: u32 = 1 << LEN_SHIFT;
+    /// Clears tag + out-port + out-VC, leaving the ring cursor.
+    pub const STATE_CLEAR: u32 = !((1 << HEAD_SHIFT) - 1);
+
+    #[inline]
+    pub fn tag(m: u32) -> u32 {
+        m & TAG_MASK
+    }
+
+    #[inline]
+    pub fn out_port(m: u32) -> usize {
+        ((m >> PORT_SHIFT) & PORT_MASK) as usize
+    }
+
+    #[inline]
+    pub fn out_vc(m: u32) -> usize {
+        ((m >> OVC_SHIFT) & OVC_MASK) as usize
+    }
+
+    #[inline]
+    pub fn head(m: u32) -> usize {
+        ((m >> HEAD_SHIFT) & HEAD_MASK) as usize
+    }
+
+    #[inline]
+    pub fn len(m: u32) -> usize {
+        ((m >> LEN_SHIFT) & LEN_MASK) as usize
+    }
+}
+
+/// Iterator over the set bits of a mask in cyclic (round-robin) order
+/// starting at `start`: indices `start.., then 0..start`, restricted to
+/// set bits. This visits exactly the candidates a full modular scan
+/// `(start + k) % width` would accept, in the same order, so replacing
+/// the scans with mask walks preserves arbitration bit-for-bit.
+struct CyclicBits {
+    hi: u32,
+    lo: u32,
+}
+
+impl Iterator for CyclicBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        let bits = if self.hi != 0 {
+            &mut self.hi
+        } else if self.lo != 0 {
+            &mut self.lo
+        } else {
+            return None;
+        };
+        let b = bits.trailing_zeros();
+        *bits &= *bits - 1;
+        Some(b as usize)
+    }
+}
+
+#[inline]
+fn cyclic_bits(mask: u32, start: usize) -> CyclicBits {
+    debug_assert!(start < 32);
+    let hi_mask = u32::MAX << start;
+    CyclicBits {
+        hi: mask & hi_mask,
+        lo: mask & !hi_mask,
+    }
+}
+
+// ---- shared read-only plan ---------------------------------------------
+
+/// Everything shared and immutable across the shards of one simulation:
+/// topology, routing, configuration, partition tables, and the
+/// express-dateline route memo.
+pub(crate) struct EnginePlan<'a> {
+    pub topo: &'a Topology,
+    pub routes: &'a RoutingTable,
+    pub cfg: SimConfig,
+    pub partition: Partition,
+    /// Express-dateline VC classes in force (see `router` module docs).
+    pub dateline: bool,
+    /// First class-B VC when the dateline is in force (see `vc_range`).
+    pub class_b_start: usize,
+    /// `express_on_path[dst][node]`: does the route node→dst cross an
+    /// express link? Only populated when the dateline is in force.
+    express_on_path: Vec<Vec<bool>>,
+    /// In-port index (at the link's dst node) fed by each link.
+    pub in_port_of_link: Vec<u8>,
+    /// Per-link latency in cycles (dense copy of the topology's).
+    pub latency_of_link: Vec<u32>,
+    /// Per-link express flag (dense copy of the topology's).
+    pub express_link: Vec<bool>,
+    /// Calendar wheel length (power of two > max link latency).
+    pub wheel_len: usize,
+    /// For each shard, the sorted shards that may address mail to it
+    /// (boundary-flit senders and boundary-credit returners).
+    pub inbox_sources: Vec<Vec<u16>>,
+}
+
+impl<'a> EnginePlan<'a> {
+    pub fn new(
+        topo: &'a Topology,
+        routes: &'a RoutingTable,
+        cfg: SimConfig,
+        partition: Partition,
+    ) -> Self {
+        assert_eq!(routes.num_nodes(), topo.num_nodes());
+        cfg.validate();
+        let dateline = topo.count_links(|l| l.is_express()) > 0;
+        // Which (node → dst) routes cross an express link: walk each
+        // destination's next-hop tree once, memoized.
+        let mut express_on_path: Vec<Vec<bool>> = Vec::new();
+        if dateline {
+            express_on_path.reserve(topo.num_nodes());
+            for dst in topo.nodes() {
+                let mut table = vec![false; topo.num_nodes()];
+                let mut visited = vec![false; topo.num_nodes()];
+                visited[dst.index()] = true;
+                for start in topo.nodes() {
+                    if visited[start.index()] {
+                        continue;
+                    }
+                    let mut chain = Vec::new();
+                    let mut at = start;
+                    while !visited[at.index()] {
+                        chain.push(at);
+                        let lid = routes.next_link(at, dst).expect("connected");
+                        let link = topo.link(lid);
+                        if link.is_express() {
+                            // Everything up the chain routes through here.
+                            for &n in &chain {
+                                table[n.index()] = true;
+                                visited[n.index()] = true;
+                            }
+                            chain.clear();
+                        }
+                        at = link.dst;
+                    }
+                    // Remaining chain inherits the memoized answer at `at`.
+                    let tail = table[at.index()];
+                    for &n in &chain {
+                        table[n.index()] = tail;
+                        visited[n.index()] = true;
+                    }
+                }
+                express_on_path.push(table);
+            }
+        }
+        let mut in_port_of_link = vec![0u8; topo.links().len()];
+        for node in topo.nodes() {
+            for (i, &lid) in topo.incoming(node).iter().enumerate() {
+                in_port_of_link[lid.index()] = (i + 1) as u8;
+            }
+        }
+        let latency_of_link: Vec<u32> = topo.links().iter().map(|l| l.latency_cycles).collect();
+        let express_link: Vec<bool> = topo.links().iter().map(|l| l.is_express()).collect();
+        // Calendar sized to cover the longest link latency. Zero-latency
+        // links would land arrivals in the bucket stage 1 already drained
+        // this cycle (delivering them a whole revolution late), so the
+        // wheel requires every latency ≥ 1 — same-cycle delivery is not a
+        // thing in the reference engine either. Latency ≥ 1 is also what
+        // lets the superstep exchange land boundary flits on time.
+        assert!(
+            topo.links().iter().all(|l| l.latency_cycles >= 1),
+            "link latencies must be >= 1 cycle"
+        );
+        let max_latency = topo
+            .links()
+            .iter()
+            .map(|l| u64::from(l.latency_cycles))
+            .max()
+            .unwrap_or(1);
+        let wheel_len = (max_latency + 2).next_power_of_two() as usize;
+        // Shard mail adjacency: s receives flits over links into it and
+        // credits over links out of it.
+        let shards = partition.num_shards();
+        let mut sources: Vec<Vec<u16>> = vec![Vec::new(); shards];
+        for l in topo.links() {
+            let s = partition.link_src_shard[l.id.index()];
+            let d = partition.link_dst_shard[l.id.index()];
+            if s != d {
+                if !sources[usize::from(d)].contains(&s) {
+                    sources[usize::from(d)].push(s);
+                }
+                if !sources[usize::from(s)].contains(&d) {
+                    sources[usize::from(s)].push(d);
+                }
+            }
+        }
+        for v in &mut sources {
+            v.sort_unstable();
+        }
+        EnginePlan {
+            topo,
+            routes,
+            cfg,
+            partition,
+            dateline,
+            class_b_start: cfg.vcs - (cfg.vcs / 4).max(1),
+            express_on_path,
+            in_port_of_link,
+            latency_of_link,
+            express_link,
+            wheel_len,
+            inbox_sources: sources,
+        }
+    }
+
+    /// VC index range usable by a packet of the given dateline class.
+    ///
+    /// Class B (post-express walks — short and comparatively rare) gets
+    /// the top quarter of the VCs; everything else (packets before their
+    /// express traversal and packets that never touch an express link)
+    /// shares the rest. Class-B channels are only ever requested by
+    /// post-express packets, whose walks are monotone, so class-B
+    /// dependencies are acyclic and no dependency points from class B back
+    /// to class A (see the `router` module docs). Without express links no
+    /// discipline is needed and every VC is open.
+    #[inline]
+    pub fn vc_range(&self, class: VcClass) -> std::ops::Range<usize> {
+        if !self.dateline {
+            return 0..self.cfg.vcs;
+        }
+        match class {
+            VcClass::Free | VcClass::PreExpress => 0..self.class_b_start,
+            VcClass::PostExpress => self.class_b_start..self.cfg.vcs,
+        }
+    }
+
+    /// Whether the deterministic route src → dst crosses an express link
+    /// (always `false` on topologies without express links).
+    pub fn route_uses_express(&self, src: NodeId, dst: NodeId) -> bool {
+        self.dateline && src != dst && self.express_on_path[dst.index()][src.index()]
+    }
+
+    /// Initial dateline class of a new packet.
+    #[inline]
+    pub fn initial_class(&self, src: NodeId, dst: NodeId) -> VcClass {
+        if self.route_uses_express(src, dst) {
+            VcClass::PreExpress
+        } else {
+            VcClass::Free
+        }
+    }
+}
+
+// ---- mailboxes ----------------------------------------------------------
+
+/// One boundary-crossing flit: the wire-level event plus, for head flits,
+/// the packet metadata the receiving shard needs to mint a local handle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BoundaryFlit {
+    /// Link being traversed.
+    pub link: u32,
+    /// Destination VC at the receiving router.
+    pub vc: u8,
+    /// Absolute arrival cycle (`send cycle + link latency`).
+    pub arrive: u64,
+    /// The flit; its `packet` id is sender-local and is re-mapped on
+    /// ingest.
+    pub flit: Flit,
+    /// Packet dateline class at send time (meaningful for heads).
+    pub class: VcClass,
+    /// Packet size in flits (meaningful for heads).
+    pub flits: u32,
+    /// Packet injection cycle, `u64::MAX` if unmeasured (heads only).
+    pub inject_cycle: u64,
+}
+
+/// The messages one shard sends another during one superstep.
+#[derive(Debug, Default)]
+pub(crate) struct OutBundle {
+    /// Boundary link arrivals.
+    pub flits: Vec<BoundaryFlit>,
+    /// Boundary credit returns, flattened `link * vcs + vc` indices.
+    pub credits: Vec<u32>,
+}
+
+impl OutBundle {
+    fn is_empty(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+}
+
+/// Per-worker lockstep state published at the end of every superstep.
+struct Published {
+    /// Any owned shard has buffered flits or NIC work.
+    active: AtomicBool,
+    /// Earliest booked arrival across owned shards (absolute cycle;
+    /// `u64::MAX` = none). Only meaningful when `active` is false.
+    next_arrival: AtomicU64,
+}
+
+/// Shared coordination state of one sharded run.
+struct Shared {
+    /// Double-buffered mailbox grid, `mail[from][to]`. Senders swap their
+    /// filled bundles in at the end of the step phase; receivers swap
+    /// them back out during the exchange phase, so each edge recycles two
+    /// bundle allocations with zero steady-state allocation.
+    mail: Vec<Vec<Mutex<OutBundle>>>,
+    published: Vec<Published>,
+    barrier: Barrier,
+    /// Cycle-limit failure accumulators (error path only). Origins and
+    /// completions are summed separately because a net-importer shard
+    /// completes more packets than it originates — only the *global*
+    /// difference is guaranteed non-negative.
+    stuck_origins: AtomicU64,
+    stuck_completed: AtomicU64,
+}
+
+impl Shared {
+    fn new(shards: usize, workers: usize) -> Self {
+        Shared {
+            mail: (0..shards)
+                .map(|_| {
+                    (0..shards)
+                        .map(|_| Mutex::new(OutBundle::default()))
+                        .collect()
+                })
+                .collect(),
+            published: (0..workers)
+                .map(|_| Published {
+                    active: AtomicBool::new(false),
+                    next_arrival: AtomicU64::new(u64::MAX),
+                })
+                .collect(),
+            barrier: Barrier::new(workers),
+            stuck_origins: AtomicU64::new(0),
+            stuck_completed: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---- per-shard engine state --------------------------------------------
+
+/// The full active-set router state of one mesh shard. All node-indexed
+/// arrays use *local* indices (the shard's nodes in ascending global id
+/// order); link-indexed arrays stay globally indexed (each shard only
+/// touches the entries it owns).
+pub(crate) struct ShardState {
+    pub(crate) id: usize,
+    nodes: Vec<NodeState>,
+    /// Global node id of each local node.
+    global_of_node: Vec<u16>,
+    // --- SoA VC storage, indexed by shard-local slot ---
+    /// First slot of each node (`slot = vc_base[node] + in_port*vcs + vc`).
+    vc_base: Vec<u32>,
+    /// Owning local node of each slot (RC dirty-list lookups).
+    node_of_slot: Vec<u16>,
+    /// Packed per-slot metadata: state machine + ring-buffer cursor in
+    /// one word (see [`meta`]).
+    slot_meta: Vec<u32>,
+    /// Flit slab: `ring` contiguous entries per slot.
+    flit_buf: Vec<Flit>,
+    /// Ring stride of `flit_buf` (power of two ≥ `depth`).
+    ring: usize,
+    /// `ring - 1`, for masked wrap-around.
+    ring_mask: usize,
+    /// Configured buffer depth (occupancy bound; copied from the plan so
+    /// the hot push path needs no plan argument).
+    depth: usize,
+    /// In-port of each slot (`idx / vcs`, precomputed).
+    in_port_of_slot: Vec<u8>,
+    /// VC index of each slot (`idx % vcs`, precomputed).
+    vc_of_slot: Vec<u8>,
+    /// Flits buffered per local node (active-set membership count).
+    pub(crate) buffered: Vec<u32>,
+    /// Free downstream slots, flattened `[link * vcs + vc]`, global link
+    /// ids; only entries whose link source this shard owns are used.
+    credits: Vec<u16>,
+    // --- flattened per-port router control state ---
+    /// First out-port entry of each local node.
+    port_base: Vec<u32>,
+    /// First in-port entry of each local node (= `vc_base[node] / vcs`).
+    in_port_base: Vec<u32>,
+    /// Out-port count per local node.
+    out_ports_of: Vec<u8>,
+    /// Arbitration scan width per local node (`in_ports * vcs`).
+    total_in_vcs_of: Vec<u8>,
+    /// Routed-VC bitmask per (node, out-port) — bit = in-VC index.
+    routed_mask: Vec<u32>,
+    /// Active-VC bitmask per (node, out-port) — bit = in-VC index.
+    active_mask: Vec<u32>,
+    /// VC-allocation round-robin pointer per (node, out-port).
+    va_rr: Vec<u8>,
+    /// Switch-allocation round-robin pointer per (node, out-port).
+    sa_rr: Vec<u8>,
+    /// Output VC holder per ((node, out-port), vc).
+    out_holder: Vec<Option<(u8, u8)>>,
+    /// Input VCs currently `Routed`, per local node (VA fast skip).
+    routed_count: Vec<u16>,
+    /// Bitmask of in-ports that already sent a flit this cycle.
+    in_port_used: Vec<u32>,
+    /// Raw global link id per (node, out-port); `u32::MAX` for ejection.
+    link_of_out_port: Vec<u32>,
+    /// Shard owning the far end of each (node, out-port); own id for
+    /// ejection and intra-shard links.
+    dst_shard_of_out_port: Vec<u16>,
+    /// Raw global link id per (node, in-port); `u32::MAX` for injection.
+    link_of_in_port: Vec<u32>,
+    /// Shard owning the upstream end of each (node, in-port); own id for
+    /// injection and intra-shard links.
+    src_shard_of_in_port: Vec<u16>,
+    // --- arrival calendar ---
+    /// Cycle-indexed arrival buckets; slot `cycle & wheel_mask`.
+    pub(crate) wheel: Vec<Vec<ArrivalEvent>>,
+    wheel_mask: u64,
+    /// Flits currently traversing links into this shard (booked in
+    /// `wheel`).
+    pub(crate) inflight_arrivals: u64,
+    // --- active sets ---
+    /// Bit per local node: has any buffered flit (gates RC/VA/SA).
+    work_mask: Vec<u64>,
+    /// Bit per local node: NIC queue non-empty or emission in progress.
+    src_mask: Vec<u64>,
+    /// Slots whose fresh head packet needs route computation.
+    pub(crate) rc_dirty: Vec<u32>,
+    // --- packet bookkeeping (shard-local handles) ---
+    packets: Vec<PacketInfo>,
+    /// Dateline class per local packet handle.
+    class_of: Vec<VcClass>,
+    /// In-transit wormhole remap per `link * vcs + vc`: the local handle
+    /// body/tail flits arriving on that channel belong to. Written when a
+    /// boundary head is ingested.
+    remap: Vec<u32>,
+    /// Credits freed this cycle for owned links, `link * vcs + vc`.
+    pending_credits: Vec<u32>,
+    /// Outgoing mailbox staging, one bundle per destination shard.
+    outbox: Vec<OutBundle>,
+    /// Flits resident in this shard (emission/ingest increment, ejection/
+    /// boundary send decrement) — a debug gauge, not control state.
+    pub(crate) active_flits: i64,
+    /// Packets queued at owned NICs or mid-emission.
+    pub(crate) pending_sources: u64,
+    /// Packets admitted at owned sources (not immigrant handles).
+    pub(crate) origin_packets: u64,
+    /// Packets fully ejected at owned destinations.
+    pub(crate) completed_packets: u64,
+    pub(crate) stats: SimStats,
+}
+
+/// `(idx + 1) % total` without the division (RR pointer advance).
+#[inline]
+fn rr_next(idx: usize, total: usize) -> u8 {
+    let nxt = idx + 1;
+    if nxt == total {
+        0
+    } else {
+        nxt as u8
+    }
+}
+
+impl ShardState {
+    /// Builds the state of shard `id` under `plan`.
+    pub fn new(plan: &EnginePlan<'_>, id: usize) -> Self {
+        let cfg = plan.cfg;
+        let topo = plan.topo;
+        let owned = &plan.partition.nodes_of_shard[id];
+        let nodes: Vec<NodeState> = owned
+            .iter()
+            .map(|&n| NodeState::new(topo, plan.routes, n))
+            .collect();
+        let global_of_node: Vec<u16> = owned.iter().map(|n| n.0).collect();
+        // Flat slot layout.
+        let mut vc_base = Vec::with_capacity(nodes.len());
+        let mut node_of_slot = Vec::new();
+        let mut in_port_of_slot = Vec::new();
+        let mut vc_of_slot = Vec::new();
+        let mut total_slots = 0u32;
+        for (i, st) in nodes.iter().enumerate() {
+            vc_base.push(total_slots);
+            let slots = st.in_ports() * cfg.vcs;
+            assert!(
+                slots <= 32,
+                "per-node VC count {slots} exceeds the u32 arbitration masks \
+                 (node {}: {} in-ports × {} VCs)",
+                st.node.0,
+                st.in_ports(),
+                cfg.vcs
+            );
+            node_of_slot.extend(std::iter::repeat_n(i as u16, slots));
+            for idx in 0..slots {
+                in_port_of_slot.push((idx / cfg.vcs) as u8);
+                vc_of_slot.push((idx % cfg.vcs) as u8);
+            }
+            total_slots += slots as u32;
+        }
+        let total_slots = total_slots as usize;
+        // Flat per-port layout (out-ports and in-ports) with shard
+        // ownership of each far end resolved up front.
+        let mut port_base = Vec::with_capacity(nodes.len());
+        let mut out_ports_of = Vec::with_capacity(nodes.len());
+        let mut total_in_vcs_of = Vec::with_capacity(nodes.len());
+        let mut link_of_out_port = Vec::new();
+        let mut dst_shard_of_out_port = Vec::new();
+        let mut link_of_in_port = Vec::new();
+        let mut src_shard_of_in_port = Vec::new();
+        let mut total_out_ports = 0u32;
+        for st in &nodes {
+            port_base.push(total_out_ports);
+            assert!(
+                st.out_ports() <= 15,
+                "out-port count {} exceeds the packed slot-meta field",
+                st.out_ports()
+            );
+            out_ports_of.push(st.out_ports() as u8);
+            total_in_vcs_of.push((st.in_ports() * cfg.vcs) as u8);
+            link_of_out_port.push(u32::MAX); // ejection port
+            dst_shard_of_out_port.push(id as u16);
+            for &l in &st.out_links {
+                link_of_out_port.push(l.index() as u32);
+                dst_shard_of_out_port.push(plan.partition.link_dst_shard[l.index()]);
+            }
+            link_of_in_port.push(u32::MAX); // injection port
+            src_shard_of_in_port.push(id as u16);
+            for &l in &st.in_links {
+                link_of_in_port.push(l.index() as u32);
+                src_shard_of_in_port.push(plan.partition.link_src_shard[l.index()]);
+            }
+            total_out_ports += st.out_ports() as u32;
+        }
+        let in_port_base: Vec<u32> = vc_base.iter().map(|&b| b / cfg.vcs as u32).collect();
+        let ring = cfg.buffer_depth.next_power_of_two();
+        let filler = Flit {
+            packet: u32::MAX,
+            dst: NodeId(0),
+            is_head: false,
+            is_tail: false,
+            ready: 0,
+        };
+        let mask_words = nodes.len().div_ceil(64).max(1);
+        let shards = plan.partition.num_shards();
+        ShardState {
+            id,
+            global_of_node,
+            buffered: vec![0; nodes.len()],
+            slot_meta: vec![0; total_slots],
+            flit_buf: vec![filler; total_slots * ring],
+            ring,
+            ring_mask: ring - 1,
+            depth: cfg.buffer_depth,
+            in_port_of_slot,
+            vc_of_slot,
+            vc_base,
+            node_of_slot,
+            routed_mask: vec![0; total_out_ports as usize],
+            active_mask: vec![0; total_out_ports as usize],
+            va_rr: vec![0; total_out_ports as usize],
+            sa_rr: vec![0; total_out_ports as usize],
+            out_holder: vec![None; total_out_ports as usize * cfg.vcs],
+            routed_count: vec![0; nodes.len()],
+            in_port_used: vec![0; nodes.len()],
+            port_base,
+            in_port_base,
+            out_ports_of,
+            total_in_vcs_of,
+            link_of_out_port,
+            dst_shard_of_out_port,
+            link_of_in_port,
+            src_shard_of_in_port,
+            nodes,
+            credits: vec![cfg.buffer_depth as u16; topo.links().len() * cfg.vcs],
+            wheel: vec![Vec::new(); plan.wheel_len],
+            wheel_mask: (plan.wheel_len - 1) as u64,
+            inflight_arrivals: 0,
+            work_mask: vec![0; mask_words],
+            src_mask: vec![0; mask_words],
+            rc_dirty: Vec::new(),
+            packets: Vec::new(),
+            class_of: Vec::new(),
+            remap: vec![u32::MAX; topo.links().len() * cfg.vcs],
+            pending_credits: Vec::new(),
+            outbox: (0..shards).map(|_| OutBundle::default()).collect(),
+            active_flits: 0,
+            pending_sources: 0,
+            origin_packets: 0,
+            completed_packets: 0,
+            stats: SimStats::new(topo.links().len(), topo.num_nodes()),
+        }
+    }
+
+    // ---- active-set plumbing -------------------------------------------
+
+    #[inline]
+    fn set_work(&mut self, node: usize) {
+        self.work_mask[node >> 6] |= 1u64 << (node & 63);
+    }
+
+    #[inline]
+    fn clear_work(&mut self, node: usize) {
+        self.work_mask[node >> 6] &= !(1u64 << (node & 63));
+    }
+
+    #[inline]
+    fn set_src(&mut self, node: usize) {
+        self.src_mask[node >> 6] |= 1u64 << (node & 63);
+    }
+
+    #[inline]
+    fn clear_src(&mut self, node: usize) {
+        self.src_mask[node >> 6] &= !(1u64 << (node & 63));
+    }
+
+    /// True when no owned router can do any work this cycle (flits may
+    /// still be traversing links — check [`Self::next_arrival_cycle`]).
+    #[inline]
+    pub(crate) fn quiescent(&self) -> bool {
+        self.work_mask.iter().all(|&w| w == 0) && self.src_mask.iter().all(|&w| w == 0)
+    }
+
+    /// Cycle of the earliest booked link arrival ≥ `now`, if any. The
+    /// calendar only holds arrivals within one wheel revolution of `now`.
+    pub(crate) fn next_arrival_cycle(&self, now: u64) -> Option<u64> {
+        if self.inflight_arrivals == 0 {
+            return None;
+        }
+        (0..self.wheel.len() as u64)
+            .find(|off| !self.wheel[((now + off) & self.wheel_mask) as usize].is_empty())
+            .map(|off| now + off)
+    }
+
+    /// Appends `f` to a VC ring, updating active-set state. Marks the slot
+    /// RC-dirty when `f` lands at the head of an idle VC (then it is a
+    /// fresh head flit by the VC-allocation contract).
+    #[inline]
+    fn push_flit(&mut self, node: usize, slot: usize, f: Flit) {
+        let m = self.slot_meta[slot];
+        let len = meta::len(m);
+        debug_assert!(len < self.depth, "VC overflow (credit leak)");
+        if len == 0 && meta::tag(m) == meta::IDLE {
+            debug_assert!(f.is_head, "flit entering an idle empty VC must be a head");
+            self.rc_dirty.push(slot as u32);
+        }
+        let pos = (meta::head(m) + len) & self.ring_mask;
+        self.flit_buf[slot * self.ring + pos] = f;
+        self.slot_meta[slot] = m + meta::LEN_ONE;
+        self.buffered[node] += 1;
+        self.set_work(node);
+    }
+
+    #[inline]
+    fn front_flit(&self, slot: usize) -> Option<&Flit> {
+        let m = self.slot_meta[slot];
+        if meta::len(m) == 0 {
+            None
+        } else {
+            Some(&self.flit_buf[slot * self.ring + meta::head(m)])
+        }
+    }
+
+    #[inline]
+    fn pop_flit(&mut self, slot: usize) -> Flit {
+        let m = self.slot_meta[slot];
+        debug_assert!(meta::len(m) > 0, "pop from empty VC");
+        let head = meta::head(m);
+        let f = self.flit_buf[slot * self.ring + head];
+        let new_head = ((head + 1) & self.ring_mask) as u32;
+        self.slot_meta[slot] = ((m - meta::LEN_ONE) & !(meta::HEAD_MASK << meta::HEAD_SHIFT))
+            | (new_head << meta::HEAD_SHIFT);
+        f
+    }
+
+    /// Queues a packet at its (owned) source NIC.
+    pub(crate) fn admit(
+        &mut self,
+        plan: &EnginePlan<'_>,
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        inject_cycle: u64,
+    ) {
+        let local = plan.partition.local_of_node[src.index()] as usize;
+        debug_assert_eq!(
+            usize::from(plan.partition.shard_of_node[src.index()]),
+            self.id,
+            "admission to a node this shard does not own"
+        );
+        let pid = self.packets.len() as u32;
+        self.packets.push(PacketInfo {
+            src,
+            dst,
+            inject_cycle,
+            flits,
+            ejected: 0,
+        });
+        self.class_of.push(plan.initial_class(src, dst));
+        self.nodes[local].src_queue.push_back(pid);
+        self.pending_sources += 1;
+        self.origin_packets += 1;
+        self.set_src(local);
+    }
+
+    // ---- the five pipeline stages --------------------------------------
+
+    /// One simulated cycle for this shard (the step phase of a
+    /// superstep). Boundary traffic lands in `self.outbox`; the caller is
+    /// responsible for posting outboxes and running the exchange phase.
+    pub(crate) fn step(&mut self, plan: &EnginePlan<'_>, now: u64) {
+        self.deliver_link_arrivals(plan, now);
+        self.emit_from_sources(plan, now);
+        self.route_compute();
+        self.allocate_vcs(plan);
+        self.switch_traversal(plan, now);
+        // Credits freed this cycle become visible next cycle.
+        for i in self.pending_credits.drain(..) {
+            self.credits[i as usize] += 1;
+        }
+    }
+
+    /// Stage 1: drain this cycle's calendar bucket into input buffers.
+    fn deliver_link_arrivals(&mut self, plan: &EnginePlan<'_>, now: u64) {
+        let bucket = (now & self.wheel_mask) as usize;
+        if self.wheel[bucket].is_empty() {
+            return;
+        }
+        let dwell = plan.cfg.pipeline_dwell();
+        let mut events = std::mem::take(&mut self.wheel[bucket]);
+        self.inflight_arrivals -= events.len() as u64;
+        for (lid, vc, flit) in events.drain(..) {
+            let link = plan.topo.link(LinkId(lid));
+            let node = plan.partition.local_of_node[link.dst.index()] as usize;
+            let in_port = usize::from(plan.in_port_of_link[lid as usize]);
+            let slot = self.vc_base[node] as usize + in_port * plan.cfg.vcs + usize::from(vc);
+            let mut f = flit;
+            // The arrival cycle is the link-traversal cycle; the router
+            // pipeline (RC, VA/SA, ST) starts the following cycle, so a
+            // hop costs `link latency + pipeline` cycles end to end.
+            f.ready = now + 1 + dwell;
+            self.push_flit(node, slot, f);
+        }
+        // Hand the bucket's allocation back for reuse.
+        self.wheel[bucket] = events;
+    }
+
+    /// Stage 2: NIC emission into the injection port, source-active nodes
+    /// only. A source that cannot push (its injection VCs are full) is
+    /// parked out of `src_mask`; it is re-armed when an injection-VC slot
+    /// frees at this node (in-port-0 pop in switch traversal) or a new
+    /// packet is admitted, so no cycle the seed engine would use for
+    /// emission is missed.
+    fn emit_from_sources(&mut self, plan: &EnginePlan<'_>, now: u64) {
+        let dwell = plan.cfg.pipeline_dwell();
+        for w in 0..self.src_mask.len() {
+            let mut bits = self.src_mask[w];
+            while bits != 0 {
+                let node = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut pushed = false;
+                if self.nodes[node].emitting.is_none() {
+                    if let Some(&pid) = self.nodes[node].src_queue.front() {
+                        // Pick an injection VC in the packet's class.
+                        let info = self.packets[pid as usize];
+                        let range = plan.vc_range(self.class_of[pid as usize]);
+                        let base = self.vc_base[node] as usize; // in-port 0 ⇒ slot = base + vc
+                        let pick = range
+                            .clone()
+                            .find(|&v| meta::len(self.slot_meta[base + v]) < plan.cfg.buffer_depth);
+                        if let Some(v) = pick {
+                            self.nodes[node].src_queue.pop_front();
+                            self.nodes[node].emitting = Some(Emission {
+                                packet: pid,
+                                emitted: 0,
+                                total: info.flits,
+                                vc: v as u8,
+                                dst: info.dst,
+                                inject_cycle: info.inject_cycle,
+                            });
+                        }
+                    }
+                }
+                if let Some(mut em) = self.nodes[node].emitting {
+                    let slot = self.vc_base[node] as usize + usize::from(em.vc);
+                    if meta::len(self.slot_meta[slot]) < plan.cfg.buffer_depth {
+                        let flit = Flit {
+                            packet: em.packet,
+                            dst: em.dst,
+                            is_head: em.emitted == 0,
+                            is_tail: em.emitted + 1 == em.total,
+                            ready: now + dwell,
+                        };
+                        self.push_flit(node, slot, flit);
+                        pushed = true;
+                        self.active_flits += 1;
+                        em.emitted += 1;
+                        self.nodes[node].emitting = if em.emitted == em.total {
+                            self.pending_sources -= 1;
+                            None
+                        } else {
+                            Some(em)
+                        };
+                    }
+                }
+                // Done (nothing left) or parked (blocked on full VCs).
+                if !pushed
+                    || (self.nodes[node].emitting.is_none()
+                        && self.nodes[node].src_queue.is_empty())
+                {
+                    self.clear_src(node);
+                }
+            }
+        }
+    }
+
+    /// Stage 3: route computation, dirty slots only. A slot is marked when
+    /// a head flit lands at the front of an idle VC (on push, or when a
+    /// tail departs with the next packet queued behind it), so this visits
+    /// exactly the VCs the seed engine's full scan would transition.
+    fn route_compute(&mut self) {
+        while let Some(slot) = self.rc_dirty.pop() {
+            let slot = slot as usize;
+            let m = self.slot_meta[slot];
+            debug_assert_eq!(meta::tag(m), meta::IDLE, "dirty slot must be idle");
+            debug_assert!(meta::len(m) > 0, "dirty slot has a queued head");
+            let head = &self.flit_buf[slot * self.ring + meta::head(m)];
+            debug_assert!(head.is_head, "queue head after Idle must be a head flit");
+            let node = usize::from(self.node_of_slot[slot]);
+            let out_port = self.nodes[node].route_port[head.dst.index()];
+            let idx = slot - self.vc_base[node] as usize;
+            self.slot_meta[slot] =
+                (m & meta::STATE_CLEAR) | meta::ROUTED | (u32::from(out_port) << meta::PORT_SHIFT);
+            self.routed_mask[self.port_base[node] as usize + usize::from(out_port)] |= 1 << idx;
+            self.routed_count[node] += 1;
+        }
+    }
+
+    /// Stage 4: VC allocation (round-robin per output port), work-active
+    /// nodes only. The arbitration order within a node is identical to the
+    /// seed engine's.
+    fn allocate_vcs(&mut self, plan: &EnginePlan<'_>) {
+        let vcs = plan.cfg.vcs;
+        for w in 0..self.work_mask.len() {
+            let mut bits = self.work_mask[w];
+            while bits != 0 {
+                let node = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.routed_count[node] == 0 {
+                    continue;
+                }
+                let base = self.vc_base[node] as usize;
+                let pb = self.port_base[node] as usize;
+                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
+                for p in 0..usize::from(self.out_ports_of[node]) {
+                    if self.routed_count[node] == 0 {
+                        break;
+                    }
+                    // Only VCs actually Routed for this port, in the same
+                    // round-robin order a full scan from va_rr would use.
+                    let mask = self.routed_mask[pb + p];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let start = usize::from(self.va_rr[pb + p]);
+                    for idx in cyclic_bits(mask, start) {
+                        let m = self.slot_meta[base + idx];
+                        debug_assert_eq!(meta::tag(m), meta::ROUTED);
+                        debug_assert_eq!(meta::out_port(m), p);
+                        debug_assert!(meta::len(m) > 0, "Routed VC holds its head flit");
+                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
+                        let head_packet = head.packet;
+                        let range = plan.vc_range(self.class_of[head_packet as usize]);
+                        let free = range
+                            .clone()
+                            .find(|&v| self.out_holder[(pb + p) * vcs + v].is_none());
+                        if let Some(ovc) = free {
+                            let in_port = self.in_port_of_slot[base + idx];
+                            let in_vc = self.vc_of_slot[base + idx];
+                            self.out_holder[(pb + p) * vcs + ovc] = Some((in_port, in_vc));
+                            self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
+                                | meta::ACTIVE
+                                | ((p as u32) << meta::PORT_SHIFT)
+                                | ((ovc as u32) << meta::OVC_SHIFT);
+                            self.routed_mask[pb + p] &= !(1 << idx);
+                            self.routed_count[node] -= 1;
+                            self.active_mask[pb + p] |= 1 << idx;
+                            self.va_rr[pb + p] = rr_next(idx, total_in_vcs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 5: switch allocation + traversal, one flit per out-port and
+    /// per in-port per cycle, work-active nodes only.
+    fn switch_traversal(&mut self, plan: &EnginePlan<'_>, now: u64) {
+        let vcs = plan.cfg.vcs;
+        for w in 0..self.work_mask.len() {
+            let mut bits = self.work_mask[w];
+            while bits != 0 {
+                let node = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // The seed engine zeroes this for every node during its
+                // full emission scan; here the reset rides the switch
+                // stage of active nodes (quiescent nodes have no flits to
+                // arbitrate, so their stale masks are unobservable).
+                self.in_port_used[node] = 0;
+                let base = self.vc_base[node] as usize;
+                let pb = self.port_base[node] as usize;
+                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
+                for p in 0..usize::from(self.out_ports_of[node]) {
+                    // Only VCs actually Active on this port, in the same
+                    // round-robin order a full scan from sa_rr would use.
+                    let mask = self.active_mask[pb + p];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let start = usize::from(self.sa_rr[pb + p]);
+                    let mut winner: Option<(usize, u8)> = None;
+                    for idx in cyclic_bits(mask, start) {
+                        let m = self.slot_meta[base + idx];
+                        debug_assert_eq!(meta::tag(m), meta::ACTIVE);
+                        debug_assert_eq!(meta::out_port(m), p);
+                        let in_port = usize::from(self.in_port_of_slot[base + idx]);
+                        if self.in_port_used[node] & (1 << in_port) != 0 {
+                            continue;
+                        }
+                        if meta::len(m) == 0 {
+                            // Active VC with all buffered flits already
+                            // forwarded (body flits still in transit).
+                            continue;
+                        }
+                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
+                        if head.ready > now {
+                            continue;
+                        }
+                        let out_vc = meta::out_vc(m);
+                        if p > 0 {
+                            let lid = self.link_of_out_port[pb + p] as usize;
+                            if self.credits[lid * vcs + out_vc] == 0 {
+                                continue;
+                            }
+                        }
+                        winner = Some((idx, out_vc as u8));
+                        break;
+                    }
+                    let Some((idx, out_vc)) = winner else {
+                        continue;
+                    };
+                    self.sa_rr[pb + p] = rr_next(idx, total_in_vcs);
+                    let flit = self.pop_flit(base + idx);
+                    self.buffered[node] -= 1;
+                    if self.buffered[node] == 0 {
+                        self.clear_work(node);
+                    }
+                    let in_port = usize::from(self.in_port_of_slot[base + idx]);
+                    self.in_port_used[node] |= 1 << in_port;
+                    self.stats.router_flits[usize::from(self.global_of_node[node])] += 1;
+
+                    // Return a credit upstream for the slot we just freed;
+                    // an injection-port pop re-arms a parked source. A
+                    // boundary upstream gets its credit by mail (applied
+                    // during the exchange phase — the same next-cycle
+                    // visibility as the local pending list).
+                    if in_port > 0 {
+                        let pi = self.in_port_base[node] as usize + in_port;
+                        let up = self.link_of_in_port[pi] as usize;
+                        let cred = (up * vcs + usize::from(self.vc_of_slot[base + idx])) as u32;
+                        let owner = usize::from(self.src_shard_of_in_port[pi]);
+                        if owner == self.id {
+                            self.pending_credits.push(cred);
+                        } else {
+                            self.outbox[owner].credits.push(cred);
+                        }
+                    } else if self.nodes[node].emitting.is_some()
+                        || !self.nodes[node].src_queue.is_empty()
+                    {
+                        self.set_src(node);
+                    }
+
+                    if p == 0 {
+                        // Ejection.
+                        let pid = flit.packet as usize;
+                        self.packets[pid].ejected += 1;
+                        self.stats.flits_delivered += 1;
+                        self.active_flits -= 1;
+                        if self.packets[pid].is_complete() {
+                            self.completed_packets += 1;
+                            let info = &self.packets[pid];
+                            if info.inject_cycle != u64::MAX {
+                                self.stats
+                                    .record_packet(info.flits, now + 1 - info.inject_cycle);
+                            }
+                        }
+                    } else {
+                        let lid = self.link_of_out_port[pb + p] as usize;
+                        self.credits[lid * vcs + usize::from(out_vc)] -= 1;
+                        let pid = flit.packet as usize;
+                        if plan.express_link[lid] {
+                            // Dateline: the packet is class B from here on.
+                            self.class_of[pid] = VcClass::PostExpress;
+                        }
+                        self.stats.link_flits[lid] += 1;
+                        let arrive = now + u64::from(plan.latency_of_link[lid]);
+                        let target = usize::from(self.dst_shard_of_out_port[pb + p]);
+                        if target == self.id {
+                            self.wheel[(arrive & self.wheel_mask) as usize]
+                                .push((lid as u32, out_vc, flit));
+                            self.inflight_arrivals += 1;
+                        } else {
+                            let info = &self.packets[pid];
+                            self.outbox[target].flits.push(BoundaryFlit {
+                                link: lid as u32,
+                                vc: out_vc,
+                                arrive,
+                                flit,
+                                class: self.class_of[pid],
+                                flits: info.flits,
+                                inject_cycle: info.inject_cycle,
+                            });
+                            self.active_flits -= 1;
+                        }
+                    }
+
+                    if flit.is_tail {
+                        self.out_holder[(pb + p) * vcs + usize::from(out_vc)] = None;
+                        let m = self.slot_meta[base + idx] & meta::STATE_CLEAR;
+                        self.slot_meta[base + idx] = m; // back to Idle
+                        self.active_mask[pb + p] &= !(1 << idx);
+                        if meta::len(m) > 0 {
+                            // The next packet's head is already queued
+                            // behind the departed tail: needs RC next
+                            // cycle.
+                            self.rc_dirty.push((base + idx) as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- superstep exchange --------------------------------------------
+
+    /// Swaps every non-empty outbox into the shared mailbox grid (end of
+    /// the step phase).
+    fn post_outboxes(&mut self, shared: &Shared) {
+        for (target, bundle) in self.outbox.iter_mut().enumerate() {
+            if target == self.id || bundle.is_empty() {
+                continue;
+            }
+            let mut cell = shared.mail[self.id][target]
+                .lock()
+                .expect("mailbox not poisoned");
+            debug_assert!(cell.is_empty(), "mailbox collision (missed exchange)");
+            std::mem::swap(&mut *cell, bundle);
+        }
+    }
+
+    /// Ingests one incoming bundle: applies boundary credits and books
+    /// boundary flits into the local calendar wheel, minting local packet
+    /// handles for arriving heads (the exchange phase).
+    pub(crate) fn ingest(&mut self, plan: &EnginePlan<'_>, bundle: &mut OutBundle) {
+        for idx in bundle.credits.drain(..) {
+            self.credits[idx as usize] += 1;
+        }
+        let vcs = plan.cfg.vcs;
+        for m in bundle.flits.drain(..) {
+            let key = m.link as usize * vcs + usize::from(m.vc);
+            if m.flit.is_head {
+                let pid = self.packets.len() as u32;
+                self.packets.push(PacketInfo {
+                    src: plan.topo.link(LinkId(m.link)).src,
+                    dst: m.flit.dst,
+                    inject_cycle: m.inject_cycle,
+                    flits: m.flits,
+                    ejected: 0,
+                });
+                self.class_of.push(m.class);
+                self.remap[key] = pid;
+            }
+            debug_assert_ne!(self.remap[key], u32::MAX, "body flit without a head");
+            let mut f = m.flit;
+            f.packet = self.remap[key];
+            self.wheel[(m.arrive & self.wheel_mask) as usize].push((m.link, m.vc, f));
+            self.inflight_arrivals += 1;
+            self.active_flits += 1;
+        }
+    }
+
+    /// Drains every mailbox addressed to this shard (the exchange phase).
+    fn collect_inboxes(&mut self, plan: &EnginePlan<'_>, shared: &Shared) {
+        for &from in &plan.inbox_sources[self.id] {
+            let mut scratch = {
+                let mut cell = shared.mail[usize::from(from)][self.id]
+                    .lock()
+                    .expect("mailbox not poisoned");
+                if cell.is_empty() {
+                    continue;
+                }
+                std::mem::take(&mut *cell)
+            };
+            self.ingest(plan, &mut scratch);
+            // Return the drained allocation for the sender to reuse.
+            let mut cell = shared.mail[usize::from(from)][self.id]
+                .lock()
+                .expect("mailbox not poisoned");
+            if cell.is_empty() {
+                std::mem::swap(&mut *cell, &mut scratch);
+            }
+        }
+    }
+
+    // ---- deadlock triage ------------------------------------------------
+
+    /// Builds the channel wait-for graph of this shard's stuck state and
+    /// prints one cycle if present. Channels are (link, vc) pairs;
+    /// injection VCs are virtual channels numbered past the links. With
+    /// P > 1 only intra-shard cycles are visible — a genuine cross-shard
+    /// cycle shows up as chains ending at boundary links in several
+    /// shards' dumps.
+    fn dump_waitfor_cycle(&self, plan: &EnginePlan<'_>) {
+        let vcs = plan.cfg.vcs;
+        let links = plan.topo.links().len();
+        let chan = |lid: usize, vc: usize| lid * vcs + vc;
+        let inj_chan = |node: usize, vc: usize| links * vcs + node * vcs + vc;
+        let total = links * vcs + plan.topo.num_nodes() * vcs;
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (node, st) in self.nodes.iter().enumerate() {
+            let base = self.vc_base[node] as usize;
+            for idx in 0..st.in_ports() * vcs {
+                let slot = base + idx;
+                let m = self.slot_meta[slot];
+                if meta::len(m) == 0 {
+                    continue;
+                }
+                let in_port = idx / vcs;
+                let in_vc = idx % vcs;
+                let src_chan = if in_port == 0 {
+                    inj_chan(st.node.index(), in_vc)
+                } else {
+                    chan(st.in_links[in_port - 1].index(), in_vc)
+                };
+                let out_port = meta::out_port(m);
+                match meta::tag(m) {
+                    meta::ACTIVE if out_port > 0 => {
+                        let out_vc = meta::out_vc(m);
+                        let lid = st.out_links[out_port - 1].index();
+                        if self.credits[lid * vcs + out_vc] == 0 {
+                            edges[src_chan].push(chan(lid, out_vc));
+                        }
+                    }
+                    meta::ROUTED if out_port > 0 => {
+                        // Waiting for a held out VC in the packet's class.
+                        let head = self.front_flit(slot).expect("nonempty");
+                        let range = plan.vc_range(self.class_of[head.packet as usize]);
+                        let pb = self.port_base[node] as usize;
+                        for v in range {
+                            if self.out_holder[(pb + out_port) * vcs + v].is_some() {
+                                let lid = st.out_links[out_port - 1].index();
+                                edges[src_chan].push(chan(lid, v));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Iterative DFS cycle detection.
+        let mut color = vec![0u8; total];
+        let mut parent = vec![usize::MAX; total];
+        for start in 0..total {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color[start] = 1;
+            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+                if *ei < edges[u].len() {
+                    let v = edges[u][*ei];
+                    *ei += 1;
+                    if color[v] == 0 {
+                        color[v] = 1;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    } else if color[v] == 1 {
+                        // Cycle found: unwind from u back to v.
+                        let mut cyc = vec![v, u];
+                        let mut w = u;
+                        while w != v {
+                            w = parent[w];
+                            cyc.push(w);
+                        }
+                        eprintln!(
+                            "WAIT-FOR CYCLE in shard {} ({} channels):",
+                            self.id,
+                            cyc.len() - 1
+                        );
+                        for &c in cyc.iter().rev() {
+                            if c >= links * vcs {
+                                let node = (c - links * vcs) / vcs;
+                                eprintln!("  inj node {} vc {}", node, c % vcs);
+                            } else {
+                                let l = plan.topo.link(LinkId((c / vcs) as u32));
+                                eprintln!(
+                                    "  link {}->{} ({:?}) vc {}",
+                                    l.src.0,
+                                    l.dst.0,
+                                    l.class,
+                                    c % vcs
+                                );
+                            }
+                        }
+                        return;
+                    }
+                } else {
+                    color[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        eprintln!(
+            "shard {}: no wait-for cycle found (stall, not deadlock)",
+            self.id
+        );
+    }
+
+    /// Prints every blocked head flit in this shard and why it cannot
+    /// progress.
+    pub(crate) fn dump_blocked(&self, plan: &EnginePlan<'_>, now: u64) {
+        self.dump_waitfor_cycle(plan);
+        let vcs = plan.cfg.vcs;
+        let mut lines = 0;
+        for (node, st) in self.nodes.iter().enumerate() {
+            let base = self.vc_base[node] as usize;
+            for idx in 0..st.in_ports() * vcs {
+                let slot = base + idx;
+                let Some(head) = self.front_flit(slot) else {
+                    continue;
+                };
+                let in_port = idx / vcs;
+                let in_vc = idx % vcs;
+                let m = self.slot_meta[slot];
+                let out_port = meta::out_port(m);
+                let reason = match meta::tag(m) {
+                    meta::IDLE => "idle (RC pending)".to_string(),
+                    meta::ROUTED => {
+                        let pb = self.port_base[node] as usize;
+                        let holders: Vec<String> = (0..vcs)
+                            .map(|v| match self.out_holder[(pb + out_port) * vcs + v] {
+                                None => format!("vc{v}:free"),
+                                Some((ip, iv)) => format!("vc{v}:held({ip},{iv})"),
+                            })
+                            .collect();
+                        format!("awaiting VA on out{} [{}]", out_port, holders.join(" "))
+                    }
+                    _ => {
+                        let out_vc = meta::out_vc(m);
+                        if out_port == 0 {
+                            "active->eject".to_string()
+                        } else {
+                            let lid = st.out_links[out_port - 1];
+                            format!(
+                                "active out{} vc{} credits={} ready={}",
+                                out_port,
+                                out_vc,
+                                self.credits[lid.index() * vcs + out_vc],
+                                head.ready
+                            )
+                        }
+                    }
+                };
+                eprintln!(
+                    "cycle {now} node {} in{in_port}.vc{in_vc} q={} pkt{} class={:?} dst={} {}",
+                    st.node.0,
+                    meta::len(m),
+                    head.packet,
+                    self.class_of[head.packet as usize],
+                    head.dst.0,
+                    reason
+                );
+                lines += 1;
+                if lines > 60 {
+                    eprintln!("... (truncated)");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---- workloads ----------------------------------------------------------
+
+/// Precomputed per-node injection rates and destination CDFs of a
+/// synthetic run (prefix-sum tables, binary-searched per draw).
+pub(crate) struct InjectTables {
+    rates: Vec<f64>,
+    cdf_acc: Vec<Vec<f64>>,
+    cdf_dst: Vec<Vec<NodeId>>,
+}
+
+impl InjectTables {
+    pub fn new(topo: &Topology, matrix: &TrafficMatrix) -> Self {
+        assert_eq!(matrix.num_nodes(), topo.num_nodes());
+        let n = topo.num_nodes();
+        let mut rates = Vec::with_capacity(n);
+        let mut cdf_acc: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut cdf_dst: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for src in topo.nodes() {
+            let rate = matrix.injection_rate(src);
+            let mut acc_col = Vec::new();
+            let mut dst_col = Vec::new();
+            if rate > 0.0 {
+                let mut acc = 0.0;
+                for dst in topo.nodes() {
+                    let r = matrix.rate(src, dst);
+                    if r > 0.0 {
+                        acc += r / rate;
+                        acc_col.push(acc);
+                        dst_col.push(dst);
+                    }
+                }
+            }
+            rates.push(rate);
+            cdf_acc.push(acc_col);
+            cdf_dst.push(dst_col);
+        }
+        InjectTables {
+            rates,
+            cdf_acc,
+            cdf_dst,
+        }
+    }
+
+    /// Replays one cycle of the Bernoulli injection stream. **Every**
+    /// worker calls this with an identically-seeded RNG and consumes the
+    /// exact same draw sequence — `admit` is invoked for every injected
+    /// packet and the callee decides whether it owns the source. This is
+    /// what keeps P-shard injection bit-for-bit identical to P=1.
+    pub fn inject_cycle(
+        &self,
+        rng: &mut StdRng,
+        now: u64,
+        warmup: u64,
+        mut admit: impl FnMut(NodeId, NodeId, u64),
+    ) {
+        for src in 0..self.rates.len() {
+            if self.rates[src] > 0.0 && rng.gen::<f64>() < self.rates[src] {
+                let u: f64 = rng.gen();
+                // First entry with acc ≥ u (prefix sums are
+                // nondecreasing); the last entry backstops floating-point
+                // shortfall at u ≈ 1.
+                let i = self.cdf_acc[src].partition_point(|&acc| acc < u);
+                let dst = *self.cdf_dst[src]
+                    .get(i)
+                    .unwrap_or_else(|| self.cdf_dst[src].last().expect("nonempty cdf"));
+                if dst == NodeId(src as u16) {
+                    continue;
+                }
+                let measured = now >= warmup;
+                // Unmeasured packets are marked by u64::MAX and skipped in
+                // `record`.
+                let inject_cycle = if measured { now } else { u64::MAX };
+                admit(NodeId(src as u16), dst, inject_cycle);
+            }
+        }
+    }
+}
+
+/// One run's traffic source, shared read-only across workers.
+#[derive(Clone, Copy)]
+pub(crate) enum Workload<'w> {
+    /// Trace-driven admission.
+    Trace(&'w Trace),
+    /// Bernoulli synthetic injection (1-flit packets).
+    Synthetic {
+        tables: &'w InjectTables,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    },
+}
+
+// ---- the lockstep worker loop ------------------------------------------
+
+/// Runs `my` (this worker's shards) to completion in lockstep with the
+/// other workers. Every control decision is derived from data identical
+/// across workers, so all workers step/jump/stop on the same cycles.
+/// Returns the final cycle count.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    plan: &EnginePlan<'_>,
+    shared: &Shared,
+    my: &mut [ShardState],
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+    worker_index: usize,
+) -> Result<u64, SimError> {
+    // Shard-id → index into `my` (MAX = not mine).
+    let mut mine = vec![usize::MAX; plan.partition.num_shards()];
+    for (i, s) in my.iter().enumerate() {
+        mine[s.id] = i;
+    }
+    let mut now = 0u64;
+    let mut next_event = 0usize; // full-trace cursor (trace workloads)
+    let mut rng = match workload {
+        Workload::Synthetic { seed, .. } => StdRng::seed_from_u64(seed),
+        Workload::Trace(_) => StdRng::seed_from_u64(0),
+    };
+    loop {
+        // --- admission (identical sequence on every worker) ---
+        let mut must_step = false;
+        match workload {
+            Workload::Trace(trace) => {
+                while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
+                    let e = &trace.events[next_event];
+                    next_event += 1;
+                    // Any admission (even to another worker's shard)
+                    // activates some shard, so nobody may fast-forward.
+                    must_step = true;
+                    let shard = usize::from(plan.partition.shard_of_node[e.src.index()]);
+                    if mine[shard] != usize::MAX {
+                        my[mine[shard]].admit(plan, e.src, e.dst, e.flits, e.cycle);
+                    }
+                }
+            }
+            Workload::Synthetic {
+                tables,
+                warmup,
+                measure,
+                ..
+            } => {
+                if now < warmup + measure {
+                    // The injection window always steps, like P=1.
+                    must_step = true;
+                    tables.inject_cycle(&mut rng, now, warmup, |src, dst, inject_cycle| {
+                        let shard = usize::from(plan.partition.shard_of_node[src.index()]);
+                        if mine[shard] != usize::MAX {
+                            my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
+                        }
+                    });
+                }
+            }
+        }
+
+        // --- idle fast-forward / termination (lockstep decision) ---
+        if !must_step {
+            let busy_now = my.iter().any(|s| !s.quiescent());
+            let others_busy = shared
+                .published
+                .iter()
+                .enumerate()
+                .any(|(i, p)| i != worker_index && p.active.load(Ordering::Acquire));
+            if !busy_now && !others_busy {
+                // No router anywhere can act this cycle: fast-forward to
+                // the next timeline event — a booked link arrival (any
+                // shard) or the next trace admission.
+                let next_arrival = shared
+                    .published
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if i == worker_index {
+                            my.iter()
+                                .filter_map(|s| s.next_arrival_cycle(now))
+                                .min()
+                                .unwrap_or(u64::MAX)
+                        } else {
+                            p.next_arrival.load(Ordering::Acquire)
+                        }
+                    })
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let next_admission = match workload {
+                    Workload::Trace(trace) => trace.events.get(next_event).map(|e| e.cycle),
+                    Workload::Synthetic { .. } => None, // injection window over
+                };
+                let target = match (next_arrival, next_admission) {
+                    (u64::MAX, None) => break, // drained, source exhausted
+                    (u64::MAX, Some(t)) => t,
+                    (a, None) => a,
+                    (a, Some(t)) => a.min(t),
+                };
+                if target > now {
+                    now = target;
+                    continue; // re-run admission at the new cycle
+                }
+            }
+        }
+
+        // --- superstep: step phase ---
+        for s in my.iter_mut() {
+            s.step(plan, now);
+        }
+        if plan.partition.num_shards() > 1 {
+            for s in my.iter_mut() {
+                s.post_outboxes(shared);
+            }
+            shared.barrier.wait();
+            // --- superstep: exchange phase ---
+            for s in my.iter_mut() {
+                s.collect_inboxes(plan, shared);
+            }
+        }
+        // Publish post-step activity for next cycle's lockstep decision.
+        let active = my.iter().any(|s| !s.quiescent());
+        shared.published[worker_index]
+            .active
+            .store(active, Ordering::Release);
+        if !active {
+            let arr = my
+                .iter()
+                .filter_map(|s| s.next_arrival_cycle(now + 1))
+                .min()
+                .unwrap_or(u64::MAX);
+            shared.published[worker_index]
+                .next_arrival
+                .store(arr, Ordering::Release);
+        }
+        if plan.partition.num_shards() > 1 {
+            shared.barrier.wait();
+        }
+
+        now += 1;
+        if now > plan.cfg.max_cycles {
+            if dump_on_stall {
+                for s in my.iter() {
+                    s.dump_blocked(plan, now);
+                }
+            }
+            // Origins and completions accumulate separately: a shard that
+            // mostly *receives* traffic completes more packets than it
+            // originates, so per-shard differences can be negative; the
+            // global difference equals the P=1 stuck-packet count.
+            let origins: u64 = my.iter().map(|s| s.origin_packets).sum();
+            let completed: u64 = my.iter().map(|s| s.completed_packets).sum();
+            shared.stuck_origins.fetch_add(origins, Ordering::SeqCst);
+            shared
+                .stuck_completed
+                .fetch_add(completed, Ordering::SeqCst);
+            if plan.partition.num_shards() > 1 {
+                shared.barrier.wait();
+            }
+            return Err(SimError::CycleLimit {
+                stuck_packets: shared.stuck_origins.load(Ordering::SeqCst)
+                    - shared.stuck_completed.load(Ordering::SeqCst),
+            });
+        }
+    }
+    Ok(now)
+}
+
+/// Runs a workload over `shards` with up to `threads` worker threads and
+/// merges the per-shard statistics. `threads == 1` runs everything on the
+/// calling thread (still exchanging through the mailbox grid when
+/// P > 1 — the protocol is identical, only the parallelism differs).
+pub(crate) fn run_sharded(
+    plan: &EnginePlan<'_>,
+    mut shards: Vec<ShardState>,
+    threads: usize,
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+) -> Result<SimStats, SimError> {
+    let nshards = shards.len();
+    let workers = threads.clamp(1, nshards);
+    let shared = Shared::new(nshards, workers);
+    let outcome: Result<u64, SimError> = if workers == 1 {
+        worker_loop(plan, &shared, &mut shards, workload, dump_on_stall, 0)
+    } else {
+        // Contiguous chunks, sizes balanced to within one shard.
+        let base = nshards / workers;
+        let rem = nshards % workers;
+        let mut rest = shards.as_mut_slice();
+        let mut chunks = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let take = base + usize::from(w < rem);
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+        let shared_ref = &shared;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(w, chunk)| {
+                    scope.spawn(move || {
+                        worker_loop(plan, shared_ref, chunk, workload, dump_on_stall, w)
+                    })
+                })
+                .collect();
+            // Lockstep guarantees identical outcomes; keep the first.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .reduce(|a, b| {
+                    debug_assert_eq!(a, b, "workers diverged");
+                    a
+                })
+                .expect("at least one worker")
+        })
+    };
+    let cycles = outcome?;
+    let mut merged = SimStats::new(plan.topo.links().len(), plan.topo.num_nodes());
+    for s in &shards {
+        merged.absorb(&s.stats);
+    }
+    merged.cycles = cycles;
+    Ok(merged)
+}
+
+// ---- public sharded simulator ------------------------------------------
+
+/// A parallel simulator: the mesh partitioned into rectangular shards
+/// advancing in cycle-synchronous supersteps. Produces [`SimStats`]
+/// **bit-for-bit identical** to [`crate::Simulator`] (the P=1 case) on
+/// every workload — see the module docs for the protocol and
+/// `tests/shard_parity.rs` for the pins.
+pub struct ShardedSimulator<'a> {
+    plan: EnginePlan<'a>,
+    shards: Vec<ShardState>,
+    threads: usize,
+}
+
+impl<'a> ShardedSimulator<'a> {
+    /// Builds a sharded simulator over `spec`'s tile grid. `routes` must
+    /// have been computed for `topo` (use [`RoutingTable::compute_xy`]).
+    pub fn new(
+        topo: &'a Topology,
+        routes: &'a RoutingTable,
+        cfg: SimConfig,
+        spec: ShardSpec,
+    ) -> Self {
+        let partition = Partition::new(topo, spec);
+        let plan = EnginePlan::new(topo, routes, cfg, partition);
+        let shards = (0..plan.partition.num_shards())
+            .map(|id| ShardState::new(&plan, id))
+            .collect();
+        ShardedSimulator {
+            plan,
+            shards,
+            threads: 0,
+        }
+    }
+
+    /// Convenience constructor: a near-square grid of `shards` tiles
+    /// (see [`ShardSpec::for_count`]).
+    pub fn with_shard_count(
+        topo: &'a Topology,
+        routes: &'a RoutingTable,
+        cfg: SimConfig,
+        shards: usize,
+    ) -> Self {
+        Self::new(topo, routes, cfg, ShardSpec::for_count(shards))
+    }
+
+    /// Caps the worker-thread count. `0` (the default) runs one worker
+    /// per shard; `1` runs the full superstep protocol on the calling
+    /// thread (useful on small hosts — results are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs a trace to completion.
+    pub fn run_trace(self, trace: &Trace) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let threads = self.effective_threads();
+        run_sharded(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Trace(trace),
+            false,
+        )
+    }
+
+    /// Runs Bernoulli-injected synthetic traffic; identical semantics
+    /// (and, bit-for-bit, identical statistics) to
+    /// [`crate::Simulator::run_synthetic`].
+    pub fn run_synthetic(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        let tables = InjectTables::new(self.plan.topo, matrix);
+        let threads = self.effective_threads();
+        run_sharded(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Synthetic {
+                tables: &tables,
+                warmup,
+                measure,
+                seed,
+            },
+            false,
+        )
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            self.shards.len()
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyppi_phys::{Gbps, LinkTechnology};
+    use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec};
+    use hyppi_traffic::TraceEvent;
+
+    fn small_mesh(w: u16, h: u16) -> Topology {
+        mesh(MeshSpec {
+            width: w,
+            height: h,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        })
+    }
+
+    fn run_sharded_trace(
+        topo: &Topology,
+        spec: ShardSpec,
+        threads: usize,
+        events: Vec<TraceEvent>,
+    ) -> SimStats {
+        let routes = RoutingTable::compute_xy(topo);
+        let trace = Trace::new("test", topo.num_nodes() as u16, 0.0, events);
+        ShardedSimulator::new(topo, &routes, SimConfig::paper(), spec)
+            .with_threads(threads)
+            .run_trace(&trace)
+            .expect("run completes")
+    }
+
+    #[test]
+    fn boundary_crossing_preserves_zero_load_latency() {
+        // 2×1 mesh split into two shards: the single hop crosses the
+        // boundary, and the mailbox exchange must land the flit in the
+        // same calendar bucket P=1 would use — 7 cycles exactly.
+        let t = small_mesh(2, 1);
+        for threads in [1, 2] {
+            let stats = run_sharded_trace(
+                &t,
+                ShardSpec { sx: 2, sy: 1 },
+                threads,
+                vec![TraceEvent {
+                    cycle: 0,
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    flits: 1,
+                }],
+            );
+            assert_eq!(stats.all.count, 1, "threads {threads}");
+            assert_eq!(stats.all.max, 7, "threads {threads}");
+            assert_eq!(stats.flits_delivered, 1);
+        }
+    }
+
+    #[test]
+    fn wormhole_packet_reassembles_across_boundary() {
+        // A 32-flit packet crossing a shard cut: the head mints the remap
+        // handle and all body flits retag through it; serialization
+        // latency must match the P=1 value (7 + 31).
+        let t = small_mesh(4, 1);
+        let stats = run_sharded_trace(
+            &t,
+            ShardSpec { sx: 2, sy: 1 },
+            2,
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(3),
+                flits: 32,
+            }],
+        );
+        assert_eq!(stats.all.count, 1);
+        assert_eq!(stats.all.max, 15 + 31);
+        assert_eq!(stats.flits_delivered, 32);
+    }
+
+    #[test]
+    fn quadrant_trace_matches_single_shard() {
+        let t = small_mesh(8, 8);
+        let mut events = Vec::new();
+        for s in 0..64u16 {
+            for k in 1..6u16 {
+                events.push(TraceEvent {
+                    cycle: u64::from(k) * 3,
+                    src: NodeId(s),
+                    dst: NodeId((s + 13 * k) % 64),
+                    flits: if k % 2 == 0 { 32 } else { 1 },
+                });
+            }
+        }
+        let routes = RoutingTable::compute_xy(&t);
+        let trace = Trace::new("test", 64, 0.0, events.clone());
+        let single = crate::Simulator::new(&t, &routes, SimConfig::paper())
+            .run_trace(&trace)
+            .expect("completes");
+        for threads in [1, 4] {
+            let sharded = run_sharded_trace(&t, ShardSpec::quadrants(), threads, events.clone());
+            assert_eq!(sharded, single, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn express_dateline_class_crosses_boundaries() {
+        // Span-5 express on a 16-wide mesh cut into 4 columns: express
+        // links cross shard cuts, so the PostExpress transition must ride
+        // the mailbox metadata.
+        let spec = MeshSpec {
+            width: 16,
+            height: 2,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        };
+        let t = express_mesh(
+            spec,
+            ExpressSpec {
+                span: 5,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let n = t.num_nodes() as u16;
+        let mut events = Vec::new();
+        for s in 0..n {
+            for k in 1..n {
+                events.push(TraceEvent {
+                    cycle: u64::from(k) * 8,
+                    src: NodeId(s),
+                    dst: NodeId((s + k) % n),
+                    flits: 32,
+                });
+            }
+        }
+        let routes = RoutingTable::compute_xy(&t);
+        let trace = Trace::new("test", n, 0.0, events);
+        let single = crate::Simulator::new(&t, &routes, SimConfig::paper())
+            .run_trace(&trace)
+            .expect("completes");
+        let sharded =
+            ShardedSimulator::new(&t, &routes, SimConfig::paper(), ShardSpec { sx: 4, sy: 1 })
+                .with_threads(2)
+                .run_trace(&trace)
+                .expect("completes");
+        assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn synthetic_rng_replay_matches_single_shard() {
+        let t = small_mesh(6, 6);
+        let routes = RoutingTable::compute_xy(&t);
+        let mut m = TrafficMatrix::zero(36);
+        for s in 0..36u16 {
+            m.set(NodeId(s), NodeId((s + 7) % 36), 0.04);
+            m.set(NodeId(s), NodeId((s + 19) % 36), 0.04);
+        }
+        let single = crate::Simulator::new(&t, &routes, SimConfig::paper())
+            .run_synthetic(&m, 150, 500, 42)
+            .expect("completes");
+        for threads in [1, 4] {
+            let sharded =
+                ShardedSimulator::new(&t, &routes, SimConfig::paper(), ShardSpec::quadrants())
+                    .with_threads(threads)
+                    .run_synthetic(&m, 150, 500, 42)
+                    .expect("completes");
+            assert_eq!(sharded, single, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_agrees_across_shards() {
+        // A huge idle gap between two packets on different shards: the
+        // lockstep fast-forward must jump, not simulate, and still deliver
+        // the late packet with zero-load latency.
+        let t = small_mesh(4, 4);
+        let stats = run_sharded_trace(
+            &t,
+            ShardSpec::quadrants(),
+            4,
+            vec![
+                TraceEvent {
+                    cycle: 0,
+                    src: NodeId(0),
+                    dst: NodeId(15),
+                    flits: 1,
+                },
+                TraceEvent {
+                    cycle: 2_000_000,
+                    src: NodeId(15),
+                    dst: NodeId(0),
+                    flits: 1,
+                },
+            ],
+        );
+        assert_eq!(stats.all.count, 2);
+        // 6 hops × 4 cycles + 3-cycle first router = 27 for both packets.
+        assert_eq!(stats.all.max, 27);
+    }
+
+    #[test]
+    fn cycle_limit_stuck_count_matches_single_shard() {
+        // Overload a tiny mesh with an unreachable cycle budget; the
+        // sharded stuck-packet count (origin-minus-completed summed over
+        // shards) must equal the P=1 count.
+        let t = small_mesh(4, 2);
+        let mut events = Vec::new();
+        for s in 0..8u16 {
+            for k in 0..40u16 {
+                events.push(TraceEvent {
+                    cycle: 0,
+                    src: NodeId(s),
+                    dst: NodeId((s + 3 + k % 4) % 8),
+                    flits: 32,
+                });
+            }
+        }
+        let routes = RoutingTable::compute_xy(&t);
+        let mut cfg = SimConfig::paper();
+        cfg.max_cycles = 60;
+        let trace = Trace::new("overload", 8, 0.0, events);
+        let single = crate::Simulator::new(&t, &routes, cfg)
+            .run_trace(&trace)
+            .expect_err("cycle limit");
+        let sharded = ShardedSimulator::new(&t, &routes, cfg, ShardSpec { sx: 2, sy: 1 })
+            .with_threads(2)
+            .run_trace(&trace)
+            .expect_err("cycle limit");
+        assert_eq!(single, sharded);
+    }
+
+    #[test]
+    fn cycle_limit_with_net_importer_shard() {
+        // All traffic flows left half → right half: the right shard
+        // completes packets it never originated, so the stuck-packet
+        // accounting must difference global sums, not per-shard ones
+        // (a per-shard `origins - completed` underflows u64 here).
+        let t = small_mesh(4, 2);
+        let mut events = Vec::new();
+        for k in 0..60u16 {
+            for s in 0..4u16 {
+                let src = NodeId((s % 2) + 4 * (s / 2)); // x ∈ {0, 1}
+                let dst = NodeId(2 + (k % 2) + 4 * (s / 2)); // x ∈ {2, 3}
+                events.push(TraceEvent {
+                    cycle: 0,
+                    src,
+                    dst,
+                    flits: 32,
+                });
+            }
+        }
+        let routes = RoutingTable::compute_xy(&t);
+        let mut cfg = SimConfig::paper();
+        cfg.max_cycles = 80;
+        let trace = Trace::new("importer overload", 8, 0.0, events);
+        let single = crate::Simulator::new(&t, &routes, cfg)
+            .run_trace(&trace)
+            .expect_err("cycle limit");
+        for threads in [1, 2] {
+            let sharded = ShardedSimulator::new(&t, &routes, cfg, ShardSpec { sx: 2, sy: 1 })
+                .with_threads(threads)
+                .run_trace(&trace)
+                .expect_err("cycle limit");
+            assert_eq!(single, sharded, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn shard_count_constructor_round_trips() {
+        let t = small_mesh(8, 8);
+        let routes = RoutingTable::compute_xy(&t);
+        let sim = ShardedSimulator::with_shard_count(&t, &routes, SimConfig::paper(), 4);
+        assert_eq!(sim.num_shards(), 4);
+    }
+}

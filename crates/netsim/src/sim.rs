@@ -1,41 +1,26 @@
-//! The cycle-driven simulation engine, active-set edition.
+//! The single-shard simulator facade.
 //!
-//! Per-cycle cost scales with the number of in-flight flits, not with
-//! network size. Four mechanisms replace the seed engine's full scans
-//! (the seed engine itself survives verbatim in [`crate::reference`] as
-//! the parity oracle):
-//!
-//! 1. **Arrival calendar.** Link pipes are gone; a flit leaving a router
-//!    is booked into a cycle-indexed wheel (`wheel`, sized to the longest
-//!    link latency) and delivered by draining exactly one bucket per
-//!    cycle, instead of scanning every link's queue every cycle.
-//! 2. **Active node sets.** Two bitsets track which routers can possibly
-//!    do work: `work_mask` (any buffered flit — gates RC, VA, SA/ST) and
-//!    `src_mask` (NIC queue or in-progress emission — gates NIC
-//!    emission). Quiescent routers cost nothing.
-//! 3. **SoA flit storage.** The per-node `Vec<VecDeque<Flit>>` nests are
-//!    flattened into one contiguous flit slab (`flit_buf`) of fixed-depth
-//!    ring buffers plus parallel `q_head`/`q_len`/`vc_state` arrays,
-//!    indexed by global VC slot `vc_base[node] + in_port * vcs + vc`.
-//!    Steady-state simulation performs zero heap allocation.
-//! 4. **Idle fast-forward.** When both active sets are empty the engine
-//!    jumps straight to the next timeline event — the next calendar
-//!    arrival or the next trace admission — instead of stepping empty
-//!    cycles one by one. (The seed engine only skipped when *fully*
-//!    drained.)
+//! Since the shard refactor, the engine core — calendar wheel, active
+//! node bitsets, SoA flit slab, dirty-list route computation, mask-walk
+//! arbitration — lives in [`crate::shard`] as `ShardState`: per-cycle
+//! cost scales with the number of in-flight flits, not with network size
+//! (the seed engine survives verbatim in [`crate::reference`] as the
+//! parity oracle). [`Simulator`] is the P=1 case: one `ShardState` built
+//! over the trivial partition, driven by the same lockstep run loop the
+//! parallel [`crate::ShardedSimulator`] uses — with a single shard the
+//! mailbox grid and barriers degenerate to no-ops, so the hot path is
+//! identical to the pre-shard engine.
 //!
 //! Stage order, arbitration order, credit timing, and statistics are
 //! bit-for-bit identical to the reference engine; `tests/parity.rs`
-//! enforces this across seeds, topologies, and workloads.
+//! enforces this across seeds, topologies, and workloads, and
+//! `tests/shard_parity.rs` pins the sharded engine against this one.
 
 use crate::config::SimConfig;
-use crate::flit::{Flit, PacketInfo};
-use crate::router::{Emission, NodeState};
+use crate::shard::{run_sharded, EnginePlan, InjectTables, ShardState, Workload};
 use crate::stats::SimStats;
-use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
+use hyppi_topology::{NodeId, Partition, RoutingTable, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,211 +45,11 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Dateline VC class of a packet (see the `router` module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VcClass {
-    /// The route never crosses an express link: any VC is safe.
-    Free,
-    /// Express route, before the first express traversal: class A VCs.
-    PreExpress,
-    /// Express route, after the first express traversal: class B VCs.
-    PostExpress,
-}
-
-/// One booked link arrival: (link, destination VC, flit).
-type ArrivalEvent = (u32, u8, Flit);
-
-/// Packed per-slot metadata word: the VC state machine and the ring
-/// cursor of one input VC, in a single `u32` so the arbitration loops
-/// read and write slot state with one memory access.
-///
-/// | bits    | field                                   |
-/// |---------|-----------------------------------------|
-/// | 0..2    | state tag (Idle / Routed / Active)      |
-/// | 2..6    | out-port (valid when Routed or Active)  |
-/// | 6..11   | out-VC (valid when Active)              |
-/// | 11..19  | ring head index                         |
-/// | 19..27  | queue length                            |
-///
-/// Field widths are enforced by `SimConfig::validate` (VCs ≤ 32, buffer
-/// depth ≤ 255) and the per-node port assert in `Simulator::new`.
-mod meta {
-    pub const IDLE: u32 = 0;
-    pub const ROUTED: u32 = 1;
-    pub const ACTIVE: u32 = 2;
-    const TAG_MASK: u32 = 0b11;
-    pub const PORT_SHIFT: u32 = 2;
-    const PORT_MASK: u32 = 0xF;
-    pub const OVC_SHIFT: u32 = 6;
-    const OVC_MASK: u32 = 0x1F;
-    pub const HEAD_SHIFT: u32 = 11;
-    pub const HEAD_MASK: u32 = 0xFF;
-    const LEN_SHIFT: u32 = 19;
-    const LEN_MASK: u32 = 0xFF;
-    /// Adding this to a word increments the queue length.
-    pub const LEN_ONE: u32 = 1 << LEN_SHIFT;
-    /// Clears tag + out-port + out-VC, leaving the ring cursor.
-    pub const STATE_CLEAR: u32 = !((1 << HEAD_SHIFT) - 1);
-
-    #[inline]
-    pub fn tag(m: u32) -> u32 {
-        m & TAG_MASK
-    }
-
-    #[inline]
-    pub fn out_port(m: u32) -> usize {
-        ((m >> PORT_SHIFT) & PORT_MASK) as usize
-    }
-
-    #[inline]
-    pub fn out_vc(m: u32) -> usize {
-        ((m >> OVC_SHIFT) & OVC_MASK) as usize
-    }
-
-    #[inline]
-    pub fn head(m: u32) -> usize {
-        ((m >> HEAD_SHIFT) & HEAD_MASK) as usize
-    }
-
-    #[inline]
-    pub fn len(m: u32) -> usize {
-        ((m >> LEN_SHIFT) & LEN_MASK) as usize
-    }
-}
-
-/// Iterator over the set bits of a mask in cyclic (round-robin) order
-/// starting at `start`: indices `start.., then 0..start`, restricted to
-/// set bits. This visits exactly the candidates a full modular scan
-/// `(start + k) % width` would accept, in the same order, so replacing
-/// the scans with mask walks preserves arbitration bit-for-bit.
-struct CyclicBits {
-    hi: u32,
-    lo: u32,
-}
-
-impl Iterator for CyclicBits {
-    type Item = usize;
-
-    #[inline]
-    fn next(&mut self) -> Option<usize> {
-        let bits = if self.hi != 0 {
-            &mut self.hi
-        } else if self.lo != 0 {
-            &mut self.lo
-        } else {
-            return None;
-        };
-        let b = bits.trailing_zeros();
-        *bits &= *bits - 1;
-        Some(b as usize)
-    }
-}
-
-#[inline]
-fn cyclic_bits(mask: u32, start: usize) -> CyclicBits {
-    debug_assert!(start < 32);
-    let hi_mask = u32::MAX << start;
-    CyclicBits {
-        hi: mask & hi_mask,
-        lo: mask & !hi_mask,
-    }
-}
-
 /// The simulator. Construct once per (topology, routing) pair and run a
 /// trace or a synthetic load.
 pub struct Simulator<'a> {
-    topo: &'a Topology,
-    cfg: SimConfig,
-    /// Express-dateline VC classes in force (see `router` module docs).
-    dateline: bool,
-    nodes: Vec<NodeState>,
-    // --- SoA VC storage, indexed by global slot (see module docs) ---
-    /// First slot of each node (`slot = vc_base[node] + in_port*vcs + vc`).
-    vc_base: Vec<u32>,
-    /// Owning node of each slot (RC dirty-list lookups).
-    node_of_slot: Vec<u16>,
-    /// Packed per-slot metadata: state machine + ring-buffer cursor in
-    /// one word, so the arbitration loops load slot state once. See the
-    /// `meta_*` helpers for the bit layout.
-    slot_meta: Vec<u32>,
-    /// Flit slab: `ring` contiguous entries per slot (power of two ≥
-    /// `cfg.buffer_depth`, so ring arithmetic is mask-based; occupancy is
-    /// still bounded by `buffer_depth` via credits and emission checks).
-    flit_buf: Vec<Flit>,
-    /// Ring stride of `flit_buf`.
-    ring: usize,
-    /// `ring - 1`, for masked wrap-around.
-    ring_mask: usize,
-    /// In-port of each global slot (`idx / vcs`, precomputed).
-    in_port_of_slot: Vec<u8>,
-    /// VC index of each global slot (`idx % vcs`, precomputed).
-    vc_of_slot: Vec<u8>,
-    /// First class-B VC when the dateline is in force (see `vc_range`).
-    class_b_start: usize,
-    /// Flits buffered per node (active-set membership count).
-    buffered: Vec<u32>,
-    /// Free downstream slots, flattened `[link * vcs + vc]`.
-    credits: Vec<u16>,
-    // --- flattened per-port router control state (hot arbitration data
-    // lives in contiguous global arrays, not per-node Vecs) ---
-    /// First out-port entry of each node in the per-out-port arrays.
-    port_base: Vec<u32>,
-    /// First in-port entry of each node (= `vc_base[node] / vcs`).
-    in_port_base: Vec<u32>,
-    /// Out-port count per node.
-    out_ports_of: Vec<u8>,
-    /// Arbitration scan width per node (`in_ports * vcs`).
-    total_in_vcs_of: Vec<u8>,
-    /// Routed-VC bitmask per (node, out-port) — bit = in-VC index.
-    routed_mask: Vec<u32>,
-    /// Active-VC bitmask per (node, out-port) — bit = in-VC index.
-    active_mask: Vec<u32>,
-    /// VC-allocation round-robin pointer per (node, out-port).
-    va_rr: Vec<u8>,
-    /// Switch-allocation round-robin pointer per (node, out-port).
-    sa_rr: Vec<u8>,
-    /// Output VC holder per ((node, out-port), vc): `Some((in_port,
-    /// in_vc))` while a packet owns the VC.
-    out_holder: Vec<Option<(u8, u8)>>,
-    /// Input VCs currently `Routed`, per node (VA fast skip).
-    routed_count: Vec<u16>,
-    /// Bitmask of in-ports that already sent a flit this cycle, per node.
-    in_port_used: Vec<u32>,
-    /// Raw link id per (node, out-port); `u32::MAX` for the ejection port.
-    link_of_out_port: Vec<u32>,
-    /// Raw link id per (node, in-port); `u32::MAX` for injection.
-    link_of_in_port: Vec<u32>,
-    /// Per-link latency in cycles (dense copy of the topology's).
-    latency_of_link: Vec<u32>,
-    /// Per-link express flag (dense copy of the topology's).
-    express_link: Vec<bool>,
-    // --- arrival calendar ---
-    /// Cycle-indexed arrival buckets; slot `cycle & wheel_mask`.
-    wheel: Vec<Vec<ArrivalEvent>>,
-    wheel_mask: u64,
-    /// Flits currently traversing links (booked in `wheel`).
-    inflight_arrivals: u64,
-    /// In-port index (at the link's dst node) fed by each link.
-    in_port_of_link: Vec<u8>,
-    // --- active sets ---
-    /// Bit per node: has any buffered flit (gates RC/VA/SA).
-    work_mask: Vec<u64>,
-    /// Bit per node: NIC queue non-empty or emission in progress.
-    src_mask: Vec<u64>,
-    /// Slots whose fresh head packet needs route computation.
-    rc_dirty: Vec<u32>,
-    packets: Vec<PacketInfo>,
-    /// Dateline class per packet (see [`VcClass`]).
-    class_of: Vec<VcClass>,
-    /// `express_on_path[dst][node]`: does the route node→dst cross an
-    /// express link? Only populated when the dateline is in force.
-    express_on_path: Vec<Vec<bool>>,
-    /// Credits freed this cycle, flattened `[link * vcs + vc]`.
-    pending_credits: Vec<u32>,
-    active_flits: u64,
-    /// Packets queued at NICs or mid-emission.
-    pending_sources: u64,
-    stats: SimStats,
+    pub(crate) plan: EnginePlan<'a>,
+    pub(crate) shard: ShardState,
 }
 
 impl<'a> Simulator<'a> {
@@ -272,327 +57,16 @@ impl<'a> Simulator<'a> {
     /// (use [`RoutingTable::compute_xy`] — the deadlock-freedom argument
     /// assumes X-then-Y ordering).
     pub fn new(topo: &'a Topology, routes: &'a RoutingTable, cfg: SimConfig) -> Self {
-        assert_eq!(routes.num_nodes(), topo.num_nodes());
-        cfg.validate();
-        let dateline = topo.count_links(|l| l.is_express()) > 0;
-        let nodes: Vec<NodeState> = topo
-            .nodes()
-            .map(|n| NodeState::new(topo, routes, n))
-            .collect();
-        // Which (node → dst) routes cross an express link: walk each
-        // destination's next-hop tree once, memoized.
-        let mut express_on_path: Vec<Vec<bool>> = Vec::new();
-        if dateline {
-            express_on_path.reserve(topo.num_nodes());
-            for dst in topo.nodes() {
-                let mut table = vec![false; topo.num_nodes()];
-                let mut visited = vec![false; topo.num_nodes()];
-                visited[dst.index()] = true;
-                for start in topo.nodes() {
-                    if visited[start.index()] {
-                        continue;
-                    }
-                    let mut chain = Vec::new();
-                    let mut at = start;
-                    while !visited[at.index()] {
-                        chain.push(at);
-                        let lid = routes.next_link(at, dst).expect("connected");
-                        let link = topo.link(lid);
-                        if link.is_express() {
-                            // Everything up the chain routes through here.
-                            for &n in &chain {
-                                table[n.index()] = true;
-                                visited[n.index()] = true;
-                            }
-                            chain.clear();
-                        }
-                        at = link.dst;
-                    }
-                    // Remaining chain inherits the memoized answer at `at`.
-                    let tail = table[at.index()];
-                    for &n in &chain {
-                        table[n.index()] = tail;
-                        visited[n.index()] = true;
-                    }
-                }
-                express_on_path.push(table);
-            }
-        }
-        let mut in_port_of_link = vec![0u8; topo.links().len()];
-        for (node, state) in topo.nodes().zip(&nodes) {
-            let _ = node;
-            for (i, &lid) in state.in_links.iter().enumerate() {
-                in_port_of_link[lid.index()] = (i + 1) as u8;
-            }
-        }
-        // Flat slot layout.
-        let mut vc_base = Vec::with_capacity(nodes.len());
-        let mut node_of_slot = Vec::new();
-        let mut in_port_of_slot = Vec::new();
-        let mut vc_of_slot = Vec::new();
-        let mut total_slots = 0u32;
-        for (i, st) in nodes.iter().enumerate() {
-            vc_base.push(total_slots);
-            let slots = st.in_ports() * cfg.vcs;
-            assert!(
-                slots <= 32,
-                "per-node VC count {slots} exceeds the u32 arbitration masks \
-                 (node {i}: {} in-ports × {} VCs)",
-                st.in_ports(),
-                cfg.vcs
-            );
-            node_of_slot.extend(std::iter::repeat_n(i as u16, slots));
-            for idx in 0..slots {
-                in_port_of_slot.push((idx / cfg.vcs) as u8);
-                vc_of_slot.push((idx % cfg.vcs) as u8);
-            }
-            total_slots += slots as u32;
-        }
-        let total_slots = total_slots as usize;
-        // Flat per-port layout (out-ports and in-ports).
-        let mut port_base = Vec::with_capacity(nodes.len());
-        let mut out_ports_of = Vec::with_capacity(nodes.len());
-        let mut total_in_vcs_of = Vec::with_capacity(nodes.len());
-        let mut link_of_out_port = Vec::new();
-        let mut link_of_in_port = Vec::new();
-        let mut total_out_ports = 0u32;
-        for st in &nodes {
-            port_base.push(total_out_ports);
-            assert!(
-                st.out_ports() <= 15,
-                "out-port count {} exceeds the packed slot-meta field",
-                st.out_ports()
-            );
-            out_ports_of.push(st.out_ports() as u8);
-            total_in_vcs_of.push((st.in_ports() * cfg.vcs) as u8);
-            link_of_out_port.push(u32::MAX); // ejection port
-            link_of_out_port.extend(st.out_links.iter().map(|l| l.index() as u32));
-            link_of_in_port.push(u32::MAX); // injection port
-            link_of_in_port.extend(st.in_links.iter().map(|l| l.index() as u32));
-            total_out_ports += st.out_ports() as u32;
-        }
-        let in_port_base: Vec<u32> = vc_base.iter().map(|&b| b / cfg.vcs as u32).collect();
-        let latency_of_link: Vec<u32> = topo.links().iter().map(|l| l.latency_cycles).collect();
-        let express_link: Vec<bool> = topo.links().iter().map(|l| l.is_express()).collect();
-        let ring = cfg.buffer_depth.next_power_of_two();
-        let filler = Flit {
-            packet: u32::MAX,
-            dst: NodeId(0),
-            is_head: false,
-            is_tail: false,
-            ready: 0,
-        };
-        // Calendar sized to cover the longest link latency. Zero-latency
-        // links would land arrivals in the bucket stage 1 already drained
-        // this cycle (delivering them a whole revolution late), so the
-        // wheel requires every latency ≥ 1 — same-cycle delivery is not a
-        // thing in the reference engine either.
-        assert!(
-            topo.links().iter().all(|l| l.latency_cycles >= 1),
-            "link latencies must be >= 1 cycle"
-        );
-        let max_latency = topo
-            .links()
-            .iter()
-            .map(|l| u64::from(l.latency_cycles))
-            .max()
-            .unwrap_or(1);
-        let wheel_len = (max_latency + 2).next_power_of_two() as usize;
-        let mask_words = nodes.len().div_ceil(64);
-        Simulator {
-            topo,
-            cfg,
-            dateline,
-            buffered: vec![0; nodes.len()],
-            slot_meta: vec![0; total_slots],
-            flit_buf: vec![filler; total_slots * ring],
-            ring,
-            ring_mask: ring - 1,
-            in_port_of_slot,
-            vc_of_slot,
-            class_b_start: cfg.vcs - (cfg.vcs / 4).max(1),
-            vc_base,
-            node_of_slot,
-            routed_mask: vec![0; total_out_ports as usize],
-            active_mask: vec![0; total_out_ports as usize],
-            va_rr: vec![0; total_out_ports as usize],
-            sa_rr: vec![0; total_out_ports as usize],
-            out_holder: vec![None; total_out_ports as usize * cfg.vcs],
-            routed_count: vec![0; nodes.len()],
-            in_port_used: vec![0; nodes.len()],
-            port_base,
-            in_port_base,
-            out_ports_of,
-            total_in_vcs_of,
-            link_of_out_port,
-            link_of_in_port,
-            latency_of_link,
-            express_link,
-            nodes,
-            credits: vec![cfg.buffer_depth as u16; topo.links().len() * cfg.vcs],
-            wheel: vec![Vec::new(); wheel_len],
-            wheel_mask: (wheel_len - 1) as u64,
-            inflight_arrivals: 0,
-            in_port_of_link,
-            work_mask: vec![0; mask_words],
-            src_mask: vec![0; mask_words],
-            rc_dirty: Vec::new(),
-            packets: Vec::new(),
-            class_of: Vec::new(),
-            express_on_path,
-            pending_credits: Vec::new(),
-            active_flits: 0,
-            pending_sources: 0,
-            stats: SimStats::new(topo.links().len(), topo.num_nodes()),
-        }
-    }
-
-    /// VC index range usable by a packet of the given dateline class.
-    ///
-    /// Class B (post-express walks — short and comparatively rare) gets
-    /// the top quarter of the VCs; everything else (packets before their
-    /// express traversal and packets that never touch an express link)
-    /// shares the rest. Class-B channels are only ever requested by
-    /// post-express packets, whose walks are monotone, so class-B
-    /// dependencies are acyclic and no dependency points from class B back
-    /// to class A (see the `router` module docs). Without express links no
-    /// discipline is needed and every VC is open.
-    #[inline]
-    fn vc_range(&self, class: VcClass) -> std::ops::Range<usize> {
-        if !self.dateline {
-            return 0..self.cfg.vcs;
-        }
-        match class {
-            VcClass::Free | VcClass::PreExpress => 0..self.class_b_start,
-            VcClass::PostExpress => self.class_b_start..self.cfg.vcs,
-        }
+        let plan = EnginePlan::new(topo, routes, cfg, Partition::single(topo));
+        let shard = ShardState::new(&plan, 0);
+        Simulator { plan, shard }
     }
 
     /// Whether the deterministic route src → dst crosses an express link
     /// (always `false` on topologies without express links).
     pub fn route_uses_express(&self, src: NodeId, dst: NodeId) -> bool {
-        self.dateline && src != dst && self.express_on_path[dst.index()][src.index()]
+        self.plan.route_uses_express(src, dst)
     }
-
-    /// Initial dateline class of a new packet.
-    #[inline]
-    fn initial_class(&self, src: NodeId, dst: NodeId) -> VcClass {
-        if self.route_uses_express(src, dst) {
-            VcClass::PreExpress
-        } else {
-            VcClass::Free
-        }
-    }
-
-    // ---- active-set plumbing -------------------------------------------
-
-    #[inline]
-    fn set_work(&mut self, node: usize) {
-        self.work_mask[node >> 6] |= 1u64 << (node & 63);
-    }
-
-    #[inline]
-    fn clear_work(&mut self, node: usize) {
-        self.work_mask[node >> 6] &= !(1u64 << (node & 63));
-    }
-
-    #[inline]
-    fn set_src(&mut self, node: usize) {
-        self.src_mask[node >> 6] |= 1u64 << (node & 63);
-    }
-
-    #[inline]
-    fn clear_src(&mut self, node: usize) {
-        self.src_mask[node >> 6] &= !(1u64 << (node & 63));
-    }
-
-    /// True when no router can do any work this cycle (flits may still be
-    /// traversing links — check [`Self::next_arrival_cycle`]).
-    #[inline]
-    fn quiescent(&self) -> bool {
-        self.work_mask.iter().all(|&w| w == 0) && self.src_mask.iter().all(|&w| w == 0)
-    }
-
-    /// Cycle of the earliest booked link arrival ≥ `now`, if any. The
-    /// calendar only holds arrivals within one wheel revolution of `now`.
-    fn next_arrival_cycle(&self, now: u64) -> Option<u64> {
-        if self.inflight_arrivals == 0 {
-            return None;
-        }
-        (0..self.wheel.len() as u64)
-            .find(|off| !self.wheel[((now + off) & self.wheel_mask) as usize].is_empty())
-            .map(|off| now + off)
-    }
-
-    /// Appends `f` to a VC ring, updating active-set state. Marks the slot
-    /// RC-dirty when `f` lands at the head of an idle VC (then it is a
-    /// fresh head flit by the VC-allocation contract).
-    #[inline]
-    fn push_flit(&mut self, node: usize, slot: usize, f: Flit) {
-        let m = self.slot_meta[slot];
-        let len = meta::len(m);
-        debug_assert!(len < self.cfg.buffer_depth, "VC overflow (credit leak)");
-        if len == 0 && meta::tag(m) == meta::IDLE {
-            debug_assert!(f.is_head, "flit entering an idle empty VC must be a head");
-            self.rc_dirty.push(slot as u32);
-        }
-        let pos = (meta::head(m) + len) & self.ring_mask;
-        self.flit_buf[slot * self.ring + pos] = f;
-        self.slot_meta[slot] = m + meta::LEN_ONE;
-        self.buffered[node] += 1;
-        self.set_work(node);
-    }
-
-    #[inline]
-    fn front_flit(&self, slot: usize) -> Option<&Flit> {
-        let m = self.slot_meta[slot];
-        if meta::len(m) == 0 {
-            None
-        } else {
-            Some(&self.flit_buf[slot * self.ring + meta::head(m)])
-        }
-    }
-
-    #[inline]
-    fn pop_flit(&mut self, slot: usize) -> Flit {
-        let m = self.slot_meta[slot];
-        debug_assert!(meta::len(m) > 0, "pop from empty VC");
-        let head = meta::head(m);
-        let f = self.flit_buf[slot * self.ring + head];
-        let new_head = ((head + 1) & self.ring_mask) as u32;
-        self.slot_meta[slot] = ((m - meta::LEN_ONE) & !(meta::HEAD_MASK << meta::HEAD_SHIFT))
-            | (new_head << meta::HEAD_SHIFT);
-        f
-    }
-
-    /// `(idx + 1) % total` without the division (RR pointer advance).
-    #[inline]
-    fn rr_next(idx: usize, total: usize) -> u8 {
-        let nxt = idx + 1;
-        if nxt == total {
-            0
-        } else {
-            nxt as u8
-        }
-    }
-
-    /// Queues a packet at its source NIC.
-    fn admit(&mut self, src: NodeId, dst: NodeId, flits: u32, inject_cycle: u64) {
-        let pid = self.packets.len() as u32;
-        self.packets.push(PacketInfo {
-            src,
-            dst,
-            inject_cycle,
-            flits,
-            ejected: 0,
-        });
-        self.class_of.push(self.initial_class(src, dst));
-        self.nodes[src.index()].src_queue.push_back(pid);
-        self.pending_sources += 1;
-        self.set_src(src.index());
-    }
-
-    // ---- run loops ------------------------------------------------------
 
     /// Runs a trace to completion.
     pub fn run_trace(self, trace: &Trace) -> Result<SimStats, SimError> {
@@ -608,51 +82,10 @@ impl<'a> Simulator<'a> {
 
     /// The single trace-driven run loop; `dump_on_stall` enables the
     /// deadlock-triage dump on cycle-limit failure.
-    fn run_trace_impl(mut self, trace: &Trace, dump_on_stall: bool) -> Result<SimStats, SimError> {
-        assert_eq!(usize::from(trace.num_nodes), self.topo.num_nodes());
-        let mut now = 0u64;
-        let mut next_event = 0usize;
-        loop {
-            // Admit due trace events into the source queues.
-            while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
-                let e = &trace.events[next_event];
-                next_event += 1;
-                self.admit(e.src, e.dst, e.flits, e.cycle);
-            }
-
-            if self.quiescent() {
-                // No router can act this cycle: fast-forward to the next
-                // timeline event — a booked link arrival or the next
-                // trace admission. (Without buffered flits or NIC work,
-                // `active_flits` is exactly the in-flight arrival count,
-                // so no-arrivals-and-no-events means fully drained.)
-                let next_trace = trace.events.get(next_event).map(|e| e.cycle);
-                let target = match (self.next_arrival_cycle(now), next_trace) {
-                    (None, None) => break, // drained, trace exhausted
-                    (Some(a), None) => a,
-                    (None, Some(t)) => t,
-                    (Some(a), Some(t)) => a.min(t),
-                };
-                if target > now {
-                    now = target;
-                    continue; // re-run admission at the new cycle
-                }
-            }
-
-            self.step(now);
-            now += 1;
-            if now > self.cfg.max_cycles {
-                if dump_on_stall {
-                    self.dump_blocked(now);
-                }
-                let stuck = self.packets.iter().filter(|p| !p.is_complete()).count() as u64;
-                return Err(SimError::CycleLimit {
-                    stuck_packets: stuck,
-                });
-            }
-        }
-        self.stats.cycles = now;
-        Ok(self.stats)
+    fn run_trace_impl(self, trace: &Trace, dump_on_stall: bool) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let Simulator { plan, shard } = self;
+        run_sharded(&plan, vec![shard], 1, Workload::Trace(trace), dump_on_stall)
     }
 
     /// Runs Bernoulli-injected synthetic traffic: each node injects 1-flit
@@ -661,562 +94,26 @@ impl<'a> Simulator<'a> {
     /// are not measured; injection stops after `warmup + measure` cycles and
     /// the network drains.
     pub fn run_synthetic(
-        mut self,
+        self,
         matrix: &TrafficMatrix,
         warmup: u64,
         measure: u64,
         seed: u64,
     ) -> Result<SimStats, SimError> {
-        assert_eq!(matrix.num_nodes(), self.topo.num_nodes());
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Precompute per-node injection rate and destination CDF as
-        // prefix-sum tables (binary-searched per draw).
-        let n = self.topo.num_nodes();
-        let mut rates = Vec::with_capacity(n);
-        let mut cdf_acc: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut cdf_dst: Vec<Vec<NodeId>> = Vec::with_capacity(n);
-        for src in self.topo.nodes() {
-            let rate = matrix.injection_rate(src);
-            let mut acc_col = Vec::new();
-            let mut dst_col = Vec::new();
-            if rate > 0.0 {
-                let mut acc = 0.0;
-                for dst in self.topo.nodes() {
-                    let r = matrix.rate(src, dst);
-                    if r > 0.0 {
-                        acc += r / rate;
-                        acc_col.push(acc);
-                        dst_col.push(dst);
-                    }
-                }
-            }
-            rates.push(rate);
-            cdf_acc.push(acc_col);
-            cdf_dst.push(dst_col);
-        }
-
-        let mut now = 0u64;
-        let inject_until = warmup + measure;
-        loop {
-            if now < inject_until {
-                for src in 0..n {
-                    if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] {
-                        let u: f64 = rng.gen();
-                        // First entry with acc ≥ u (prefix sums are
-                        // nondecreasing); the last entry backstops
-                        // floating-point shortfall at u ≈ 1.
-                        let i = cdf_acc[src].partition_point(|&acc| acc < u);
-                        let dst = *cdf_dst[src]
-                            .get(i)
-                            .unwrap_or_else(|| cdf_dst[src].last().expect("nonempty cdf"));
-                        if dst == NodeId(src as u16) {
-                            continue;
-                        }
-                        let measured = now >= warmup;
-                        // Unmeasured packets are marked by u64::MAX and
-                        // skipped in `record`.
-                        let inject_cycle = if measured { now } else { u64::MAX };
-                        self.admit(NodeId(src as u16), dst, 1, inject_cycle);
-                    }
-                }
-            } else if self.quiescent() {
-                // Drain phase: jump to the next booked arrival, or stop.
-                match self.next_arrival_cycle(now) {
-                    None => break,
-                    Some(t) if t > now => {
-                        now = t;
-                        continue;
-                    }
-                    Some(_) => {}
-                }
-            }
-            self.step(now);
-            now += 1;
-            if now > self.cfg.max_cycles {
-                let stuck = self.packets.iter().filter(|p| !p.is_complete()).count() as u64;
-                return Err(SimError::CycleLimit {
-                    stuck_packets: stuck,
-                });
-            }
-        }
-        self.stats.cycles = now;
-        Ok(self.stats)
-    }
-
-    // ---- the five pipeline stages --------------------------------------
-
-    /// One simulated cycle.
-    fn step(&mut self, now: u64) {
-        self.deliver_link_arrivals(now);
-        self.emit_from_sources(now);
-        self.route_compute();
-        self.allocate_vcs();
-        self.switch_traversal(now);
-        // Credits freed this cycle become visible next cycle.
-        for i in self.pending_credits.drain(..) {
-            self.credits[i as usize] += 1;
-        }
-    }
-
-    /// Stage 1: drain this cycle's calendar bucket into input buffers.
-    fn deliver_link_arrivals(&mut self, now: u64) {
-        let bucket = (now & self.wheel_mask) as usize;
-        if self.wheel[bucket].is_empty() {
-            return;
-        }
-        let dwell = self.cfg.pipeline_dwell();
-        let mut events = std::mem::take(&mut self.wheel[bucket]);
-        self.inflight_arrivals -= events.len() as u64;
-        for (lid, vc, flit) in events.drain(..) {
-            let link = self.topo.link(LinkId(lid));
-            let node = link.dst.index();
-            let in_port = usize::from(self.in_port_of_link[lid as usize]);
-            let slot = self.vc_base[node] as usize + in_port * self.cfg.vcs + usize::from(vc);
-            let mut f = flit;
-            // The arrival cycle is the link-traversal cycle; the router
-            // pipeline (RC, VA/SA, ST) starts the following cycle, so a
-            // hop costs `link latency + pipeline` cycles end to end.
-            f.ready = now + 1 + dwell;
-            self.push_flit(node, slot, f);
-        }
-        // Hand the bucket's allocation back for reuse.
-        self.wheel[bucket] = events;
-    }
-
-    /// Stage 2: NIC emission into the injection port, source-active nodes
-    /// only. A source that cannot push (its injection VCs are full) is
-    /// parked out of `src_mask`; it is re-armed when an injection-VC slot
-    /// frees at this node (in-port-0 pop in switch traversal) or a new
-    /// packet is admitted, so no cycle the seed engine would use for
-    /// emission is missed.
-    fn emit_from_sources(&mut self, now: u64) {
-        let dwell = self.cfg.pipeline_dwell();
-        for w in 0..self.src_mask.len() {
-            let mut bits = self.src_mask[w];
-            while bits != 0 {
-                let node = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let mut pushed = false;
-                if self.nodes[node].emitting.is_none() {
-                    if let Some(&pid) = self.nodes[node].src_queue.front() {
-                        // Pick an injection VC in the packet's class.
-                        let info = self.packets[pid as usize];
-                        let range = self.vc_range(self.class_of[pid as usize]);
-                        let base = self.vc_base[node] as usize; // in-port 0 ⇒ slot = base + vc
-                        let pick = range
-                            .clone()
-                            .find(|&v| meta::len(self.slot_meta[base + v]) < self.cfg.buffer_depth);
-                        if let Some(v) = pick {
-                            self.nodes[node].src_queue.pop_front();
-                            self.nodes[node].emitting = Some(Emission {
-                                packet: pid,
-                                emitted: 0,
-                                total: info.flits,
-                                vc: v as u8,
-                                dst: info.dst,
-                                inject_cycle: info.inject_cycle,
-                            });
-                        }
-                    }
-                }
-                if let Some(mut em) = self.nodes[node].emitting {
-                    let slot = self.vc_base[node] as usize + usize::from(em.vc);
-                    if meta::len(self.slot_meta[slot]) < self.cfg.buffer_depth {
-                        let flit = Flit {
-                            packet: em.packet,
-                            dst: em.dst,
-                            is_head: em.emitted == 0,
-                            is_tail: em.emitted + 1 == em.total,
-                            ready: now + dwell,
-                        };
-                        self.push_flit(node, slot, flit);
-                        pushed = true;
-                        self.active_flits += 1;
-                        em.emitted += 1;
-                        self.nodes[node].emitting = if em.emitted == em.total {
-                            self.pending_sources -= 1;
-                            None
-                        } else {
-                            Some(em)
-                        };
-                    }
-                }
-                // Done (nothing left) or parked (blocked on full VCs).
-                if !pushed
-                    || (self.nodes[node].emitting.is_none()
-                        && self.nodes[node].src_queue.is_empty())
-                {
-                    self.clear_src(node);
-                }
-            }
-        }
-    }
-
-    /// Stage 3: route computation, dirty slots only. A slot is marked when
-    /// a head flit lands at the front of an idle VC (on push, or when a
-    /// tail departs with the next packet queued behind it), so this visits
-    /// exactly the VCs the seed engine's full scan would transition.
-    fn route_compute(&mut self) {
-        while let Some(slot) = self.rc_dirty.pop() {
-            let slot = slot as usize;
-            let m = self.slot_meta[slot];
-            debug_assert_eq!(meta::tag(m), meta::IDLE, "dirty slot must be idle");
-            debug_assert!(meta::len(m) > 0, "dirty slot has a queued head");
-            let head = &self.flit_buf[slot * self.ring + meta::head(m)];
-            debug_assert!(head.is_head, "queue head after Idle must be a head flit");
-            let node = usize::from(self.node_of_slot[slot]);
-            let out_port = self.nodes[node].route_port[head.dst.index()];
-            let idx = slot - self.vc_base[node] as usize;
-            self.slot_meta[slot] =
-                (m & meta::STATE_CLEAR) | meta::ROUTED | (u32::from(out_port) << meta::PORT_SHIFT);
-            self.routed_mask[self.port_base[node] as usize + usize::from(out_port)] |= 1 << idx;
-            self.routed_count[node] += 1;
-        }
-    }
-
-    /// Stage 4: VC allocation (round-robin per output port), work-active
-    /// nodes only. The arbitration order within a node is identical to the
-    /// seed engine's.
-    fn allocate_vcs(&mut self) {
-        let vcs = self.cfg.vcs;
-        for w in 0..self.work_mask.len() {
-            let mut bits = self.work_mask[w];
-            while bits != 0 {
-                let node = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if self.routed_count[node] == 0 {
-                    continue;
-                }
-                let base = self.vc_base[node] as usize;
-                let pb = self.port_base[node] as usize;
-                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
-                for p in 0..usize::from(self.out_ports_of[node]) {
-                    if self.routed_count[node] == 0 {
-                        break;
-                    }
-                    // Only VCs actually Routed for this port, in the same
-                    // round-robin order a full scan from va_rr would use.
-                    let mask = self.routed_mask[pb + p];
-                    if mask == 0 {
-                        continue;
-                    }
-                    let start = usize::from(self.va_rr[pb + p]);
-                    for idx in cyclic_bits(mask, start) {
-                        let m = self.slot_meta[base + idx];
-                        debug_assert_eq!(meta::tag(m), meta::ROUTED);
-                        debug_assert_eq!(meta::out_port(m), p);
-                        debug_assert!(meta::len(m) > 0, "Routed VC holds its head flit");
-                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
-                        let head_packet = head.packet;
-                        let range = self.vc_range(self.class_of[head_packet as usize]);
-                        let free = range
-                            .clone()
-                            .find(|&v| self.out_holder[(pb + p) * vcs + v].is_none());
-                        if let Some(ovc) = free {
-                            let in_port = self.in_port_of_slot[base + idx];
-                            let in_vc = self.vc_of_slot[base + idx];
-                            self.out_holder[(pb + p) * vcs + ovc] = Some((in_port, in_vc));
-                            self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
-                                | meta::ACTIVE
-                                | ((p as u32) << meta::PORT_SHIFT)
-                                | ((ovc as u32) << meta::OVC_SHIFT);
-                            self.routed_mask[pb + p] &= !(1 << idx);
-                            self.routed_count[node] -= 1;
-                            self.active_mask[pb + p] |= 1 << idx;
-                            self.va_rr[pb + p] = Self::rr_next(idx, total_in_vcs);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Stage 5: switch allocation + traversal, one flit per out-port and
-    /// per in-port per cycle, work-active nodes only.
-    fn switch_traversal(&mut self, now: u64) {
-        let vcs = self.cfg.vcs;
-        for w in 0..self.work_mask.len() {
-            let mut bits = self.work_mask[w];
-            while bits != 0 {
-                let node = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                // The seed engine zeroes this for every node during its
-                // full emission scan; here the reset rides the switch
-                // stage of active nodes (quiescent nodes have no flits to
-                // arbitrate, so their stale masks are unobservable).
-                self.in_port_used[node] = 0;
-                let base = self.vc_base[node] as usize;
-                let pb = self.port_base[node] as usize;
-                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
-                for p in 0..usize::from(self.out_ports_of[node]) {
-                    // Only VCs actually Active on this port, in the same
-                    // round-robin order a full scan from sa_rr would use.
-                    let mask = self.active_mask[pb + p];
-                    if mask == 0 {
-                        continue;
-                    }
-                    let start = usize::from(self.sa_rr[pb + p]);
-                    let mut winner: Option<(usize, u8)> = None;
-                    for idx in cyclic_bits(mask, start) {
-                        let m = self.slot_meta[base + idx];
-                        debug_assert_eq!(meta::tag(m), meta::ACTIVE);
-                        debug_assert_eq!(meta::out_port(m), p);
-                        let in_port = usize::from(self.in_port_of_slot[base + idx]);
-                        if self.in_port_used[node] & (1 << in_port) != 0 {
-                            continue;
-                        }
-                        if meta::len(m) == 0 {
-                            // Active VC with all buffered flits already
-                            // forwarded (body flits still in transit).
-                            continue;
-                        }
-                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
-                        if head.ready > now {
-                            continue;
-                        }
-                        let out_vc = meta::out_vc(m);
-                        if p > 0 {
-                            let lid = self.link_of_out_port[pb + p] as usize;
-                            if self.credits[lid * vcs + out_vc] == 0 {
-                                continue;
-                            }
-                        }
-                        winner = Some((idx, out_vc as u8));
-                        break;
-                    }
-                    let Some((idx, out_vc)) = winner else {
-                        continue;
-                    };
-                    self.sa_rr[pb + p] = Self::rr_next(idx, total_in_vcs);
-                    let flit = self.pop_flit(base + idx);
-                    self.buffered[node] -= 1;
-                    if self.buffered[node] == 0 {
-                        self.clear_work(node);
-                    }
-                    let in_port = usize::from(self.in_port_of_slot[base + idx]);
-                    self.in_port_used[node] |= 1 << in_port;
-                    self.stats.router_flits[node] += 1;
-
-                    // Return a credit upstream for the slot we just freed;
-                    // an injection-port pop re-arms a parked source.
-                    if in_port > 0 {
-                        let up = self.link_of_in_port[self.in_port_base[node] as usize + in_port]
-                            as usize;
-                        self.pending_credits
-                            .push((up * vcs + usize::from(self.vc_of_slot[base + idx])) as u32);
-                    } else if self.nodes[node].emitting.is_some()
-                        || !self.nodes[node].src_queue.is_empty()
-                    {
-                        self.set_src(node);
-                    }
-
-                    if p == 0 {
-                        // Ejection.
-                        let pid = flit.packet as usize;
-                        self.packets[pid].ejected += 1;
-                        self.stats.flits_delivered += 1;
-                        self.active_flits -= 1;
-                        if self.packets[pid].is_complete() {
-                            let info = &self.packets[pid];
-                            if info.inject_cycle != u64::MAX {
-                                self.stats
-                                    .record_packet(info.flits, now + 1 - info.inject_cycle);
-                            }
-                        }
-                    } else {
-                        let lid = self.link_of_out_port[pb + p] as usize;
-                        self.credits[lid * vcs + usize::from(out_vc)] -= 1;
-                        if self.express_link[lid] {
-                            // Dateline: the packet is class B from here on.
-                            self.class_of[flit.packet as usize] = VcClass::PostExpress;
-                        }
-                        self.stats.link_flits[lid] += 1;
-                        let arrive = now + u64::from(self.latency_of_link[lid]);
-                        self.wheel[(arrive & self.wheel_mask) as usize]
-                            .push((lid as u32, out_vc, flit));
-                        self.inflight_arrivals += 1;
-                    }
-
-                    if flit.is_tail {
-                        self.out_holder[(pb + p) * vcs + usize::from(out_vc)] = None;
-                        let m = self.slot_meta[base + idx] & meta::STATE_CLEAR;
-                        self.slot_meta[base + idx] = m; // back to Idle
-                        self.active_mask[pb + p] &= !(1 << idx);
-                        if meta::len(m) > 0 {
-                            // The next packet's head is already queued
-                            // behind the departed tail: needs RC next
-                            // cycle.
-                            self.rc_dirty.push((base + idx) as u32);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // ---- deadlock triage ------------------------------------------------
-
-    /// Builds the channel wait-for graph of the stuck state and prints one
-    /// cycle if present. Channels are (link, vc) pairs; injection VCs are
-    /// virtual channels numbered past the links.
-    fn dump_waitfor_cycle(&self) {
-        let vcs = self.cfg.vcs;
-        let links = self.topo.links().len();
-        let chan = |lid: usize, vc: usize| lid * vcs + vc;
-        let inj_chan = |node: usize, vc: usize| links * vcs + node * vcs + vc;
-        let total = links * vcs + self.nodes.len() * vcs;
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
-        for (node, st) in self.nodes.iter().enumerate() {
-            let base = self.vc_base[node] as usize;
-            for idx in 0..st.in_ports() * vcs {
-                let slot = base + idx;
-                let m = self.slot_meta[slot];
-                if meta::len(m) == 0 {
-                    continue;
-                }
-                let in_port = idx / vcs;
-                let in_vc = idx % vcs;
-                let src_chan = if in_port == 0 {
-                    inj_chan(node, in_vc)
-                } else {
-                    chan(st.in_links[in_port - 1].index(), in_vc)
-                };
-                let out_port = meta::out_port(m);
-                match meta::tag(m) {
-                    meta::ACTIVE if out_port > 0 => {
-                        let out_vc = meta::out_vc(m);
-                        let lid = st.out_links[out_port - 1].index();
-                        if self.credits[lid * vcs + out_vc] == 0 {
-                            edges[src_chan].push(chan(lid, out_vc));
-                        }
-                    }
-                    meta::ROUTED if out_port > 0 => {
-                        // Waiting for a held out VC in the packet's class.
-                        let head = self.front_flit(slot).expect("nonempty");
-                        let range = self.vc_range(self.class_of[head.packet as usize]);
-                        let pb = self.port_base[node] as usize;
-                        for v in range {
-                            if self.out_holder[(pb + out_port) * vcs + v].is_some() {
-                                let lid = st.out_links[out_port - 1].index();
-                                edges[src_chan].push(chan(lid, v));
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        // Iterative DFS cycle detection.
-        let mut color = vec![0u8; total];
-        let mut parent = vec![usize::MAX; total];
-        for start in 0..total {
-            if color[start] != 0 {
-                continue;
-            }
-            let mut stack = vec![(start, 0usize)];
-            color[start] = 1;
-            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
-                if *ei < edges[u].len() {
-                    let v = edges[u][*ei];
-                    *ei += 1;
-                    if color[v] == 0 {
-                        color[v] = 1;
-                        parent[v] = u;
-                        stack.push((v, 0));
-                    } else if color[v] == 1 {
-                        // Cycle found: unwind from u back to v.
-                        let mut cyc = vec![v, u];
-                        let mut w = u;
-                        while w != v {
-                            w = parent[w];
-                            cyc.push(w);
-                        }
-                        eprintln!("WAIT-FOR CYCLE ({} channels):", cyc.len() - 1);
-                        for &c in cyc.iter().rev() {
-                            if c >= links * vcs {
-                                let node = (c - links * vcs) / vcs;
-                                eprintln!("  inj node {} vc {}", node, c % vcs);
-                            } else {
-                                let l = self.topo.link(hyppi_topology::LinkId((c / vcs) as u32));
-                                eprintln!(
-                                    "  link {}->{} ({:?}) vc {}",
-                                    l.src.0,
-                                    l.dst.0,
-                                    l.class,
-                                    c % vcs
-                                );
-                            }
-                        }
-                        return;
-                    }
-                } else {
-                    color[u] = 2;
-                    stack.pop();
-                }
-            }
-        }
-        eprintln!("no wait-for cycle found (stall, not deadlock)");
-    }
-
-    /// Prints every blocked head flit and why it cannot progress.
-    fn dump_blocked(&self, now: u64) {
-        self.dump_waitfor_cycle();
-        let vcs = self.cfg.vcs;
-        let mut lines = 0;
-        for (node, st) in self.nodes.iter().enumerate() {
-            let base = self.vc_base[node] as usize;
-            for idx in 0..st.in_ports() * vcs {
-                let slot = base + idx;
-                let Some(head) = self.front_flit(slot) else {
-                    continue;
-                };
-                let in_port = idx / vcs;
-                let in_vc = idx % vcs;
-                let m = self.slot_meta[slot];
-                let out_port = meta::out_port(m);
-                let reason = match meta::tag(m) {
-                    meta::IDLE => "idle (RC pending)".to_string(),
-                    meta::ROUTED => {
-                        let pb = self.port_base[node] as usize;
-                        let holders: Vec<String> = (0..vcs)
-                            .map(|v| match self.out_holder[(pb + out_port) * vcs + v] {
-                                None => format!("vc{v}:free"),
-                                Some((ip, iv)) => format!("vc{v}:held({ip},{iv})"),
-                            })
-                            .collect();
-                        format!("awaiting VA on out{} [{}]", out_port, holders.join(" "))
-                    }
-                    _ => {
-                        let out_vc = meta::out_vc(m);
-                        if out_port == 0 {
-                            "active->eject".to_string()
-                        } else {
-                            let lid = st.out_links[out_port - 1];
-                            format!(
-                                "active out{} vc{} credits={} ready={}",
-                                out_port,
-                                out_vc,
-                                self.credits[lid.index() * vcs + out_vc],
-                                head.ready
-                            )
-                        }
-                    }
-                };
-                eprintln!(
-                    "cycle {now} node {node} in{in_port}.vc{in_vc} q={} pkt{} class={:?} dst={} {}",
-                    meta::len(m),
-                    head.packet,
-                    self.class_of[head.packet as usize],
-                    head.dst.0,
-                    reason
-                );
-                lines += 1;
-                if lines > 60 {
-                    eprintln!("... (truncated)");
-                    return;
-                }
-            }
-        }
+        let Simulator { plan, shard } = self;
+        let tables = InjectTables::new(plan.topo, matrix);
+        run_sharded(
+            &plan,
+            vec![shard],
+            1,
+            Workload::Synthetic {
+                tables: &tables,
+                warmup,
+                measure,
+                seed,
+            },
+            false,
+        )
     }
 }
 
@@ -1572,8 +469,8 @@ mod tests {
             .map(|l| u64::from(l.latency_cycles))
             .max()
             .unwrap();
-        assert!(sim.wheel.len() as u64 > max_lat);
-        assert!(sim.wheel.len().is_power_of_two());
+        assert!(sim.shard.wheel.len() as u64 > max_lat);
+        assert!(sim.shard.wheel.len().is_power_of_two());
     }
 
     #[test]
@@ -1583,18 +480,18 @@ mod tests {
         let t = small_mesh(4, 4);
         let routes = RoutingTable::compute_xy(&t);
         let mut sim = Simulator::new(&t, &routes, SimConfig::paper());
-        sim.admit(NodeId(0), NodeId(15), 32, 0);
+        sim.shard.admit(&sim.plan, NodeId(0), NodeId(15), 32, 0);
         let mut now = 0;
-        while !(sim.active_flits == 0 && sim.pending_sources == 0) {
-            sim.step(now);
+        while !(sim.shard.active_flits == 0 && sim.shard.pending_sources == 0) {
+            sim.shard.step(&sim.plan, now);
             now += 1;
             assert!(now < 10_000, "run did not drain");
         }
-        assert!(sim.quiescent());
-        assert!(sim.rc_dirty.is_empty());
-        assert!(sim.wheel.iter().all(|b| b.is_empty()));
-        assert_eq!(sim.inflight_arrivals, 0);
-        assert!(sim.buffered.iter().all(|&b| b == 0));
-        assert_eq!(sim.stats.flits_delivered, 32);
+        assert!(sim.shard.quiescent());
+        assert!(sim.shard.rc_dirty.is_empty());
+        assert!(sim.shard.wheel.iter().all(|b| b.is_empty()));
+        assert_eq!(sim.shard.inflight_arrivals, 0);
+        assert!(sim.shard.buffered.iter().all(|&b| b == 0));
+        assert_eq!(sim.shard.stats.flits_delivered, 32);
     }
 }

@@ -198,6 +198,26 @@ impl SimStats {
         self.all.mean()
     }
 
+    /// Merges another run's (or shard's) counters into this one: latency
+    /// classes, delivered flits, and the per-link / per-router traversal
+    /// arrays (which must be same-topology sized). `cycles` is *not*
+    /// summed — shards advance in lockstep, so the caller sets the shared
+    /// cycle count once.
+    pub fn absorb(&mut self, other: &SimStats) {
+        assert_eq!(self.link_flits.len(), other.link_flits.len());
+        assert_eq!(self.router_flits.len(), other.router_flits.len());
+        self.all.merge(&other.all);
+        self.control.merge(&other.control);
+        self.data.merge(&other.data);
+        self.flits_delivered += other.flits_delivered;
+        for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
+            *a += b;
+        }
+        for (a, b) in self.router_flits.iter_mut().zip(&other.router_flits) {
+            *a += b;
+        }
+    }
+
     /// Total flit-link-traversals (flit-hops) — the physical work the
     /// network performed; the simulation-throughput unit reported by
     /// `perfcheck` (Mflit-hops/s).
@@ -244,6 +264,29 @@ mod tests {
         assert_eq!(s.data.count, 2);
         assert_eq!(s.all.count, 3);
         assert_eq!(s.data.mean(), 50.0);
+    }
+
+    #[test]
+    fn absorb_sums_disjoint_shards() {
+        // Two shards of the same 4-link / 2-node topology: absorbing one
+        // into the other must reproduce a single-engine accumulation.
+        let mut a = SimStats::new(4, 2);
+        a.record_packet(1, 8);
+        a.flits_delivered = 1;
+        a.link_flits[0] = 3;
+        a.router_flits[0] = 5;
+        let mut b = SimStats::new(4, 2);
+        b.record_packet(32, 40);
+        b.flits_delivered = 32;
+        b.link_flits[2] = 7;
+        b.router_flits[1] = 9;
+        a.absorb(&b);
+        assert_eq!(a.all.count, 2);
+        assert_eq!(a.control.count, 1);
+        assert_eq!(a.data.count, 1);
+        assert_eq!(a.flits_delivered, 33);
+        assert_eq!(a.link_flits, vec![3, 0, 7, 0]);
+        assert_eq!(a.router_flits, vec![5, 9]);
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //! the bisection trajectory — are bit-for-bit reproducible.
 
 use crate::config::SimConfig;
+use crate::shard::ShardedSimulator;
 use crate::sim::{SimError, Simulator};
 use crate::stats::{LatencyStats, SimStats};
-use hyppi_topology::{RoutingTable, Topology};
+use hyppi_topology::{RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,6 +94,15 @@ pub struct SweepConfig {
     pub tolerance: f64,
     /// Per-run cycle cap; hitting it marks the point unstable.
     pub run_max_cycles: u64,
+    /// Shards per run: 1 (default) uses the single-shard engine; > 1
+    /// partitions each run across a near-square shard grid
+    /// ([`ShardSpec::for_count`]). Results are bit-for-bit identical
+    /// either way — this is a wall-clock knob for large meshes (32×32+).
+    pub shards: usize,
+    /// Worker threads per sharded run: 0 (default) runs one worker per
+    /// shard; 1 keeps intra-run execution on the batch worker's thread
+    /// (useful when the seed × rate fan-out already saturates the host).
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -107,7 +117,17 @@ impl SweepConfig {
             zero_load_rate: 0.005,
             tolerance: 0.01,
             run_max_cycles: 2_000_000,
+            shards: 1,
+            threads: 0,
         }
+    }
+
+    /// Routes every run through the sharded engine with a near-square
+    /// grid of `shards` tiles.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        self.shards = shards;
+        self
     }
 
     /// A cheap variant for CI smoke runs and unit tests: shorter windows,
@@ -229,12 +249,23 @@ impl<'a> SweepRunner<'a> {
     }
 
     fn run_one(&self, matrix: &TrafficMatrix, seed: u64) -> Result<SimStats, SimError> {
-        Simulator::new(self.topo, self.routes, self.sim).run_synthetic(
-            matrix,
-            self.cfg.warmup,
-            self.cfg.measure,
-            seed,
-        )
+        if self.cfg.shards > 1 {
+            ShardedSimulator::new(
+                self.topo,
+                self.routes,
+                self.sim,
+                ShardSpec::for_count(self.cfg.shards),
+            )
+            .with_threads(self.cfg.threads)
+            .run_synthetic(matrix, self.cfg.warmup, self.cfg.measure, seed)
+        } else {
+            Simulator::new(self.topo, self.routes, self.sim).run_synthetic(
+                matrix,
+                self.cfg.warmup,
+                self.cfg.measure,
+                seed,
+            )
+        }
     }
 
     /// Reduces per-seed outcomes for one offered load to a [`LoadPoint`].
@@ -504,6 +535,27 @@ mod tests {
         assert_eq!(curve.label, "uniform 3x3");
         assert_eq!(curve.points.len(), 2);
         assert!(curve.saturation.zero_load_latency > 0.0);
+    }
+
+    #[test]
+    fn sharded_sweep_points_match_single_shard() {
+        // The shards knob is a wall-clock lever only: every LoadPoint —
+        // histogram, tails, throughput, cycle counts — must be identical.
+        let topo = small_mesh(6, 6);
+        let routes = RoutingTable::compute_xy(&topo);
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let single = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let sharded = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::quick().with_shards(4),
+        );
+        for rate in [0.04, 0.20] {
+            let a = single.run_point(&gen(rate));
+            let b = sharded.run_point(&gen(rate));
+            assert_eq!(a, b, "rate {rate}");
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Sharded-engine parity: `ShardedSimulator` must reproduce the P=1
+//! `Simulator`'s `SimStats` **bit-for-bit** — same latency histograms,
+//! same per-link utilization, same cycle counts — on 16×16 cells across
+//! seeds × {plain mesh, express mesh with dateline VCs} × {trace,
+//! synthetic, saturation}. Combined with `tests/parity.rs` (P=1 vs the
+//! frozen seed engine) this transitively pins the sharded engine to the
+//! seed semantics.
+//!
+//! Every fixture runs both sequentially (`threads = 1`, full mailbox
+//! protocol on one thread) and threaded, so scheduler nondeterminism has
+//! a dedicated pin, not just the protocol.
+
+use hyppi_netsim::{ShardedSimulator, SimConfig, SimStats, Simulator};
+use hyppi_phys::{Gbps, LinkTechnology};
+use hyppi_topology::{
+    express_mesh, mesh, ExpressSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+};
+use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+
+fn paper_mesh() -> Topology {
+    mesh(MeshSpec::paper(LinkTechnology::Electronic))
+}
+
+fn paper_express(span: u16) -> Topology {
+    express_mesh(
+        MeshSpec::paper(LinkTechnology::Electronic),
+        ExpressSpec {
+            span,
+            tech: LinkTechnology::Hyppi,
+        },
+    )
+}
+
+/// Deterministic pseudo-random trace (packet mix of 1- and 32-flit
+/// packets, bursty cycles, idle gaps) derived from `seed` via SplitMix64
+/// — the same generator family as `tests/parity.rs`.
+fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
+    let n = topo.num_nodes() as u64;
+    let mut z = seed;
+    let mut next = move || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut events = Vec::with_capacity(packets);
+    let mut cycle = 0u64;
+    for _ in 0..packets {
+        cycle += match next() % 10 {
+            0 => 500 + next() % 2000,
+            1..=4 => 0,
+            _ => next() % 4,
+        };
+        let src = next() % n;
+        let mut dst = next() % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        events.push(TraceEvent {
+            cycle,
+            src: NodeId(src as u16),
+            dst: NodeId(dst as u16),
+            flits: if next() % 3 == 0 { 32 } else { 1 },
+        });
+    }
+    Trace::new("shard parity fixture", topo.num_nodes() as u16, 0.0, events)
+}
+
+fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
+    let n = topo.num_nodes();
+    let mut m = TrafficMatrix::zero(n);
+    let per_pair = rate / (n - 1) as f64;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d {
+                m.set(s, d, per_pair);
+            }
+        }
+    }
+    m
+}
+
+/// The shard grids every fixture is pinned on: vertical halves, the
+/// default quadrants, and a column split that cuts express spans
+/// mid-flight.
+const GRIDS: [ShardSpec; 3] = [
+    ShardSpec { sx: 2, sy: 1 },
+    ShardSpec { sx: 2, sy: 2 },
+    ShardSpec { sx: 4, sy: 2 },
+];
+
+fn assert_trace_parity(topo: &Topology, trace: &Trace, label: &str) {
+    let routes = RoutingTable::compute_xy(topo);
+    let cfg = SimConfig::paper();
+    let single: SimStats = Simulator::new(topo, &routes, cfg)
+        .run_trace(trace)
+        .expect("single-shard engine completes");
+    for spec in GRIDS {
+        for threads in [1, 0] {
+            let sharded = ShardedSimulator::new(topo, &routes, cfg, spec)
+                .with_threads(threads)
+                .run_trace(trace)
+                .expect("sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "trace parity diverged: {label}, grid {}x{}, threads {threads}",
+                spec.sx, spec.sy
+            );
+        }
+    }
+}
+
+fn assert_synthetic_parity(topo: &Topology, rate: f64, seed: u64, label: &str) {
+    let routes = RoutingTable::compute_xy(topo);
+    let cfg = SimConfig::paper();
+    let m = uniform_matrix(topo, rate);
+    let single = Simulator::new(topo, &routes, cfg)
+        .run_synthetic(&m, 150, 500, seed)
+        .expect("single-shard engine completes");
+    for spec in GRIDS {
+        for threads in [1, 0] {
+            let sharded = ShardedSimulator::new(topo, &routes, cfg, spec)
+                .with_threads(threads)
+                .run_synthetic(&m, 150, 500, seed)
+                .expect("sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "synthetic parity diverged: {label}, grid {}x{}, threads {threads}",
+                spec.sx, spec.sy
+            );
+        }
+    }
+    // Derived tail statistics ride the histograms; spell them out so an
+    // estimator change is caught against the P=1 data too.
+    assert!(single.all.histogram.iter().sum::<u64>() == single.all.count);
+}
+
+#[test]
+fn trace_parity_16x16_plain_mesh() {
+    let topo = paper_mesh();
+    for seed in [1u64, 42] {
+        let trace = fixture_trace(&topo, seed, 700);
+        assert_trace_parity(&topo, &trace, &format!("plain 16x16, seed {seed}"));
+    }
+}
+
+#[test]
+fn trace_parity_16x16_express_span5() {
+    // Dateline VC classes in force, 2-cycle optical links in the
+    // calendar, express links crossing the vertical shard cuts.
+    let topo = paper_express(5);
+    for seed in [7u64, 1234] {
+        let trace = fixture_trace(&topo, seed, 700);
+        assert_trace_parity(&topo, &trace, &format!("express x5 16x16, seed {seed}"));
+    }
+}
+
+#[test]
+fn trace_parity_16x16_express_span15() {
+    // Span 15 "ring wrap": express links leap across every column cut,
+    // including non-adjacent shard tiles of the 4×2 grid.
+    let topo = paper_express(15);
+    let trace = fixture_trace(&topo, 99, 500);
+    assert_trace_parity(&topo, &trace, "express x15 16x16, seed 99");
+}
+
+#[test]
+fn synthetic_parity_16x16_both_topologies() {
+    let plain = paper_mesh();
+    let xpress = paper_express(5);
+    for seed in [5u64, 2718] {
+        assert_synthetic_parity(&plain, 0.06, seed, &format!("plain 16x16, seed {seed}"));
+        assert_synthetic_parity(
+            &xpress,
+            0.06,
+            seed,
+            &format!("express x5 16x16, seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn saturation_parity_16x16() {
+    // A rate past the uniform saturation knee (~0.247): heavy VC/switch
+    // contention with parked sources and boundary credit backpressure —
+    // the hardest regime for exchange-timing bugs.
+    let topo = paper_mesh();
+    assert_synthetic_parity(&topo, 0.32, 11, "plain 16x16 saturated");
+}
+
+#[test]
+fn saturation_burst_trace_parity_16x16() {
+    // All-to-all wormhole burst on the paper mesh: every arbitration
+    // path exercised under full buffers.
+    let topo = paper_mesh();
+    let n = topo.num_nodes() as u16;
+    let mut events = Vec::new();
+    for s in 0..n {
+        for k in 1..8u16 {
+            events.push(TraceEvent {
+                cycle: u64::from(k) * 4,
+                src: NodeId(s),
+                dst: NodeId((s + k * 37) % n),
+                flits: if k % 2 == 0 { 32 } else { 1 },
+            });
+        }
+    }
+    let trace = Trace::new("saturation burst", n, 0.0, events);
+    assert_trace_parity(&topo, &trace, "16x16 all-to-all burst");
+}
+
+#[test]
+fn sharded_32x32_uniform_runs_and_matches() {
+    // The target workload of the shard subsystem: a 32×32 mesh the
+    // serial sweeps could not open. One short synthetic cell, quadrant
+    // shards, threaded — pinned bit-for-bit against P=1.
+    let topo = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let m = uniform_matrix(&topo, 0.08);
+    let single = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, 50, 200, 42)
+        .expect("completes");
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .run_synthetic(&m, 50, 200, 42)
+        .expect("completes");
+    assert_eq!(sharded, single);
+    assert!(single.all.count > 1000, "workload is non-trivial");
+}

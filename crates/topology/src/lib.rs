@@ -24,6 +24,7 @@ pub mod ids;
 pub mod link;
 pub mod loads;
 pub mod routing;
+pub mod shard;
 
 pub use build::{express_mesh, mesh, torus, ExpressSpec, MeshSpec};
 pub use graph::Topology;
@@ -31,3 +32,4 @@ pub use ids::{Coord, LinkId, NodeId};
 pub use link::{Link, LinkClass, ROUTER_PIPELINE_CYCLES};
 pub use loads::LinkLoads;
 pub use routing::RoutingTable;
+pub use shard::{Partition, ShardSpec};

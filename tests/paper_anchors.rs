@@ -79,6 +79,109 @@ fn r_factor_orders_like_table_iii() {
 }
 
 #[test]
+fn table_iii_r_absolute_values() {
+    // Paper Table III absolute R values: 0.808 (x3), 0.885 (x5), 1.050
+    // (x15), 1.122 (plain). The reproduction's queueing model lands
+    // within ~4% on the express rows and ~12% on the plain mesh (the
+    // paper's plain-mesh R is the most sensitive to the contention
+    // approximation); pin each cell so regressions in either direction
+    // are caught.
+    let cfg = SoteriouConfig::paper();
+    let r_of = |span: Option<u16>| {
+        let topo = match span {
+            None => mesh(MeshSpec::paper(LinkTechnology::Electronic)),
+            Some(s) => express_mesh(
+                MeshSpec::paper(LinkTechnology::Electronic),
+                ExpressSpec {
+                    span: s,
+                    tech: LinkTechnology::Hyppi,
+                },
+            ),
+        };
+        let model = NocModel::new(topo);
+        let traffic = cfg.matrix(&model.topo);
+        model.evaluate(&traffic, cfg.max_injection_rate).r_factor
+    };
+    for (span, paper, tol) in [
+        (Some(3u16), 0.808, 0.05),
+        (Some(5), 0.885, 0.05),
+        (Some(15), 1.050, 0.05),
+        (None, 1.122, 0.13),
+    ] {
+        let r = r_of(span);
+        assert!(
+            (r - paper).abs() / paper < tol,
+            "span {span:?}: R {r} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn table_iv_absolute_static_power_cells() {
+    // Paper Table IV, photonic express column in absolute watts: the
+    // 1.53 W electronic base plus ≈1.546 / 0.928 / 0.309 W of optical
+    // static power ⇒ ≈3.08 / 2.46 / 1.84 W. The reproduction includes
+    // the extra hybrid router ports the paper also accounts, landing
+    // within 10% of each absolute cell.
+    for (span, paper_w) in [(3u16, 3.076), (5, 2.458), (15, 1.839)] {
+        let p = NocModel::new(express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span,
+                tech: LinkTechnology::Photonic,
+            },
+        ))
+        .static_power_w();
+        assert!(
+            (p - paper_w).abs() / paper_w < 0.10,
+            "photonic span {span}: {p} W vs paper {paper_w} W"
+        );
+    }
+    // HyPPI express in absolute watts stays within 0.25 W of the plain
+    // mesh at every span ("almost no static power increase").
+    for span in [3u16, 5, 15] {
+        let h = NocModel::new(express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span,
+                tech: LinkTechnology::Hyppi,
+            },
+        ))
+        .static_power_w();
+        assert!(
+            (1.53..1.78).contains(&h),
+            "HyPPI span {span}: {h} W absolute"
+        );
+    }
+}
+
+#[test]
+fn table_vi_optical_router_absolute_cells() {
+    // Table VI is a transcription of the paper's router comparison; every
+    // cell is a model input and must match exactly.
+    let ph = OpticalRouterModel::photonic();
+    let hy = OpticalRouterModel::hyppi();
+    assert_eq!(ph.control_energy.value(), 68.2);
+    assert_eq!(hy.control_energy.value(), 3.73);
+    assert_eq!(ph.area.value(), 480_000.0);
+    assert_eq!(hy.area.value(), 500.0);
+    assert_eq!(
+        (ph.element_loss_min_db, ph.element_loss_max_db),
+        (0.39, 1.5)
+    );
+    assert_eq!(
+        (hy.element_loss_min_db, hy.element_loss_max_db),
+        (0.32, 9.1)
+    );
+    // The paper's headline contrasts: ~18× lower control energy and
+    // ~960× smaller footprint for the HyPPI router.
+    let energy_ratio = ph.control_energy.value() / hy.control_energy.value();
+    assert!((15.0..25.0).contains(&energy_ratio), "ratio {energy_ratio}");
+    let area_ratio = ph.area.value() / hy.area.value();
+    assert!((900.0..1000.0).contains(&area_ratio), "ratio {area_ratio}");
+}
+
+#[test]
 fn table_iv_static_power_anchors() {
     // Paper: photonic express adds ≈1.546/0.928/0.309 W; HyPPI ≈ nothing.
     let base = NocModel::new(mesh(MeshSpec::paper(LinkTechnology::Electronic))).static_power_w();
