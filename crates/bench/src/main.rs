@@ -6,6 +6,7 @@
 //! cargo run --release -p hyppi-bench --bin repro load_sweep # latency-load curves
 //! cargo run --release -p hyppi-bench --bin repro load_sweep -- --json curves.json
 //! cargo run --release -p hyppi-bench --bin repro load_sweep32 -- --shards 4
+//! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --shards 4
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
 
@@ -135,6 +136,34 @@ fn main() {
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
+    if arg == "npb32" {
+        // A rescaled 1024-rank NPB window on the 32×32 mesh through the
+        // sharded engine, bit-for-bit shard parity asserted inside.
+        ran = true;
+        let shards: usize = flag_value(&args, "--shards")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(4);
+        let kernels: Vec<NpbKernel> = match flag_value(&args, "--kernel") {
+            None => vec![NpbKernel::Cg],
+            Some(k) if k.eq_ignore_ascii_case("all") => NpbKernel::ALL.to_vec(),
+            Some(k) => vec![NpbKernel::ALL
+                .into_iter()
+                .find(|c| c.name().eq_ignore_ascii_case(&k))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown --kernel '{k}' (FT, CG, MG, LU or all)");
+                    std::process::exit(2);
+                })],
+        };
+        println!("## NPB 32x32 — rescaled 1024-rank windows, sharded engine ({shards} shards)");
+        for kernel in kernels {
+            println!("{}", hyppi::experiments::npb32(kernel, shards).render());
+        }
+    }
     if arg == "sweep-span" {
         ran = true;
         sweep_span();
@@ -162,9 +191,9 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
-             load_sweep, load_sweep32, sweep-span, sweep-rate, sweep-vcs, sweep-buffers, \
-             sweep-routing (load_sweep/load_sweep32 accept --json PATH; load_sweep32 \
-             accepts --shards N)"
+             load_sweep, load_sweep32, npb32, sweep-span, sweep-rate, sweep-vcs, \
+             sweep-buffers, sweep-routing (load_sweep/load_sweep32 accept --json PATH; \
+             load_sweep32/npb32 accept --shards N; npb32 accepts --kernel FT|CG|MG|LU|all)"
         );
         std::process::exit(2);
     }

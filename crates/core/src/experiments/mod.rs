@@ -12,8 +12,9 @@
 //! | Table V (FT dynamic energy) | [`npb::table5`] | volume-routed energy |
 //! | Table VI (optical routers) | [`all_optical::table6`] | router comparison |
 //! | Fig. 8 (all-optical radar) | [`all_optical::fig8`] | latency/energy/area triples |
-//! | load sweep (methodology ext.) | [`load_sweep::load_sweep`] | latency-throughput curves + saturation |
-//! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves via the parallel engine |
+//! | load sweep (methodology ext.) | [`load_sweep::load_sweep`] | latency-throughput curves + saturation, open- and closed-loop |
+//! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves (uniform/transpose + rescaled NPB shapes) |
+//! | 32×32 NPB window (sharded) | [`npb::npb32`] | rescaled 1024-rank kernel, shard parity asserted |
 //!
 //! Every driver is deterministic; the `repro` binary in `crates/bench`
 //! regenerates all of them, and `EXPERIMENTS.md` records paper-vs-measured.
@@ -31,7 +32,8 @@ pub use all_optical::{fig8, table6, Fig8Result};
 pub use design_space::{fig5, table3, table4, DesignPoint, Fig5Result};
 pub use fig3::{fig3, Fig3Result};
 pub use load_sweep::{
-    load_sweep, load_sweep32, sweep_curves, LoadSweepResult, SWEEP_MAX_RATE, SWEEP_RATES,
+    load_sweep, load_sweep32, sweep_curves, LoadSweepResult, CLOSED_LOOP_WINDOW, SWEEP_MAX_RATE,
+    SWEEP_RATES,
 };
-pub use npb::{fig6, table5, Fig6Result, Table5Result};
+pub use npb::{fig6, npb32, npb32_cell, table5, Fig6Result, Npb32Cell, Table5Result};
 pub use tables::{table1, table2};

@@ -8,10 +8,10 @@
 
 use crate::table::TextTable;
 use hyppi_analytic::{dynamic_energy_joules, parallel_map, NocModel};
-use hyppi_netsim::{EnergyCounts, SimConfig, Simulator};
-use hyppi_phys::LinkTechnology;
+use hyppi_netsim::{EnergyCounts, ShardedSimulator, SimConfig, Simulator};
+use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
-use hyppi_traffic::{NpbKernel, NpbTraceSpec};
+use hyppi_traffic::{NpbKernel, NpbTraceSpec, ScaledNpbSpec, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Express spans evaluated (0 = plain mesh).
@@ -118,6 +118,91 @@ pub fn fig6() -> Fig6Result {
         }
     });
     Fig6Result { cells }
+}
+
+/// One cell of the 32×32 scale-up: a rescaled 1024-rank NPB window run
+/// through the sharded engine, with bit-for-bit shard parity asserted
+/// against the P=1 engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Npb32Cell {
+    /// NPB kernel (rescaled via [`ScaledNpbSpec::mesh32`]).
+    pub kernel: NpbKernel,
+    /// Shards the parity-checked run was partitioned into.
+    pub shards: usize,
+    /// Mean packet latency, clock cycles.
+    pub latency_clks: f64,
+    /// Median packet latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile packet latency, cycles.
+    pub p99: u64,
+    /// Packets completed.
+    pub packets: u64,
+    /// Flits delivered.
+    pub flits: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl Npb32Cell {
+    /// One-line render for the repro driver.
+    pub fn render(&self) -> String {
+        format!(
+            "{} 32x32 ({} shards, parity OK): lat {:.2} clks (p50 {} p99 {}) | {} pkts | {} flits | {} cycles",
+            self.kernel, self.shards, self.latency_clks, self.p50, self.p99, self.packets,
+            self.flits, self.cycles
+        )
+    }
+}
+
+/// The 32×32 / 1024-node mesh every scale-up experiment runs on (shared
+/// so `npb32` and `load_sweep32` cannot drift apart).
+pub(crate) fn mesh32() -> Topology {
+    mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    })
+}
+
+/// Runs one prepared 1024-node trace through the P=1 engine *and* the
+/// sharded engine, asserts bit-for-bit `SimStats` parity, and reports the
+/// cell. This is the core of [`npb32`]; the window is a parameter so
+/// tests can pin the machinery on a slice without paying for the full
+/// default window.
+pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell {
+    assert!(shards >= 1, "at least one shard required");
+    let topo = mesh32();
+    assert_eq!(usize::from(trace.num_nodes), topo.num_nodes());
+    let routes = RoutingTable::compute_xy(&topo);
+    let mut cfg = SimConfig::paper();
+    cfg.max_cycles = 20_000_000; // deadlock guard for the big mesh
+    let single = Simulator::new(&topo, &routes, cfg)
+        .run_trace(trace)
+        .expect("P=1 engine completes the scaled NPB window");
+    let sharded = ShardedSimulator::with_shard_count(&topo, &routes, cfg, shards)
+        .run_trace(trace)
+        .expect("sharded engine completes the scaled NPB window");
+    assert_eq!(sharded, single, "{kernel} 32x32: shard parity violated");
+    Npb32Cell {
+        kernel,
+        shards,
+        latency_clks: single.mean_latency(),
+        p50: single.all.p50(),
+        p99: single.all.p99(),
+        packets: single.all.count,
+        flits: single.flits_delivered,
+        cycles: single.cycles,
+    }
+}
+
+/// Runs `kernel`'s default rescaled window (rank remap + window stretch
+/// of the paper's 256-rank spec — see [`ScaledNpbSpec`]) on the 32×32
+/// mesh through the sharded engine, shard parity asserted.
+pub fn npb32(kernel: NpbKernel, shards: usize) -> Npb32Cell {
+    let trace = ScaledNpbSpec::mesh32(kernel).default_window();
+    npb32_cell(kernel, shards, &trace)
 }
 
 /// One Table V row: total dynamic energy for the FT benchmark.
@@ -253,6 +338,22 @@ mod tests {
         );
         let ph = r.energy(LinkTechnology::Photonic, 3);
         assert!((0.8..1.1).contains(&ph), "photonic {ph} J");
+    }
+
+    #[test]
+    fn npb32_cell_asserts_parity_on_a_scaled_slice() {
+        // The full default windows are repro-only (minutes); pin the
+        // machinery — scaled trace → P=1 vs quadrant shards, parity
+        // asserted inside — on a one-phase reduced-volume LU slice.
+        let trace = ScaledNpbSpec::mesh32(NpbKernel::Lu).trace_window(1, 0.25);
+        let cell = npb32_cell(NpbKernel::Lu, 4, &trace);
+        assert_eq!(cell.kernel, NpbKernel::Lu);
+        assert_eq!(cell.shards, 4);
+        assert_eq!(cell.flits, trace.total_flits());
+        assert_eq!(cell.packets, trace.total_packets() as u64);
+        // The stretched LU wavefront is 2 hops: zero-load-ish latency.
+        assert!(cell.latency_clks >= 11.0, "latency {}", cell.latency_clks);
+        assert!(cell.render().contains("parity OK"));
     }
 
     #[test]

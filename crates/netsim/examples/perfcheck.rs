@@ -8,11 +8,14 @@
 //! bit-for-bit parity asserted. A load-sweep section then exercises the
 //! batch runner (`hyppi_netsim::sweep`) and records its throughput
 //! (runs/s, aggregate simulated cycles/s) plus the uniform saturation
-//! load, and a shard-scaling section times a 32×32 uniform cell on the
-//! sharded engine (P=1 vs `--shards N`, parity asserted, host
-//! parallelism recorded so single-core CI numbers read honestly).
-//! Results are written to `BENCH_netsim.json` (in the current
-//! directory) so future PRs can track the perf trajectory.
+//! load; a closed-loop section runs the 16×16 uniform cell past the
+//! saturation knee with a credit-limited NIC window (parity asserted on
+//! all three engines, accepted throughput recorded); and a
+//! shard-scaling section times a 32×32 uniform cell on the sharded
+//! engine (P=1 vs `--shards N`, parity asserted, host parallelism
+//! recorded so single-core CI numbers read honestly). Results are
+//! written to `BENCH_netsim.json` (in the current directory) so future
+//! PRs can track the perf trajectory.
 //!
 //! ```sh
 //! cargo run --release -p hyppi-netsim --example perfcheck              # all, with baseline
@@ -86,6 +89,24 @@ impl SweepRecord {
     fn cycles_per_sec(&self) -> f64 {
         self.aggregate_cycles as f64 / self.grid_secs
     }
+}
+
+/// Closed-loop quick cell: the 16×16 uniform load past the saturation
+/// knee with a credit-limited NIC window, parity-asserted across all
+/// three engines, with the accepted throughput recorded.
+struct ClosedLoopRecord {
+    rate: f64,
+    window: usize,
+    warmup: u64,
+    measure: u64,
+    /// In-window accepted throughput, flits/node/cycle — the plateau
+    /// value (≈0.247 on the paper mesh), not the offered rate.
+    accepted: f64,
+    /// Mean network latency (closed-loop clocks start at emission).
+    mean_latency: f64,
+    /// Worst NIC backlog across sources (where closed-loop overload goes).
+    peak_backlog: u32,
+    secs: f64,
 }
 
 /// Shard-scaling measurements on the 32×32 uniform cell.
@@ -310,6 +331,7 @@ fn main() {
     }
 
     let sweep = run_sweep_section(quick, fast);
+    let closed = run_closed_loop_section(quick, fast);
     let shard = run_shard_section(quick, shards);
 
     // Machine-readable record for the perf trajectory.
@@ -343,6 +365,18 @@ fn main() {
             "null".into()
         },
         sweep.zero_load_latency,
+    );
+    let _ = writeln!(
+        json,
+        "  \"closed_loop\": {{ \"mesh\": \"16x16\", \"pattern\": \"uniform\", \"rate\": {:.3}, \"window\": {}, \"warmup\": {}, \"measure\": {}, \"accepted_throughput\": {:.4}, \"mean_latency\": {:.4}, \"peak_backlog\": {}, \"secs\": {:.4} }},",
+        closed.rate,
+        closed.window,
+        closed.warmup,
+        closed.measure,
+        closed.accepted,
+        closed.mean_latency,
+        closed.peak_backlog,
+        closed.secs,
     );
     let _ = writeln!(
         json,
@@ -475,6 +509,64 @@ fn run_sweep_section(quick: bool, fast: bool) -> SweepRecord {
             format!("> {:.3}", record.saturation_load)
         },
         record.zero_load_latency,
+    );
+    record
+}
+
+/// The closed-loop cell: 16×16 uniform at a rate past the ≈0.247
+/// saturation knee with a 32-packet NIC window, run on the active-set,
+/// frozen-seed and quadrant-sharded engines with bit-for-bit parity
+/// asserted across all three, so the credit-gated NIC model is pinned on
+/// every perfcheck (and every CI perf-smoke). Records the accepted
+/// throughput — the plateau value the closed-loop story hangs on.
+/// `--fast` skips the seed-engine run (like the other sections); the
+/// cheap sharded parity assert stays.
+fn run_closed_loop_section(quick: bool, fast: bool) -> ClosedLoopRecord {
+    let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let window = 32usize;
+    let (rate, warmup, measure) = if quick {
+        (0.35, 100, 400)
+    } else {
+        (0.35, 300, 1200)
+    };
+    let mut cfg = SimConfig::paper_closed_loop(window);
+    cfg.max_cycles = 2_000_000;
+    let m = SyntheticPattern::Uniform.matrix(&topo, rate);
+
+    let t0 = Instant::now();
+    let stats = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, 11)
+        .expect("closed-loop active-set run completes");
+    let secs = t0.elapsed().as_secs_f64();
+    if !fast {
+        let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+            .run_synthetic(&m, warmup, measure, 11)
+            .expect("closed-loop reference run completes");
+        assert_eq!(stats, reference, "closed-loop engine parity violated");
+    }
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .run_synthetic(&m, warmup, measure, 11)
+        .expect("closed-loop sharded run completes");
+    assert_eq!(sharded, stats, "closed-loop shard parity violated");
+
+    let record = ClosedLoopRecord {
+        rate,
+        window,
+        warmup,
+        measure,
+        accepted: stats.accepted_throughput(topo.num_nodes(), measure),
+        mean_latency: stats.mean_latency(),
+        peak_backlog: stats.peak_backlog.iter().max().copied().unwrap_or(0),
+        secs,
+    };
+    println!(
+        "CLOSED-LOOP 16x16 uniform r={rate:.2} window={window}: accepted {:.3} flits/node/clk | lat {:.1} clks | peak backlog {} | {:.2?} | parity OK ({})",
+        record.accepted,
+        record.mean_latency,
+        record.peak_backlog,
+        std::time::Duration::from_secs_f64(record.secs),
+        if fast { "sharded" } else { "seed + sharded" },
     );
     record
 }

@@ -14,17 +14,36 @@ pub struct SimConfig {
     /// Hard cycle cap; the simulator reports an error past this point
     /// (guards against deadlock in misconfigured runs).
     pub max_cycles: u64,
+    /// Closed-loop NIC window: the number of packets a source may have
+    /// in the network (emitted but not yet fully ejected) before it is
+    /// parked. `0` (the default) is open-loop injection — the NIC never
+    /// throttles, exactly the paper's BookSim setup. With a window in
+    /// force, packet latency is measured from emission start (network
+    /// latency, bounded by the window) rather than from admission, and
+    /// source overload shows up in [`crate::SimStats::peak_backlog`] and
+    /// a flattening [`crate::SimStats::accepted_flits`] instead of a
+    /// diverging latency.
+    pub max_outstanding: usize,
 }
 
 impl SimConfig {
-    /// The paper's configuration.
+    /// The paper's configuration (open-loop injection).
     pub fn paper() -> Self {
         SimConfig {
             vcs: 4,
             buffer_depth: 8,
             pipeline_stages: 3,
             max_cycles: 200_000_000,
+            max_outstanding: 0,
         }
+    }
+
+    /// The paper's configuration with a closed-loop NIC window of
+    /// `window` outstanding packets per source.
+    pub fn paper_closed_loop(window: usize) -> Self {
+        let mut cfg = Self::paper();
+        cfg.max_outstanding = window;
+        cfg
     }
 
     /// Cycles a flit must dwell before it may traverse the switch:
@@ -52,6 +71,11 @@ impl SimConfig {
             self.buffer_depth
         );
         assert!(self.pipeline_stages >= 1, "pipeline needs >= 1 stage");
+        assert!(
+            self.max_outstanding <= u32::MAX as usize,
+            "window occupancy counters are u32 ({} requested)",
+            self.max_outstanding
+        );
     }
 }
 
@@ -72,6 +96,23 @@ mod tests {
         assert_eq!(c.buffer_depth, 8);
         assert_eq!(c.pipeline_stages, 3);
         assert_eq!(c.pipeline_dwell(), 2);
+        // The paper's setup is open-loop: no NIC window.
+        assert_eq!(c.max_outstanding, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn closed_loop_constructor_sets_window() {
+        let c = SimConfig::paper_closed_loop(16);
+        assert_eq!(c.max_outstanding, 16);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "u32")]
+    fn rejects_unrepresentable_window() {
+        let mut c = SimConfig::paper();
+        c.max_outstanding = u32::MAX as usize + 1;
         c.validate();
     }
 

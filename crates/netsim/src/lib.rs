@@ -72,18 +72,45 @@
 //! receiving shard mints a local packet handle and re-tags the wormhole's
 //! body flits through a per-(link, VC) remap slot.
 //!
+//! ## Closed-loop injection (credit-limited NICs)
+//!
+//! With [`SimConfig::max_outstanding`] > 0 every source NIC carries a
+//! credit window: at most that many of its packets may be in the network
+//! (emitted but not fully ejected) at once. A window-full source parks
+//! out of the engine's `src_mask` exactly like a buffer-blocked one; the
+//! credit returns when the packet's tail ejects at the destination —
+//! in-shard as a direct decrement during switch traversal, cross-shard
+//! as a **source-credit mailbox message** riding the existing superstep
+//! exchange (boundary head flits carry the packet's origin node for
+//! this). Both paths are first observable by the next cycle's emission
+//! stage, so `Simulator`, `ShardedSimulator` and the frozen
+//! `ReferenceSimulator` (which carries the mirror implementation) stay
+//! bit-for-bit — `tests/parity.rs` and `tests/shard_parity.rs` pin
+//! windows 1/4/16. Closed-loop latency is *network* latency (the
+//! measured clock restarts at emission, so it stays window-bounded);
+//! source overload shows up in [`SimStats::peak_backlog`] and in an
+//! accepted-throughput curve ([`SimStats::accepted_flits`]) that
+//! flattens at the saturation plateau instead of tracking offered load —
+//! which is what makes throughput curves meaningful past the knee, where
+//! open-loop runs just track offered load until the cycle cap.
+//!
 //! ## Load sweeps and saturation search
 //!
 //! The [`sweep`] module batches independent runs: [`SweepRunner`] fans an
 //! injection-rate grid × seed matrix across scoped worker threads
 //! ([`sweep::parallel_map`]) and reduces each offered load to a
-//! [`sweep::LoadPoint`] — mean latency, log-linear p50/p95/p99 tails, and
-//! accepted throughput — while [`SweepRunner::find_saturation`] bisects
-//! for the smallest offered load whose mean latency exceeds a multiple of
-//! the zero-load latency. Both engines share the [`stats::LatencyStats`]
-//! histogram, so sweep statistics stay under the parity oracle. A
-//! [`SweepConfig::shards`] knob routes each run through the sharded
-//! engine, opening 32×32+ meshes.
+//! [`sweep::LoadPoint`] — mean latency, log-linear p50/p95/p99 tails,
+//! measured-packet throughput, and in-window accepted throughput — while
+//! [`SweepRunner::find_saturation`] bisects for the saturation point:
+//! open-loop, the smallest offered load whose mean latency exceeds a
+//! multiple of the zero-load latency; closed-loop
+//! ([`SweepConfig::closed_loop`]), the smallest offered load whose
+//! accepted throughput falls off the offered-load diagonal (the
+//! accepted-plateau criterion — the latency multiple cannot trigger when
+//! the window bounds latency). Both engines share the
+//! [`stats::LatencyStats`] histogram, so sweep statistics stay under the
+//! parity oracle. A [`SweepConfig::shards`] knob routes each run through
+//! the sharded engine, opening 32×32+ meshes.
 
 pub mod config;
 pub mod energy_counts;

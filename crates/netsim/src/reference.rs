@@ -125,6 +125,13 @@ pub struct ReferenceSimulator<'a> {
     pending_credits: Vec<(LinkId, u8)>,
     active_flits: u64,
     pending_sources: u64,
+    /// Closed-loop window occupancy per node (packets emitted but not yet
+    /// fully ejected); only maintained when `cfg.max_outstanding > 0`.
+    outstanding: Vec<u32>,
+    /// Acceptance window for `stats.accepted_flits` (the measurement
+    /// window of a synthetic run; the whole run for traces).
+    accept_from: u64,
+    accept_until: u64,
     stats: SimStats,
 }
 
@@ -194,7 +201,20 @@ impl<'a> ReferenceSimulator<'a> {
             pending_credits: Vec::new(),
             active_flits: 0,
             pending_sources: 0,
+            outstanding: vec![0; topo.num_nodes()],
+            accept_from: 0,
+            accept_until: u64::MAX,
             stats: SimStats::new(topo.links().len(), topo.num_nodes()),
+        }
+    }
+
+    /// Records the post-admission NIC backlog of `node` into the peak
+    /// gauge (seed-engine twin of the active-set engine's `admit`).
+    fn note_backlog(&mut self, node: usize) {
+        let backlog = self.nodes[node].src_queue.len() as u32
+            + u32::from(self.nodes[node].emitting.is_some());
+        if backlog > self.stats.peak_backlog[node] {
+            self.stats.peak_backlog[node] = backlog;
         }
     }
 
@@ -243,6 +263,7 @@ impl<'a> ReferenceSimulator<'a> {
                 self.class_of.push(self.initial_class(e.src, e.dst));
                 self.nodes[e.src.index()].src_queue.push_back(pid);
                 self.pending_sources += 1;
+                self.note_backlog(e.src.index());
             }
 
             let drained = self.active_flits == 0 && self.pending_sources == 0;
@@ -276,6 +297,8 @@ impl<'a> ReferenceSimulator<'a> {
         seed: u64,
     ) -> Result<SimStats, SimError> {
         assert_eq!(matrix.num_nodes(), self.topo.num_nodes());
+        self.accept_from = warmup;
+        self.accept_until = warmup + measure;
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.topo.num_nodes();
         let mut rates = Vec::with_capacity(n);
@@ -326,6 +349,7 @@ impl<'a> ReferenceSimulator<'a> {
                             .push(self.initial_class(NodeId(src as u16), dst));
                         self.nodes[src].src_queue.push_back(pid);
                         self.pending_sources += 1;
+                        self.note_backlog(src);
                     }
                 }
             } else if self.active_flits == 0 && self.pending_sources == 0 {
@@ -380,25 +404,44 @@ impl<'a> ReferenceSimulator<'a> {
     fn emit_from_sources(&mut self, now: u64) {
         let dwell = self.cfg.pipeline_dwell();
         let vcs = self.cfg.vcs;
+        let window = self.cfg.max_outstanding;
         for node in 0..self.nodes.len() {
             self.nodes[node].in_port_used = 0;
             if self.nodes[node].emitting.is_none() {
+                // Closed loop: a full window parks the source until an
+                // ejection returns a source credit.
+                let window_open = window == 0 || (self.outstanding[node] as usize) < window;
                 if let Some(&pid) = self.nodes[node].src_queue.front() {
-                    let info = self.packets[pid as usize];
-                    let range = self.vc_range(self.class_of[pid as usize]);
-                    let pick = range
-                        .clone()
-                        .find(|&v| self.nodes[node].vcs[v].queue.len() < self.cfg.buffer_depth);
-                    if let Some(v) = pick {
-                        self.nodes[node].src_queue.pop_front();
-                        self.nodes[node].emitting = Some(Emission {
-                            packet: pid,
-                            emitted: 0,
-                            total: info.flits,
-                            vc: v as u8,
-                            dst: info.dst,
-                            inject_cycle: info.inject_cycle,
-                        });
+                    if window_open {
+                        let info = self.packets[pid as usize];
+                        let range = self.vc_range(self.class_of[pid as usize]);
+                        let pick = range
+                            .clone()
+                            .find(|&v| self.nodes[node].vcs[v].queue.len() < self.cfg.buffer_depth);
+                        if let Some(v) = pick {
+                            self.nodes[node].src_queue.pop_front();
+                            let mut inject_cycle = info.inject_cycle;
+                            if window > 0 {
+                                self.outstanding[node] += 1;
+                                if self.outstanding[node] > self.stats.peak_outstanding[node] {
+                                    self.stats.peak_outstanding[node] = self.outstanding[node];
+                                }
+                                // Closed-loop latency is network latency:
+                                // the measured clock restarts at emission.
+                                if inject_cycle != u64::MAX {
+                                    inject_cycle = now;
+                                    self.packets[pid as usize].inject_cycle = now;
+                                }
+                            }
+                            self.nodes[node].emitting = Some(Emission {
+                                packet: pid,
+                                emitted: 0,
+                                total: info.flits,
+                                vc: v as u8,
+                                dst: info.dst,
+                                inject_cycle,
+                            });
+                        }
                     }
                 }
             }
@@ -416,6 +459,7 @@ impl<'a> ReferenceSimulator<'a> {
                     self.nodes[node].vcs[slot].queue.push_back(flit);
                     self.buffered[node] += 1;
                     self.active_flits += 1;
+                    self.stats.flits_injected += 1;
                     em.emitted += 1;
                     self.nodes[node].emitting = if em.emitted == em.total {
                         self.pending_sources -= 1;
@@ -564,12 +608,22 @@ impl<'a> ReferenceSimulator<'a> {
                     let pid = flit.packet as usize;
                     self.packets[pid].ejected += 1;
                     self.stats.flits_delivered += 1;
+                    if now >= self.accept_from && now < self.accept_until {
+                        self.stats.accepted_flits += 1;
+                    }
                     self.active_flits -= 1;
                     if self.packets[pid].is_complete() {
-                        let info = &self.packets[pid];
+                        let info = self.packets[pid];
                         if info.inject_cycle != u64::MAX {
                             self.stats
                                 .record_packet(info.flits, now + 1 - info.inject_cycle);
+                        }
+                        // Closed loop: the window slot frees; first
+                        // observable next cycle (emission precedes switch
+                        // traversal within a cycle).
+                        if self.cfg.max_outstanding > 0 {
+                            debug_assert!(self.outstanding[info.src.index()] > 0);
+                            self.outstanding[info.src.index()] -= 1;
                         }
                     }
                 } else {

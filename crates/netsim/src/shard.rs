@@ -50,6 +50,25 @@
 //! [`crate::stats::LatencyStats`] merging is commutative, so the merged
 //! histogram equals the single-shard one exactly.
 //!
+//! ## Closed-loop injection (source credits)
+//!
+//! With [`SimConfig::max_outstanding`] > 0 every NIC carries a credit
+//! window: a source may have at most that many packets in the network
+//! (emitted but not yet fully ejected) and parks out of `src_mask` once
+//! the window is full. The credit returns when the packet's tail ejects
+//! at the destination. In-shard the ejecting router decrements the
+//! source's occupancy directly during switch traversal — first observable
+//! by the emission stage of the *next* cycle, because emission runs
+//! before switch traversal within a cycle. A cross-shard ejection
+//! appends the source node to the mailbox bundle for the shard owning
+//! it; the credit is applied during that superstep's exchange phase and
+//! is likewise first observable next cycle — so the two paths have
+//! identical timing and the sharded engine stays bit-for-bit. Since any
+//! shard pair can exchange source credits (a packet may traverse the
+//! whole mesh), closed-loop plans widen the mailbox adjacency to all
+//! pairs. Boundary head flits carry the packet's *origin* node so the
+//! destination shard knows where to return the credit.
+//!
 //! ## Lockstep control
 //!
 //! Run-loop decisions (idle fast-forward, termination, cycle-limit
@@ -288,23 +307,32 @@ impl<'a> EnginePlan<'a> {
             .unwrap_or(1);
         let wheel_len = (max_latency + 2).next_power_of_two() as usize;
         // Shard mail adjacency: s receives flits over links into it and
-        // credits over links out of it.
+        // credits over links out of it. Closed-loop source credits flow
+        // from a packet's destination shard back to its origin shard —
+        // any pair — so a window in force widens the adjacency to all
+        // pairs.
         let shards = partition.num_shards();
         let mut sources: Vec<Vec<u16>> = vec![Vec::new(); shards];
-        for l in topo.links() {
-            let s = partition.link_src_shard[l.id.index()];
-            let d = partition.link_dst_shard[l.id.index()];
-            if s != d {
-                if !sources[usize::from(d)].contains(&s) {
-                    sources[usize::from(d)].push(s);
-                }
-                if !sources[usize::from(s)].contains(&d) {
-                    sources[usize::from(s)].push(d);
+        if cfg.max_outstanding > 0 {
+            for (d, v) in sources.iter_mut().enumerate() {
+                v.extend((0..shards as u16).filter(|&s| usize::from(s) != d));
+            }
+        } else {
+            for l in topo.links() {
+                let s = partition.link_src_shard[l.id.index()];
+                let d = partition.link_dst_shard[l.id.index()];
+                if s != d {
+                    if !sources[usize::from(d)].contains(&s) {
+                        sources[usize::from(d)].push(s);
+                    }
+                    if !sources[usize::from(s)].contains(&d) {
+                        sources[usize::from(s)].push(d);
+                    }
                 }
             }
-        }
-        for v in &mut sources {
-            v.sort_unstable();
+            for v in &mut sources {
+                v.sort_unstable();
+            }
         }
         EnginePlan {
             topo,
@@ -381,6 +409,9 @@ pub(crate) struct BoundaryFlit {
     pub flits: u32,
     /// Packet injection cycle, `u64::MAX` if unmeasured (heads only).
     pub inject_cycle: u64,
+    /// Node that originally injected the packet (heads only) — the
+    /// destination shard returns the closed-loop source credit here.
+    pub origin: NodeId,
 }
 
 /// The messages one shard sends another during one superstep.
@@ -390,11 +421,14 @@ pub(crate) struct OutBundle {
     pub flits: Vec<BoundaryFlit>,
     /// Boundary credit returns, flattened `link * vcs + vc` indices.
     pub credits: Vec<u32>,
+    /// Closed-loop source credits: origin nodes (owned by the receiving
+    /// shard) whose packet completed at a destination this shard owns.
+    pub src_credits: Vec<u16>,
 }
 
 impl OutBundle {
     fn is_empty(&self) -> bool {
-        self.flits.is_empty() && self.credits.is_empty()
+        self.flits.is_empty() && self.credits.is_empty() && self.src_credits.is_empty()
     }
 }
 
@@ -546,6 +580,15 @@ pub(crate) struct ShardState {
     /// Flits resident in this shard (emission/ingest increment, ejection/
     /// boundary send decrement) — a debug gauge, not control state.
     pub(crate) active_flits: i64,
+    /// Closed-loop window occupancy per local node: packets emitted but
+    /// not yet fully ejected. Only maintained when the plan has a window
+    /// (`cfg.max_outstanding > 0`); stays all-zero open-loop.
+    pub(crate) outstanding: Vec<u32>,
+    /// Acceptance window for `stats.accepted_flits`: ejections in cycles
+    /// `[accept_from, accept_until)` count. Set by the run loop — the
+    /// measurement window for synthetic runs, the whole run for traces.
+    pub(crate) accept_from: u64,
+    pub(crate) accept_until: u64,
     /// Packets queued at owned NICs or mid-emission.
     pub(crate) pending_sources: u64,
     /// Packets admitted at owned sources (not immigrant handles).
@@ -645,6 +688,7 @@ impl ShardState {
             ready: 0,
         };
         let mask_words = nodes.len().div_ceil(64).max(1);
+        let n_local = nodes.len();
         let shards = plan.partition.num_shards();
         ShardState {
             id,
@@ -688,6 +732,9 @@ impl ShardState {
             pending_credits: Vec::new(),
             outbox: (0..shards).map(|_| OutBundle::default()).collect(),
             active_flits: 0,
+            outstanding: vec![0; n_local],
+            accept_from: 0,
+            accept_until: u64::MAX,
             pending_sources: 0,
             origin_packets: 0,
             completed_packets: 0,
@@ -803,7 +850,32 @@ impl ShardState {
         self.nodes[local].src_queue.push_back(pid);
         self.pending_sources += 1;
         self.origin_packets += 1;
+        let backlog = self.nodes[local].src_queue.len() as u32
+            + u32::from(self.nodes[local].emitting.is_some());
+        if backlog > self.stats.peak_backlog[src.index()] {
+            self.stats.peak_backlog[src.index()] = backlog;
+        }
         self.set_src(local);
+    }
+
+    /// Applies one closed-loop source credit to an owned node: a packet
+    /// that node emitted has fully ejected, so its window slot frees and
+    /// the source is re-armed if it has queued work. Called locally from
+    /// switch traversal (same-shard destination) or from the exchange
+    /// phase (mailbox credit) — both are first observable by the next
+    /// cycle's emission stage.
+    fn apply_source_credit(&mut self, plan: &EnginePlan<'_>, src: NodeId) {
+        let local = plan.partition.local_of_node[src.index()] as usize;
+        debug_assert_eq!(
+            usize::from(plan.partition.shard_of_node[src.index()]),
+            self.id,
+            "source credit delivered to a shard that does not own the source"
+        );
+        debug_assert!(self.outstanding[local] > 0, "source credit underflow");
+        self.outstanding[local] -= 1;
+        if self.nodes[local].emitting.is_some() || !self.nodes[local].src_queue.is_empty() {
+            self.set_src(local);
+        }
     }
 
     // ---- the five pipeline stages --------------------------------------
@@ -862,25 +934,48 @@ impl ShardState {
                 let node = (w << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let mut pushed = false;
+                let window = plan.cfg.max_outstanding;
                 if self.nodes[node].emitting.is_none() {
+                    // Closed loop: a full window parks the source until an
+                    // ejection returns a source credit.
+                    let window_open = window == 0 || (self.outstanding[node] as usize) < window;
                     if let Some(&pid) = self.nodes[node].src_queue.front() {
-                        // Pick an injection VC in the packet's class.
-                        let info = self.packets[pid as usize];
-                        let range = plan.vc_range(self.class_of[pid as usize]);
-                        let base = self.vc_base[node] as usize; // in-port 0 ⇒ slot = base + vc
-                        let pick = range
-                            .clone()
-                            .find(|&v| meta::len(self.slot_meta[base + v]) < plan.cfg.buffer_depth);
-                        if let Some(v) = pick {
-                            self.nodes[node].src_queue.pop_front();
-                            self.nodes[node].emitting = Some(Emission {
-                                packet: pid,
-                                emitted: 0,
-                                total: info.flits,
-                                vc: v as u8,
-                                dst: info.dst,
-                                inject_cycle: info.inject_cycle,
+                        if window_open {
+                            // Pick an injection VC in the packet's class.
+                            let info = self.packets[pid as usize];
+                            let range = plan.vc_range(self.class_of[pid as usize]);
+                            let base = self.vc_base[node] as usize; // in-port 0 ⇒ slot = base + vc
+                            let pick = range.clone().find(|&v| {
+                                meta::len(self.slot_meta[base + v]) < plan.cfg.buffer_depth
                             });
+                            if let Some(v) = pick {
+                                self.nodes[node].src_queue.pop_front();
+                                let mut inject_cycle = info.inject_cycle;
+                                if window > 0 {
+                                    self.outstanding[node] += 1;
+                                    let g = usize::from(self.global_of_node[node]);
+                                    if self.outstanding[node] > self.stats.peak_outstanding[g] {
+                                        self.stats.peak_outstanding[g] = self.outstanding[node];
+                                    }
+                                    // Closed-loop latency is network latency:
+                                    // restart the measured clock at emission,
+                                    // leaving NIC queueing to the backlog
+                                    // gauge (unmeasured warm-up packets keep
+                                    // their u64::MAX marker).
+                                    if inject_cycle != u64::MAX {
+                                        inject_cycle = now;
+                                        self.packets[pid as usize].inject_cycle = now;
+                                    }
+                                }
+                                self.nodes[node].emitting = Some(Emission {
+                                    packet: pid,
+                                    emitted: 0,
+                                    total: info.flits,
+                                    vc: v as u8,
+                                    dst: info.dst,
+                                    inject_cycle,
+                                });
+                            }
                         }
                     }
                 }
@@ -897,6 +992,7 @@ impl ShardState {
                         self.push_flit(node, slot, flit);
                         pushed = true;
                         self.active_flits += 1;
+                        self.stats.flits_injected += 1;
                         em.emitted += 1;
                         self.nodes[node].emitting = if em.emitted == em.total {
                             self.pending_sources -= 1;
@@ -1088,13 +1184,30 @@ impl ShardState {
                         let pid = flit.packet as usize;
                         self.packets[pid].ejected += 1;
                         self.stats.flits_delivered += 1;
+                        if now >= self.accept_from && now < self.accept_until {
+                            self.stats.accepted_flits += 1;
+                        }
                         self.active_flits -= 1;
                         if self.packets[pid].is_complete() {
                             self.completed_packets += 1;
-                            let info = &self.packets[pid];
+                            let info = self.packets[pid];
                             if info.inject_cycle != u64::MAX {
                                 self.stats
                                     .record_packet(info.flits, now + 1 - info.inject_cycle);
+                            }
+                            // Closed loop: hand the window slot back to the
+                            // origin. An immigrant packet's origin lives in
+                            // another shard — mail the credit (applied in
+                            // this superstep's exchange, visible next cycle,
+                            // the same timing as the local decrement).
+                            if plan.cfg.max_outstanding > 0 {
+                                let owner =
+                                    usize::from(plan.partition.shard_of_node[info.src.index()]);
+                                if owner == self.id {
+                                    self.apply_source_credit(plan, info.src);
+                                } else {
+                                    self.outbox[owner].src_credits.push(info.src.0);
+                                }
                             }
                         }
                     } else {
@@ -1122,6 +1235,7 @@ impl ShardState {
                                 class: self.class_of[pid],
                                 flits: info.flits,
                                 inject_cycle: info.inject_cycle,
+                                origin: info.src,
                             });
                             self.active_flits -= 1;
                         }
@@ -1168,13 +1282,19 @@ impl ShardState {
         for idx in bundle.credits.drain(..) {
             self.credits[idx as usize] += 1;
         }
+        for src in bundle.src_credits.drain(..) {
+            self.apply_source_credit(plan, NodeId(src));
+        }
         let vcs = plan.cfg.vcs;
         for m in bundle.flits.drain(..) {
             let key = m.link as usize * vcs + usize::from(m.vc);
             if m.flit.is_head {
                 let pid = self.packets.len() as u32;
                 self.packets.push(PacketInfo {
-                    src: plan.topo.link(LinkId(m.link)).src,
+                    // The *origin* node, not the boundary link's source:
+                    // the closed-loop credit goes back to the NIC that
+                    // emitted the packet, however many shards away.
+                    src: m.origin,
                     dst: m.flit.dst,
                     inject_cycle: m.inject_cycle,
                     flits: m.flits,
@@ -1667,6 +1787,18 @@ pub(crate) fn run_sharded(
 ) -> Result<SimStats, SimError> {
     let nshards = shards.len();
     let workers = threads.clamp(1, nshards);
+    // Acceptance window for `SimStats::accepted_flits`: the measurement
+    // window of a synthetic run, the whole run for traces.
+    let (accept_from, accept_until) = match workload {
+        Workload::Trace(_) => (0, u64::MAX),
+        Workload::Synthetic {
+            warmup, measure, ..
+        } => (warmup, warmup + measure),
+    };
+    for s in &mut shards {
+        s.accept_from = accept_from;
+        s.accept_until = accept_until;
+    }
     let shared = Shared::new(nshards, workers);
     let outcome: Result<u64, SimError> = if workers == 1 {
         worker_loop(plan, &shared, &mut shards, workload, dump_on_stall, 0)

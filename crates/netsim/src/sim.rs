@@ -68,6 +68,59 @@ impl<'a> Simulator<'a> {
         self.plan.route_uses_express(src, dst)
     }
 
+    // ---- manual stepping (instrumentation API) --------------------------
+    //
+    // The `run_*` entry points own the clock, fast-forward idle gaps and
+    // consume the simulator. For conservation audits and property tests
+    // the engine can instead be driven cycle by cycle: `admit` packets,
+    // `step` the clock, and read the gauges between cycles. No
+    // fast-forwarding happens here — the caller advances `now` by 1.
+
+    /// Queues a packet at its source NIC for manual stepping. `cycle` is
+    /// the admission timestamp used for latency accounting (pass the
+    /// current cycle).
+    pub fn admit(&mut self, src: NodeId, dst: NodeId, flits: u32, cycle: u64) {
+        self.shard.admit(&self.plan, src, dst, flits, cycle);
+    }
+
+    /// Runs one simulated cycle (all five pipeline stages plus the
+    /// credit drain). Call with a monotonically increasing `now`.
+    pub fn step(&mut self, now: u64) {
+        self.shard.step(&self.plan, now);
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.shard.stats
+    }
+
+    /// Flits currently inside the network: buffered in router VCs plus
+    /// in flight on links. Together with [`SimStats::flits_injected`] and
+    /// [`SimStats::flits_delivered`] this forms an independently checkable
+    /// conservation ledger: injected = delivered + in-network, at every
+    /// cycle boundary.
+    pub fn in_network_flits(&self) -> u64 {
+        self.shard
+            .buffered
+            .iter()
+            .map(|&b| u64::from(b))
+            .sum::<u64>()
+            + self.shard.inflight_arrivals
+    }
+
+    /// Packets admitted but not yet fully emitted (NIC queues plus
+    /// in-progress emissions).
+    pub fn pending_packets(&self) -> u64 {
+        self.shard.pending_sources
+    }
+
+    /// Closed-loop window occupancy per node (packets emitted but not yet
+    /// fully ejected), node-id indexed. All-zero on open-loop
+    /// configurations.
+    pub fn outstanding_packets(&self) -> &[u32] {
+        &self.shard.outstanding
+    }
+
     /// Runs a trace to completion.
     pub fn run_trace(self, trace: &Trace) -> Result<SimStats, SimError> {
         self.run_trace_impl(trace, false)

@@ -167,6 +167,26 @@ pub struct SimStats {
     pub cycles: u64,
     /// Total flits delivered to their destinations.
     pub flits_delivered: u64,
+    /// Total flits pushed into the network by the NICs (emission counter;
+    /// with the in-network gauges this gives an independently checkable
+    /// flit-conservation ledger: injected = delivered + in-network).
+    pub flits_injected: u64,
+    /// Flits ejected inside the acceptance window (the measurement window
+    /// of a synthetic run; the whole run for traces). Divided by the
+    /// window length and the node count this is the *accepted throughput*
+    /// — the load the network actually sustained, which under closed-loop
+    /// injection flattens at saturation instead of tracking offered load.
+    pub accepted_flits: u64,
+    /// Peak NIC backlog per source node (packets admitted but not yet
+    /// fully emitted), node-id indexed. Under closed-loop injection this
+    /// is where overload shows up: the window parks the source and the
+    /// backlog grows instead of the network latency.
+    pub peak_backlog: Vec<u32>,
+    /// Peak closed-loop window occupancy per source node (packets emitted
+    /// but not yet fully ejected), node-id indexed. Always bounded by
+    /// [`crate::SimConfig::max_outstanding`]; all-zero on open-loop runs
+    /// (the window is not tracked there).
+    pub peak_outstanding: Vec<u32>,
     /// Flit traversals per link (energy accounting), link-id indexed.
     pub link_flits: Vec<u64>,
     /// Switch traversals per router (energy accounting), node-id indexed.
@@ -179,6 +199,8 @@ impl SimStats {
         SimStats {
             link_flits: vec![0; links],
             router_flits: vec![0; nodes],
+            peak_backlog: vec![0; nodes],
+            peak_outstanding: vec![0; nodes],
             ..Default::default()
         }
     }
@@ -206,15 +228,30 @@ impl SimStats {
     pub fn absorb(&mut self, other: &SimStats) {
         assert_eq!(self.link_flits.len(), other.link_flits.len());
         assert_eq!(self.router_flits.len(), other.router_flits.len());
+        assert_eq!(self.peak_backlog.len(), other.peak_backlog.len());
         self.all.merge(&other.all);
         self.control.merge(&other.control);
         self.data.merge(&other.data);
         self.flits_delivered += other.flits_delivered;
+        self.flits_injected += other.flits_injected;
+        self.accepted_flits += other.accepted_flits;
         for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
             *a += b;
         }
         for (a, b) in self.router_flits.iter_mut().zip(&other.router_flits) {
             *a += b;
+        }
+        // Each node is owned by exactly one shard, so the elementwise max
+        // just picks the owner's observation.
+        for (a, b) in self.peak_backlog.iter_mut().zip(&other.peak_backlog) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self
+            .peak_outstanding
+            .iter_mut()
+            .zip(&other.peak_outstanding)
+        {
+            *a = (*a).max(*b);
         }
     }
 
@@ -228,6 +265,17 @@ impl SimStats {
     /// Total switch traversals across all routers.
     pub fn total_router_traversals(&self) -> u64 {
         self.router_flits.iter().sum()
+    }
+
+    /// Accepted throughput: flits ejected inside the acceptance window,
+    /// per node per window cycle. This is the quantity that flattens at
+    /// the saturation point under closed-loop injection.
+    pub fn accepted_throughput(&self, nodes: usize, window_cycles: u64) -> f64 {
+        if window_cycles == 0 {
+            0.0
+        } else {
+            self.accepted_flits as f64 / window_cycles as f64 / nodes as f64
+        }
     }
 
     /// Delivered throughput in flits per cycle per node.
@@ -287,6 +335,29 @@ mod tests {
         assert_eq!(a.flits_delivered, 33);
         assert_eq!(a.link_flits, vec![3, 0, 7, 0]);
         assert_eq!(a.router_flits, vec![5, 9]);
+    }
+
+    #[test]
+    fn absorb_merges_closed_loop_fields() {
+        // Counters sum; per-node peaks take the owning shard's value
+        // (disjoint ownership means the other shard reports zero).
+        let mut a = SimStats::new(1, 3);
+        a.flits_injected = 10;
+        a.accepted_flits = 6;
+        a.peak_backlog[0] = 4;
+        a.peak_outstanding[0] = 2;
+        let mut b = SimStats::new(1, 3);
+        b.flits_injected = 5;
+        b.accepted_flits = 3;
+        b.peak_backlog[2] = 7;
+        b.peak_outstanding[2] = 1;
+        a.absorb(&b);
+        assert_eq!(a.flits_injected, 15);
+        assert_eq!(a.accepted_flits, 9);
+        assert_eq!(a.peak_backlog, vec![4, 0, 7]);
+        assert_eq!(a.peak_outstanding, vec![2, 0, 1]);
+        assert_eq!(a.accepted_throughput(3, 3), 1.0);
+        assert_eq!(SimStats::new(1, 1).accepted_throughput(1, 0), 0.0);
     }
 
     #[test]

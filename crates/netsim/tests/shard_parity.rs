@@ -111,9 +111,14 @@ fn assert_trace_parity(topo: &Topology, trace: &Trace, label: &str) {
     }
 }
 
-fn assert_synthetic_parity(topo: &Topology, rate: f64, seed: u64, label: &str) {
+fn assert_synthetic_parity_cfg(
+    topo: &Topology,
+    rate: f64,
+    seed: u64,
+    cfg: SimConfig,
+    label: &str,
+) -> SimStats {
     let routes = RoutingTable::compute_xy(topo);
-    let cfg = SimConfig::paper();
     let m = uniform_matrix(topo, rate);
     let single = Simulator::new(topo, &routes, cfg)
         .run_synthetic(&m, 150, 500, seed)
@@ -134,6 +139,11 @@ fn assert_synthetic_parity(topo: &Topology, rate: f64, seed: u64, label: &str) {
     // Derived tail statistics ride the histograms; spell them out so an
     // estimator change is caught against the P=1 data too.
     assert!(single.all.histogram.iter().sum::<u64>() == single.all.count);
+    single
+}
+
+fn assert_synthetic_parity(topo: &Topology, rate: f64, seed: u64, label: &str) {
+    assert_synthetic_parity_cfg(topo, rate, seed, SimConfig::paper(), label);
 }
 
 #[test]
@@ -208,6 +218,100 @@ fn saturation_burst_trace_parity_16x16() {
     }
     let trace = Trace::new("saturation burst", n, 0.0, events);
     assert_trace_parity(&topo, &trace, "16x16 all-to-all burst");
+}
+
+/// Closed-loop cells, windows 1, 4 and 16: ejections in one shard must
+/// return source credits to NICs in *any* other shard through the
+/// mailbox grid (the all-pairs adjacency closed-loop plans switch on),
+/// with next-cycle visibility identical to the P=1 in-shard decrement.
+/// Rate 0.30 keeps windows full and sources parked; every grid × both
+/// execution modes must stay bit-for-bit.
+#[test]
+fn closed_loop_synthetic_parity_windows() {
+    let topo = paper_mesh();
+    for window in [1usize, 4, 16] {
+        let stats = assert_synthetic_parity_cfg(
+            &topo,
+            0.30,
+            13 + window as u64,
+            SimConfig::paper_closed_loop(window),
+            &format!("plain 16x16 closed loop, window {window}"),
+        );
+        let peak = stats.peak_outstanding.iter().max().copied().unwrap_or(0);
+        assert_eq!(peak as usize, window, "window never filled");
+    }
+}
+
+/// Closed-loop on the express mesh: source credits and the dateline VC
+/// discipline interact across express links that leap over shard cuts.
+#[test]
+fn closed_loop_express_parity() {
+    let topo = paper_express(5);
+    assert_synthetic_parity_cfg(
+        &topo,
+        0.25,
+        7,
+        SimConfig::paper_closed_loop(4),
+        "express x5 16x16 closed loop, window 4",
+    );
+}
+
+/// Closed-loop trace cell: wormhole data packets (32 flits) crossing
+/// shard cuts while the window gates their sources — the minted
+/// immigrant handles must carry the true origin for the credit return.
+#[test]
+fn closed_loop_trace_parity() {
+    let topo = paper_mesh();
+    let trace = fixture_trace(&topo, 4242, 600);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper_closed_loop(2);
+    let single = Simulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("single-shard engine completes");
+    for spec in GRIDS {
+        for threads in [1, 0] {
+            let sharded = ShardedSimulator::new(&topo, &routes, cfg, spec)
+                .with_threads(threads)
+                .run_trace(&trace)
+                .expect("sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "closed-loop trace parity diverged: grid {}x{}, threads {threads}",
+                spec.sx, spec.sy
+            );
+        }
+    }
+}
+
+/// Oversubscribed execution: fewer worker threads than shards (the
+/// mailbox protocol claims to support it — each worker owns several
+/// shards and posts/collects for all of them). 4 quadrant shards on 2
+/// and on 3 workers (uneven chunks), open- and closed-loop.
+#[test]
+fn oversubscribed_workers_match_single_shard() {
+    let topo = paper_mesh();
+    let routes = RoutingTable::compute_xy(&topo);
+    let m = uniform_matrix(&topo, 0.10);
+    for cfg in [SimConfig::paper(), SimConfig::paper_closed_loop(4)] {
+        let single = Simulator::new(&topo, &routes, cfg)
+            .run_synthetic(&m, 150, 500, 31)
+            .expect("single-shard engine completes");
+        for (spec, threads) in [
+            (ShardSpec::quadrants(), 2),
+            (ShardSpec::quadrants(), 3),
+            (ShardSpec { sx: 4, sy: 2 }, 3),
+        ] {
+            let sharded = ShardedSimulator::new(&topo, &routes, cfg, spec)
+                .with_threads(threads)
+                .run_synthetic(&m, 150, 500, 31)
+                .expect("oversubscribed sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "oversubscribed parity diverged: grid {}x{} on {threads} threads, window {}",
+                spec.sx, spec.sy, cfg.max_outstanding
+            );
+        }
+    }
 }
 
 #[test]

@@ -14,7 +14,11 @@
 //!   short-range row exchanges, MG long-range hierarchical exchanges, LU
 //!   1-hop wavefront). The paper itself reduces traces to flit counts per
 //!   source-destination pair and discards timing, so the spatial pattern is
-//!   the fidelity target.
+//!   the fidelity target. For meshes bigger than the paper's 16×16,
+//!   [`npb::ScaledNpbSpec`] rescales the 256-rank specs by rank remap
+//!   (interleaved stretched instances covering every node) plus a
+//!   phase-preserving launch-window stretch, opening real NPB workloads
+//!   on the 32×32 / 1024-node mesh.
 //!
 //! Supporting machinery: dense [`matrix::TrafficMatrix`] rate matrices,
 //! [`packetize`] (the paper's 1-flit / 32-flit packet split), the
@@ -33,7 +37,7 @@ pub mod trace;
 pub mod volume;
 
 pub use matrix::TrafficMatrix;
-pub use npb::{NpbKernel, NpbTraceSpec};
+pub use npb::{NpbKernel, NpbTraceSpec, ScaledNpbSpec};
 pub use packetize::{packetize_message, Packet, DATA_PACKET_FLITS};
 pub use patterns::SyntheticPattern;
 pub use soteriou::SoteriouConfig;

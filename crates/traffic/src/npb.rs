@@ -354,6 +354,176 @@ impl NpbTraceSpec {
     }
 }
 
+/// The canonical 16×16 NPB spec rescaled onto a larger mesh.
+///
+/// The paper's trace specs are 256-rank (16×16) shaped; bigger meshes
+/// need a workload that keeps each kernel's *communication structure*
+/// while covering every node. The rescale is a **rank remap plus a
+/// phase-preserving window stretch**:
+///
+/// * **Rank remap.** With scale factors `fx = width/16`, `fy =
+///   height/16`, the generator runs `fx·fy` interleaved instances of the
+///   base 256-rank phase program — one per coset offset `(ox, oy)` —
+///   mapping base rank `(bx, by)` of instance `(ox, oy)` to node
+///   `(bx·fx + ox, by·fy + oy)`. Every node hosts exactly one rank of
+///   exactly one instance, each instance's rank grid is stretched across
+///   the whole mesh (so hop distances scale with the mesh side and shard
+///   cuts see real boundary traffic), and the per-phase exchange graph of
+///   each instance is exactly the base kernel's.
+/// * **Window stretch.** Phase structure (count, alternation, per-phase
+///   volumes) is preserved; only the launch pacing is stretched by the
+///   linear scale factor `(fx + fy) / 2`, because routes are that much
+///   longer — per-node offered load drops by the same factor that
+///   per-packet link work grows, keeping injection safely below the
+///   bigger mesh's (lower) uniform saturation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaledNpbSpec {
+    /// The canonical paper spec (16×16 ranks) being rescaled.
+    pub base: NpbTraceSpec,
+    /// Target mesh width (a multiple of the base width).
+    pub width: u16,
+    /// Target mesh height (a multiple of the base height).
+    pub height: u16,
+}
+
+impl ScaledNpbSpec {
+    /// Rescales `kernel`'s paper spec onto a `width × height` mesh.
+    /// Both sides must be non-zero multiples of the base 16.
+    pub fn new(kernel: NpbKernel, width: u16, height: u16) -> Self {
+        let base = NpbTraceSpec::paper(kernel);
+        assert!(
+            width >= base.width
+                && height >= base.height
+                && width.is_multiple_of(base.width)
+                && height.is_multiple_of(base.height),
+            "target mesh {width}x{height} must be a multiple of the base {}x{}",
+            base.width,
+            base.height
+        );
+        assert!(
+            u32::from(width) * u32::from(height) <= u32::from(u16::MAX),
+            "target mesh {width}x{height} exceeds the u16 node-id space"
+        );
+        ScaledNpbSpec {
+            base,
+            width,
+            height,
+        }
+    }
+
+    /// The paper target: 1024 ranks on the 32×32 mesh.
+    pub fn mesh32(kernel: NpbKernel) -> Self {
+        Self::new(kernel, 32, 32)
+    }
+
+    fn fx(&self) -> u16 {
+        self.width / self.base.width
+    }
+
+    fn fy(&self) -> u16 {
+        self.height / self.base.height
+    }
+
+    /// Linear pacing stretch: routes grow with the mesh side, so launch
+    /// slots widen by the mean of the two axis factors (≥ 1).
+    pub fn stretch(&self) -> u64 {
+        (u64::from(self.fx()) + u64::from(self.fy()))
+            .div_ceil(2)
+            .max(1)
+    }
+
+    /// Node hosting base rank `(bx, by)` of instance `(ox, oy)`.
+    fn remap(&self, b: NodeId, ox: u16, oy: u16) -> NodeId {
+        let bx = b.0 % self.base.width;
+        let by = b.0 / self.base.width;
+        NodeId((by * self.fy() + oy) * self.width + bx * self.fx() + ox)
+    }
+
+    /// Full-run communication volume of the rescaled workload (all
+    /// instances), for energy accounting and rate-scaled sweep shapes.
+    pub fn volume(&self) -> CommVolume {
+        let n = usize::from(self.width) * usize::from(self.height);
+        let mut v = CommVolume::zero(n, self.base.comm_wall_seconds());
+        for phase in 0..self.base.total_phases() {
+            for (s, d, flits) in self.base.phase(phase) {
+                let padded: u64 = packetize_flits(flits)
+                    .iter()
+                    .map(|p| u64::from(p.flits))
+                    .sum();
+                for oy in 0..self.fy() {
+                    for ox in 0..self.fx() {
+                        v.add(self.remap(s, ox, oy), self.remap(d, ox, oy), padded);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// A packetized simulation window of the rescaled workload: `phases`
+    /// base phases at `volume_scale` of the per-exchange volume, paced at
+    /// the base kernel's pace × [`stretch`](Self::stretch). Same
+    /// phase-sequential layout (longest source sets the phase span, then
+    /// a drain gap) as [`NpbTraceSpec::trace_window`].
+    pub fn trace_window(&self, phases: u32, volume_scale: f64) -> Trace {
+        assert!(phases >= 1 && volume_scale > 0.0);
+        let n = self.width * self.height;
+        let pace = self.base.default_pace() * self.stretch();
+        let drain_gap: u64 = 4000 * self.stretch();
+        let mut events = Vec::new();
+        let mut phase_start = 0u64;
+        for phase in 0..phases {
+            let pattern = self.base.phase(phase % self.base.total_phases());
+            let mut slot = vec![0u64; usize::from(n)];
+            for (s, d, flits) in pattern {
+                let scaled = ((flits as f64 * volume_scale).round() as u64).max(1);
+                for oy in 0..self.fy() {
+                    for ox in 0..self.fx() {
+                        let src = self.remap(s, ox, oy);
+                        let dst = self.remap(d, ox, oy);
+                        let stagger = (u64::from(src.0) * 37) % pace;
+                        for p in packetize_flits(scaled) {
+                            let k = slot[src.index()];
+                            slot[src.index()] += 1;
+                            events.push(TraceEvent {
+                                cycle: phase_start + k * pace + stagger,
+                                src,
+                                dst,
+                                flits: p.flits,
+                            });
+                        }
+                    }
+                }
+            }
+            let longest = slot.iter().max().copied().unwrap_or(0);
+            phase_start += longest * pace + drain_gap;
+        }
+        Trace::new(
+            format!(
+                "NPB {} class A, {} ranks (rescaled from {})",
+                self.base.kernel,
+                n,
+                self.base.num_nodes()
+            ),
+            n,
+            self.base.comm_wall_seconds(),
+            events,
+        )
+    }
+
+    /// The default simulation window for the 32×32 reproduction: a
+    /// representative slice per kernel, sized so the 1024-node runs stay
+    /// in sharded-engine territory without being unaffordable.
+    pub fn default_window(&self) -> Trace {
+        match self.base.kernel {
+            NpbKernel::Ft => self.trace_window(1, 1.0 / 3.0),
+            NpbKernel::Cg => self.trace_window(2, 0.25),
+            NpbKernel::Mg => self.trace_window(2, 0.125),
+            NpbKernel::Lu => self.trace_window(8, 1.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +610,119 @@ mod tests {
             assert!(e.cycle >= prev);
             prev = e.cycle;
         }
+    }
+
+    // -- the scaled generator --------------------------------------------
+
+    #[test]
+    fn scaled_remap_is_a_bijection_onto_the_target_mesh() {
+        // Every (base rank, instance offset) pair lands on a distinct
+        // node and all 1024 nodes are covered.
+        let s = ScaledNpbSpec::mesh32(NpbKernel::Lu);
+        let mut seen = vec![false; 1024];
+        for b in 0..256u16 {
+            for oy in 0..2u16 {
+                for ox in 0..2u16 {
+                    let n = s.remap(NodeId(b), ox, oy);
+                    assert!(!seen[n.index()], "node {n} hit twice");
+                    seen[n.index()] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn scaled_identity_factors_reproduce_the_base_window() {
+        // 16×16 → 16×16 is the identity rescale: same events, same
+        // pacing, bit-for-bit.
+        for k in [NpbKernel::Cg, NpbKernel::Lu] {
+            let base = NpbTraceSpec::paper(k).trace_window(2, 0.25);
+            let scaled = ScaledNpbSpec::new(k, 16, 16).trace_window(2, 0.25);
+            assert_eq!(base.events, scaled.events, "{k}");
+            assert_eq!(base.duration_cycles, scaled.duration_cycles, "{k}");
+        }
+    }
+
+    #[test]
+    fn scaled_kernels_preserve_the_hop_ordering() {
+        use hyppi_phys::{Gbps, LinkTechnology};
+        use hyppi_topology::{mesh, MeshSpec};
+        let t = mesh(MeshSpec {
+            width: 32,
+            height: 32,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        });
+        let avg_hops = |k: NpbKernel| {
+            ScaledNpbSpec::mesh32(k)
+                .volume()
+                .weighted_mean(|s, d| f64::from(t.coord(s).manhattan(t.coord(d))))
+        };
+        let (ft, cg, mg, lu) = (
+            avg_hops(NpbKernel::Ft),
+            avg_hops(NpbKernel::Cg),
+            avg_hops(NpbKernel::Mg),
+            avg_hops(NpbKernel::Lu),
+        );
+        // The stretch doubles every base distance: LU's 1-hop wavefront
+        // becomes exactly 2 hops; the paper's short/long-range ordering
+        // survives the rescale; FT approaches the 32×32 uniform mean
+        // (≈21.3).
+        assert!((lu - 2.0).abs() < 1e-9, "LU {lu}");
+        assert!(cg > 2.0 && cg < 8.0, "CG {cg}");
+        assert!(mg > 5.0, "MG {mg}");
+        assert!(ft > 18.0 && ft < 24.0, "FT {ft}");
+        assert!(lu < cg && cg < mg, "LU {lu} < CG {cg} < MG {mg}");
+    }
+
+    #[test]
+    fn scaled_windows_are_simulable_and_paced() {
+        for k in [NpbKernel::Cg, NpbKernel::Lu, NpbKernel::Mg] {
+            let s = ScaledNpbSpec::mesh32(k);
+            let w = s.default_window();
+            assert_eq!(w.num_nodes, 1024);
+            let flits = w.total_flits();
+            assert!(
+                (1e5..2e7).contains(&(flits as f64)),
+                "{k}: {flits} flits in window"
+            );
+            assert!(w.duration_cycles < 3_000_000, "{k}: {}", w.duration_cycles);
+            // One launch per (node, slot): the stretched pace still never
+            // double-books a source's injection slot.
+            let mut per_slot: std::collections::HashMap<(u16, u64), u64> =
+                std::collections::HashMap::new();
+            for e in &w.events {
+                *per_slot.entry((e.src.0, e.cycle)).or_default() += 1;
+            }
+            assert!(per_slot.values().all(|&c| c <= 1), "{k}: slot collision");
+            assert!(w
+                .events
+                .iter()
+                .all(|e| e.flits == 1 || e.flits == DATA_PACKET_FLITS));
+        }
+    }
+
+    #[test]
+    fn scaled_volume_is_instance_replicated_base_volume() {
+        // fx·fy instances of the base program: total flits scale by
+        // exactly that factor.
+        let base = NpbTraceSpec::paper(NpbKernel::Cg).volume().total_flits();
+        let scaled = ScaledNpbSpec::mesh32(NpbKernel::Cg).volume().total_flits();
+        assert_eq!(scaled, 4 * base);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the base")]
+    fn scaled_rejects_non_multiple_dims() {
+        let _ = ScaledNpbSpec::new(NpbKernel::Ft, 24, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 node-id space")]
+    fn scaled_rejects_meshes_beyond_node_id_space() {
+        // 272 = 17·16 passes the multiple check but 272² > u16::MAX.
+        let _ = ScaledNpbSpec::new(NpbKernel::Ft, 272, 272);
     }
 }

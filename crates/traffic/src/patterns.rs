@@ -20,13 +20,14 @@
 //! * [`Soteriou`](SyntheticPattern::Soteriou) — the paper's statistical
 //!   model (§III-B) at the requested rate;
 //! * [`Npb`](SyntheticPattern::Npb) — the spatial communication shape of
-//!   an NPB kernel (from its full-run [`CommVolume`](crate::CommVolume)),
+//!   an NPB kernel (from its full-run [`CommVolume`]),
 //!   scaled to the requested rate, so trace-shaped loads can ride the
 //!   same sweep grid as the synthetic ones.
 
 use crate::matrix::TrafficMatrix;
-use crate::npb::{NpbKernel, NpbTraceSpec};
+use crate::npb::{NpbKernel, NpbTraceSpec, ScaledNpbSpec};
 use crate::soteriou::SoteriouConfig;
+use crate::volume::CommVolume;
 use hyppi_topology::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,12 @@ pub enum SyntheticPattern {
     Soteriou,
     /// The spatial shape of an NPB kernel's communication volume.
     Npb(NpbKernel),
+    /// The spatial shape of the *rescaled* 256-rank NPB program
+    /// ([`ScaledNpbSpec`]): interleaved stretched instances of the paper's
+    /// 16×16 spec covering the whole (multiple-of-16×16) mesh. This is
+    /// what lets the 32×32 sweeps run real kernels rather than
+    /// regenerated-at-size approximations.
+    NpbScaled(NpbKernel),
 }
 
 impl SyntheticPattern {
@@ -71,7 +78,23 @@ impl SyntheticPattern {
             SyntheticPattern::Hotspot => "hotspot".into(),
             SyntheticPattern::Soteriou => "soteriou".into(),
             SyntheticPattern::Npb(k) => format!("npb-{}", k.name()),
+            SyntheticPattern::NpbScaled(k) => format!("npb-scaled-{}", k.name()),
         }
+    }
+
+    /// Normalizes a communication volume's per-pair flit counts to rates
+    /// with network-wide mean injection `rate`.
+    fn volume_matrix(volume: &CommVolume, n: usize, rate: f64) -> TrafficMatrix {
+        let total = volume.total_flits();
+        let mut m = TrafficMatrix::zero(n);
+        if total == 0 {
+            return m;
+        }
+        let scale = rate * n as f64 / total as f64;
+        for (s, d, flits) in volume.pairs() {
+            m.set(s, d, flits as f64 * scale);
+        }
+        m
     }
 
     /// The traffic matrix of this pattern at mean injection `rate`
@@ -180,19 +203,11 @@ impl SyntheticPattern {
                     width: topo.width,
                     height: topo.height,
                 };
-                let volume = spec.volume();
-                let total = volume.total_flits();
-                let mut m = TrafficMatrix::zero(n);
-                if total == 0 {
-                    return m;
-                }
-                // Normalize per-pair flit counts to rates with the
-                // requested network-wide mean injection.
-                let scale = rate * n as f64 / total as f64;
-                for (s, d, flits) in volume.pairs() {
-                    m.set(s, d, flits as f64 * scale);
-                }
-                m
+                Self::volume_matrix(&spec.volume(), n, rate)
+            }
+            SyntheticPattern::NpbScaled(kernel) => {
+                let spec = ScaledNpbSpec::new(*kernel, topo.width, topo.height);
+                Self::volume_matrix(&spec.volume(), n, rate)
             }
         }
     }
@@ -316,5 +331,30 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(SyntheticPattern::Uniform.name(), "uniform");
         assert_eq!(SyntheticPattern::Npb(NpbKernel::Ft).name(), "npb-FT");
+        assert_eq!(
+            SyntheticPattern::NpbScaled(NpbKernel::Cg).name(),
+            "npb-scaled-CG"
+        );
+    }
+
+    #[test]
+    fn scaled_npb_pattern_hits_requested_rate() {
+        // On the base 16×16 the rescale is the identity, so the scaled
+        // shape equals the native one; either way the mean injection must
+        // land on the requested rate.
+        let t = grid(16, 16);
+        for k in NpbKernel::ALL {
+            let scaled = SyntheticPattern::NpbScaled(k).matrix(&t, 0.1);
+            assert!((scaled.mean_injection() - 0.1).abs() < 1e-9, "{k}");
+            let native = SyntheticPattern::Npb(k).matrix(&t, 0.1);
+            for s in t.nodes() {
+                for d in t.nodes() {
+                    assert!(
+                        (scaled.rate(s, d) - native.rate(s, d)).abs() < 1e-12,
+                        "{k}: {s}->{d}"
+                    );
+                }
+            }
+        }
     }
 }
