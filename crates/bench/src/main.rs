@@ -121,7 +121,9 @@ fn main() {
     }
     if arg == "load_sweep32" {
         // The 32×32 scale-up through the sharded engine; minutes of
-        // runtime, on-demand only.
+        // runtime, on-demand only. `--closed-loop WINDOW` switches every
+        // run to credit-limited NICs (accepted-load curves flatten at
+        // the plateau instead of tracking offered load).
         ran = true;
         let shards: usize = flag_value(&args, "--shards")
             .map(|s| {
@@ -131,8 +133,24 @@ fn main() {
                 })
             })
             .unwrap_or(4);
-        println!("## Load sweep 32x32 — sharded engine, {shards} shards");
-        let r = hyppi::experiments::load_sweep32(shards);
+        let closed_loop: Option<usize> = flag_value(&args, "--closed-loop").map(|s| {
+            let window = s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --closed-loop value '{s}'");
+                std::process::exit(2);
+            });
+            if window == 0 {
+                eprintln!("--closed-loop window must be >= 1");
+                std::process::exit(2);
+            }
+            window
+        });
+        match closed_loop {
+            Some(w) => println!(
+                "## Load sweep 32x32 — sharded engine, {shards} shards, closed loop (window {w})"
+            ),
+            None => println!("## Load sweep 32x32 — sharded engine, {shards} shards"),
+        }
+        let r = hyppi::experiments::load_sweep32(shards, closed_loop);
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
@@ -193,7 +211,8 @@ fn main() {
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
              load_sweep, load_sweep32, npb32, sweep-span, sweep-rate, sweep-vcs, \
              sweep-buffers, sweep-routing (load_sweep/load_sweep32 accept --json PATH; \
-             load_sweep32/npb32 accept --shards N; npb32 accepts --kernel FT|CG|MG|LU|all)"
+             load_sweep32/npb32 accept --shards N; load_sweep32 accepts \
+             --closed-loop WINDOW; npb32 accepts --kernel FT|CG|MG|LU|all)"
         );
         std::process::exit(2);
     }

@@ -309,7 +309,7 @@ mod tests {
                 // and 5 the photonic-express case can invert by ~1% in our
                 // model (span 3 instantiates more photonic links, whose
                 // static power almost exactly offsets the added capacity —
-                // see EXPERIMENTS.md).
+                // see the README's reproduction catalog).
                 assert!(c3 > c15 && c5 > c15, "{base}+{tech}: {c3} {c5} {c15}");
                 if tech != LinkTechnology::Photonic {
                     assert!(c3 > c5, "{base}+{tech}: {c3} {c5}");

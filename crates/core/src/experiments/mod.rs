@@ -13,11 +13,12 @@
 //! | Table VI (optical routers) | [`all_optical::table6`] | router comparison |
 //! | Fig. 8 (all-optical radar) | [`all_optical::fig8`] | latency/energy/area triples |
 //! | load sweep (methodology ext.) | [`load_sweep::load_sweep`] | latency-throughput curves + saturation, open- and closed-loop |
-//! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves (uniform/transpose + rescaled NPB shapes) |
+//! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves (uniform/transpose + rescaled NPB shapes), open- or closed-loop |
 //! | 32×32 NPB window (sharded) | [`npb::npb32`] | rescaled 1024-rank kernel, shard parity asserted |
 //!
 //! Every driver is deterministic; the `repro` binary in `crates/bench`
-//! regenerates all of them, and `EXPERIMENTS.md` records paper-vs-measured.
+//! regenerates all of them (the workspace-root `README.md` carries the
+//! artefact → subcommand catalog).
 
 pub mod ablations;
 pub mod all_optical;

@@ -8,8 +8,19 @@
 //!   Fig. 3) over bare point-to-point links of all four technologies;
 //! * [`experiments`] — one driver per table and figure of the paper's
 //!   evaluation, each returning a structured result with a rendered text
-//!   table (see `EXPERIMENTS.md` at the workspace root for the
-//!   paper-vs-measured record).
+//!   table.
+//!
+//! Two workspace-root documents anchor the repo:
+//!
+//! * [`README.md`](../../../README.md) — workspace map, quickstart, and
+//!   the catalog mapping every paper figure/table to its `repro`
+//!   subcommand and every recorded metric to its `BENCH_netsim.json`
+//!   field;
+//! * [`docs/ARCHITECTURE.md`](../../../docs/ARCHITECTURE.md) — the
+//!   simulation engine's internals (active sets, calendar wheel, flit
+//!   slab, credit cells, the shard superstep/mailbox protocol,
+//!   closed-loop source credits) and the parity-oracle rule every
+//!   engine change must follow.
 //!
 //! ## Quick start
 //!

@@ -15,7 +15,11 @@
 //! engine (P=1 vs `--shards N`, parity asserted, host parallelism
 //! recorded so single-core CI numbers read honestly). Results are
 //! written to `BENCH_netsim.json` (in the current directory) so future
-//! PRs can track the perf trajectory.
+//! PRs can track the perf trajectory; the `engine` field names the
+//! optimization round that produced the record (see the README's field
+//! map and `docs/ARCHITECTURE.md`). Wall-clock on shared hosts drifts
+//! between records, so compare *speedup ratios* (new vs seed engine,
+//! measured in the same run) across PRs, not raw seconds.
 //!
 //! ```sh
 //! cargo run --release -p hyppi-netsim --example perfcheck              # all, with baseline
@@ -338,6 +342,9 @@ fn main() {
     let mut json = String::new();
     json.push_str(
         "{\n  \"bench\": \"netsim perfcheck (NPB Fig. 6 grid + load sweep, paper defaults)\",\n",
+    );
+    json.push_str(
+        "  \"engine\": \"active-set + credit fusion, calendar batching, packed VC search\",\n",
     );
     if quick {
         json.push_str("  \"quick\": true,\n");

@@ -55,7 +55,7 @@ impl SimConfig {
 
     /// Panics on configurations the engine cannot represent. The packed
     /// slot-metadata word gives out-VC ids 5 bits and ring positions /
-    /// queue lengths 8 bits each (see `sim::meta`), and the simulator
+    /// queue lengths 8 bits each (see `flit::meta`), and the simulator
     /// assumes at least one VC and one buffer slot per VC.
     pub fn validate(&self) {
         assert!(self.vcs >= 1, "at least one virtual channel required");

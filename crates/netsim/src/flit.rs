@@ -1,4 +1,4 @@
-//! Flits and packet bookkeeping.
+//! Flits, packet bookkeeping, and the packed flit-slab slot metadata.
 
 use hyppi_topology::NodeId;
 
@@ -41,6 +41,65 @@ impl PacketInfo {
     #[inline]
     pub fn is_complete(&self) -> bool {
         self.ejected == self.flits
+    }
+}
+
+/// Packed per-slot metadata word: the VC state machine and the ring
+/// cursor of one input VC, in a single `u32` so the arbitration loops
+/// read and write slot state with one memory access.
+///
+/// | bits    | field                                   |
+/// |---------|-----------------------------------------|
+/// | 0..2    | state tag (Idle / Routed / Active)      |
+/// | 2..6    | out-port (valid when Routed or Active)  |
+/// | 6..11   | out-VC (valid when Active)              |
+/// | 11..19  | ring head index                         |
+/// | 19..27  | queue length                            |
+///
+/// Field widths are enforced by `SimConfig::validate` (VCs ≤ 32, buffer
+/// depth ≤ 255) and the per-node port assert in the engine constructor
+/// (`crate::shard::ShardState`).
+pub(crate) mod meta {
+    pub const IDLE: u32 = 0;
+    pub const ROUTED: u32 = 1;
+    pub const ACTIVE: u32 = 2;
+    const TAG_MASK: u32 = 0b11;
+    pub const PORT_SHIFT: u32 = 2;
+    const PORT_MASK: u32 = 0xF;
+    pub const OVC_SHIFT: u32 = 6;
+    const OVC_MASK: u32 = 0x1F;
+    pub const HEAD_SHIFT: u32 = 11;
+    pub const HEAD_MASK: u32 = 0xFF;
+    const LEN_SHIFT: u32 = 19;
+    const LEN_MASK: u32 = 0xFF;
+    /// Adding this to a word increments the queue length.
+    pub const LEN_ONE: u32 = 1 << LEN_SHIFT;
+    /// Clears tag + out-port + out-VC, leaving the ring cursor.
+    pub const STATE_CLEAR: u32 = !((1 << HEAD_SHIFT) - 1);
+
+    #[inline]
+    pub fn tag(m: u32) -> u32 {
+        m & TAG_MASK
+    }
+
+    #[inline]
+    pub fn out_port(m: u32) -> usize {
+        ((m >> PORT_SHIFT) & PORT_MASK) as usize
+    }
+
+    #[inline]
+    pub fn out_vc(m: u32) -> usize {
+        ((m >> OVC_SHIFT) & OVC_MASK) as usize
+    }
+
+    #[inline]
+    pub fn head(m: u32) -> usize {
+        ((m >> HEAD_SHIFT) & HEAD_MASK) as usize
+    }
+
+    #[inline]
+    pub fn len(m: u32) -> usize {
+        ((m >> LEN_SHIFT) & LEN_MASK) as usize
     }
 }
 

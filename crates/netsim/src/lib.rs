@@ -19,6 +19,13 @@
 //! The simulator is fully deterministic: identical inputs produce identical
 //! cycle-level behaviour.
 //!
+//! The workspace-root [`docs/ARCHITECTURE.md`](../../../docs/ARCHITECTURE.md)
+//! is the narrative companion to this crate: the engine core's data
+//! structures, the shard superstep/mailbox protocol, closed-loop source
+//! credits, and the parity-oracle rule ("never optimize `reference.rs`;
+//! microarchitectural changes land in both engines") with pointers into
+//! the code.
+//!
 //! ## The active-set engine
 //!
 //! [`Simulator`] is the production engine. Its per-cycle cost scales with
@@ -35,7 +42,14 @@
 //!   arrays — so steady-state simulation never allocates;
 //! * a **route-compute dirty list** visits exactly the VCs whose head
 //!   packet changed, and the run loops **fast-forward across idle gaps**
-//!   to the next calendar arrival or trace admission.
+//!   to the next calendar arrival or trace admission (located by a
+//!   word-wide probe of the calendar's occupancy bitset);
+//! * per-(link, VC) **double-buffered credit cells** fold credits freed
+//!   in cycle `t` into the spendable count on their first access after
+//!   `t` — next-cycle visibility with no separate application pass —
+//!   and the free-VC search of VC allocation is a packed-bitmask
+//!   `trailing_zeros` walk; latency-1 links bypass the calendar and
+//!   deposit flits directly in the destination VC at send time.
 //!
 //! The original full-scan engine survives unmodified in [`mod@reference`] as
 //! the parity oracle: `tests/parity.rs` asserts both engines produce

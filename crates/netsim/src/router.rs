@@ -13,13 +13,16 @@
 //! Since the active-set engine rewrite, [`NodeState`] carries only the
 //! *cold* control state of a router: port wiring, the pre-resolved
 //! routing column, and the NIC source queue. Everything the arbitration
-//! hot path touches — VC flit rings, per-VC state machines, round-robin
-//! pointers, output-VC holders, routed/active bitmasks — lives in flat
+//! hot path touches — VC flit rings, per-VC state machines (packed
+//! metadata words, `crate::flit::meta`), round-robin pointers,
+//! output-VC holder bitmasks, routed/active bitmasks, per-node control
+//! records, double-buffered credit cells — lives in flat
 //! structure-of-arrays storage owned by the engine core
 //! (`crate::shard::ShardState`, of which [`crate::Simulator`] is the
 //! single-shard case), indexed by shard-local VC slot or (node,
-//! out-port) entry; see the `shard` module docs for the layout and the
-//! superstep exchange protocol.
+//! out-port) entry; see the `shard` module docs (and the workspace's
+//! `docs/ARCHITECTURE.md`) for the layout and the superstep exchange
+//! protocol.
 //!
 //! ## Deadlock freedom (express dateline classes)
 //!

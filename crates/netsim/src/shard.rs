@@ -3,8 +3,10 @@
 //!
 //! ## The engine core
 //!
-//! `ShardState` owns the full active-set router state — calendar wheel,
-//! work/src bitsets, SoA flit slab, arbitration masks — for one subset of
+//! `ShardState` owns the full active-set router state — calendar wheel
+//! with its occupancy bitset, work/src bitsets, SoA flit slab, packed
+//! per-node control records (`NodeCtl`), arbitration masks, and
+//! double-buffered credit cells (`CreditCell`) — for one subset of
 //! the mesh's nodes (node subsets come from
 //! [`hyppi_topology::Partition`]). `EnginePlan` holds everything
 //! read-only and shared: topology, routing, config, the partition tables,
@@ -12,30 +14,55 @@
 //! ([`crate::Simulator`]) is literally a `ShardState` built over the
 //! trivial partition — there is one set of pipeline-stage loops, not two.
 //!
+//! Three hot-path structures keep the per-traversal cost low while
+//! staying observable-behavior-preserving (the frozen
+//! [`crate::reference`] engine is the oracle; `tests/parity.rs` pins it):
+//!
+//! * **Credit fusion.** Credits freed during cycle `t` must become
+//!   spendable at `t+1`. Instead of staging them in a side list drained
+//!   by a separate end-of-cycle pass, every (link, VC) counter is a
+//!   `CreditCell` double-buffered in place (`avail` + `pending` +
+//!   cycle stamp): any later access folds `pending` into `avail`, so
+//!   credit application rides the traversal stage's own reads/writes.
+//! * **Calendar batching.** A bucket-occupancy bitset over the wheel
+//!   lets idle fast-forward locate the next arrival with word-wide
+//!   `trailing_zeros` jumps (64 buckets per probe) instead of walking
+//!   buckets one by one. Latency-1 intra-shard links bypass the wheel
+//!   entirely: the flit is pushed straight into its destination VC at
+//!   send time with the `ready` cycle a next-cycle delivery would have
+//!   stamped (route computation still fires the following cycle, and an
+//!   early-buffered flit cannot win arbitration before `ready`, so the
+//!   timing is bit-for-bit unchanged).
+//! * **Packed free-VC search.** Output-VC holders are a per-(node,
+//!   out-port) bitmask; the VC-allocation free search is one
+//!   `!holder & class_mask` and a `trailing_zeros` — the same VC, in the
+//!   same order, a linear range probe would pick.
+//!
 //! ## The superstep protocol
 //!
 //! With P > 1 shards, every simulated cycle is one superstep of two
 //! phases separated by barriers:
 //!
 //! 1. **Step phase.** Each shard runs the five pipeline stages for its
-//!    own routers. A flit leaving through an intra-shard link is booked
-//!    into the local calendar wheel as usual; a flit leaving through a
-//!    *boundary link* (dst owned by another shard) is appended to the
-//!    per-edge outbox for the destination shard, together with its
-//!    absolute arrival cycle. Credits freed for a boundary link's
-//!    upstream buffer go to the outbox of the shard owning the link's
-//!    source. At the end of the phase each shard swaps its filled
-//!    outboxes into the shared double-buffered mailbox grid.
+//!    own routers. A flit leaving through an intra-shard link lands
+//!    directly in its destination VC (latency 1) or in the local
+//!    calendar wheel; a flit leaving through a *boundary link* (dst
+//!    owned by another shard) is appended to the per-edge outbox for the
+//!    destination shard, together with its absolute arrival cycle.
+//!    Credits freed for a boundary link's upstream buffer go to the
+//!    outbox of the shard owning the link's source. At the end of the
+//!    phase each shard swaps its filled outboxes into the shared
+//!    double-buffered mailbox grid.
 //! 2. **Exchange phase.** After the barrier, each shard drains the
-//!    mailboxes addressed to it: boundary credits increment the owner's
-//!    credit counters (visible next cycle — the same timing as the local
-//!    `pending_credits` drain), and boundary flits are booked into the
-//!    receiving wheel at their carried arrival cycle. Because every link
-//!    has latency ≥ 1, a flit sent in superstep `t` arrives in a bucket
-//!    `≥ t+1`, so landing it during the exchange of superstep `t` puts it
-//!    in **exactly** the bucket the in-shard calendar would have used —
-//!    this is what makes the sharded engine bit-for-bit identical to the
-//!    single-shard engine.
+//!    mailboxes addressed to it: boundary credits land in the pending
+//!    half of the owner's credit cells (visible next cycle — the same
+//!    timing as locally freed credits), and boundary flits are booked
+//!    into the receiving wheel at their carried arrival cycle. Because
+//!    every link has latency ≥ 1, a flit sent in superstep `t` arrives
+//!    in a bucket `≥ t+1`, so landing it during the exchange of
+//!    superstep `t` puts it in **exactly** the bucket the in-shard
+//!    calendar would have used — this is what makes the sharded engine
+//!    bit-for-bit identical to the single-shard engine.
 //!
 //! ## Cross-shard packet identity
 //!
@@ -81,7 +108,7 @@
 //! coordinator.
 
 use crate::config::SimConfig;
-use crate::flit::{Flit, PacketInfo};
+use crate::flit::{meta, Flit, PacketInfo};
 use crate::router::{Emission, NodeState};
 use crate::sim::SimError;
 use crate::stats::SimStats;
@@ -106,62 +133,113 @@ pub(crate) enum VcClass {
 /// One booked link arrival: (link, destination VC, flit).
 pub(crate) type ArrivalEvent = (u32, u8, Flit);
 
-/// Packed per-slot metadata word: the VC state machine and the ring
-/// cursor of one input VC, in a single `u32` so the arbitration loops
-/// read and write slot state with one memory access.
-///
-/// | bits    | field                                   |
-/// |---------|-----------------------------------------|
-/// | 0..2    | state tag (Idle / Routed / Active)      |
-/// | 2..6    | out-port (valid when Routed or Active)  |
-/// | 6..11   | out-VC (valid when Active)              |
-/// | 11..19  | ring head index                         |
-/// | 19..27  | queue length                            |
-///
-/// Field widths are enforced by `SimConfig::validate` (VCs ≤ 32, buffer
-/// depth ≤ 255) and the per-node port assert in `ShardState::new`.
-pub(crate) mod meta {
-    pub const IDLE: u32 = 0;
-    pub const ROUTED: u32 = 1;
-    pub const ACTIVE: u32 = 2;
-    const TAG_MASK: u32 = 0b11;
-    pub const PORT_SHIFT: u32 = 2;
-    const PORT_MASK: u32 = 0xF;
-    pub const OVC_SHIFT: u32 = 6;
-    const OVC_MASK: u32 = 0x1F;
-    pub const HEAD_SHIFT: u32 = 11;
-    pub const HEAD_MASK: u32 = 0xFF;
-    const LEN_SHIFT: u32 = 19;
-    const LEN_MASK: u32 = 0xFF;
-    /// Adding this to a word increments the queue length.
-    pub const LEN_ONE: u32 = 1 << LEN_SHIFT;
-    /// Clears tag + out-port + out-VC, leaving the ring cursor.
-    pub const STATE_CLEAR: u32 = !((1 << HEAD_SHIFT) - 1);
+/// One lazily-normalized credit counter for a downstream (link, VC)
+/// buffer. Credits freed during cycle `t` must not be spendable until
+/// cycle `t+1`; instead of staging them in a side list that a separate
+/// end-of-cycle pass drains, the counter is double-buffered in place:
+/// `avail` is the spendable count as of cycle `stamp`, `pending` holds
+/// credits freed *during* cycle `stamp`. Any access at a later cycle
+/// first folds `pending` into `avail` — so credit application rides the
+/// switch-traversal stage's own reads and writes and no separate scan
+/// exists. (Mailbox credits ingested during the superstep exchange of
+/// cycle `t` land in `pending` with the same stamp, preserving the
+/// identical next-cycle visibility of the cross-shard path.)
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditCell {
+    /// Cycle `avail`/`pending` were last touched.
+    stamp: u64,
+    /// Credits spendable at cycle `stamp`.
+    avail: u16,
+    /// Credits freed during cycle `stamp` (spendable from `stamp + 1`).
+    pending: u16,
+}
 
+impl CreditCell {
     #[inline]
-    pub fn tag(m: u32) -> u32 {
-        m & TAG_MASK
+    fn new(depth: u16) -> Self {
+        CreditCell {
+            stamp: 0,
+            avail: depth,
+            pending: 0,
+        }
     }
 
+    /// Folds `pending` into `avail` if the cell was last touched before
+    /// `now`, then returns the spendable count.
     #[inline]
-    pub fn out_port(m: u32) -> usize {
-        ((m >> PORT_SHIFT) & PORT_MASK) as usize
+    fn normalize(&mut self, now: u64) -> u16 {
+        if self.stamp != now {
+            self.avail += self.pending;
+            self.pending = 0;
+            self.stamp = now;
+        }
+        self.avail
     }
 
+    /// Books one freed credit at cycle `now` (spendable from `now + 1`).
     #[inline]
-    pub fn out_vc(m: u32) -> usize {
-        ((m >> OVC_SHIFT) & OVC_MASK) as usize
+    fn free(&mut self, now: u64) {
+        self.normalize(now);
+        self.pending += 1;
     }
 
+    /// Spends one credit at cycle `now`.
     #[inline]
-    pub fn head(m: u32) -> usize {
-        ((m >> HEAD_SHIFT) & HEAD_MASK) as usize
+    fn take(&mut self, now: u64) {
+        let avail = self.normalize(now);
+        debug_assert!(avail > 0, "credit underflow");
+        self.avail -= 1;
     }
 
+    /// Read-only spendable count at cycle `now` (cold paths that cannot
+    /// normalize in place).
     #[inline]
-    pub fn len(m: u32) -> usize {
-        ((m >> LEN_SHIFT) & LEN_MASK) as usize
+    fn peek(&self, now: u64) -> u16 {
+        if self.stamp < now {
+            self.avail + self.pending
+        } else {
+            self.avail
+        }
     }
+}
+
+/// Hot per-node control state packed into one record (one cache line's
+/// worth of data): the arbitration stages read and update most of these
+/// fields on every visit to a work-active node, so keeping them together
+/// replaces seven scattered array touches per visit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeCtl {
+    /// First buffer slot of the node (`slot = vc_base + in_port*vcs + vc`).
+    vc_base: u32,
+    /// First out-port entry of the node.
+    port_base: u32,
+    /// Bitmask of in-ports that already sent a flit this cycle.
+    in_port_used: u32,
+    /// Flits buffered at the node (active-set membership count).
+    pub(crate) buffered: u32,
+    /// Out-ports with a non-empty `routed_mask` (bit = out-port index) —
+    /// the VA stage walks set bits instead of probing every port's mask.
+    routed_ports: u16,
+    /// Out-ports with a non-empty `active_mask`.
+    active_ports: u16,
+    /// Input VCs currently `Routed` (VA fast skip).
+    routed_count: u16,
+    /// Arbitration scan width (`in_ports * vcs`).
+    total_in_vcs: u8,
+}
+
+/// Packed per-(node, out-port) link facts consumed by the traversal
+/// winner path: one 8-byte load instead of three scattered table reads.
+#[derive(Debug, Clone, Copy)]
+struct OutPortInfo {
+    /// Global link id; `u32::MAX` for the ejection port.
+    link: u32,
+    /// Shard owning the link's destination (own id for ejection).
+    dst_shard: u16,
+    /// Link latency in cycles (0 for ejection).
+    latency: u8,
+    /// Express link (dateline class-B transition on traversal).
+    express: bool,
 }
 
 /// Iterator over the set bits of a mask in cyclic (round-robin) order
@@ -216,15 +294,17 @@ pub(crate) struct EnginePlan<'a> {
     pub dateline: bool,
     /// First class-B VC when the dateline is in force (see `vc_range`).
     pub class_b_start: usize,
+    /// Bitmask of the VCs open to `Free`/`PreExpress` packets (bit =
+    /// VC index) — the packed form of [`Self::vc_range`], consumed by
+    /// the trailing-zeros free-VC search in VC allocation.
+    pub class_a_mask: u32,
+    /// Bitmask of the VCs open to `PostExpress` packets.
+    pub class_b_mask: u32,
     /// `express_on_path[dst][node]`: does the route node→dst cross an
     /// express link? Only populated when the dateline is in force.
     express_on_path: Vec<Vec<bool>>,
     /// In-port index (at the link's dst node) fed by each link.
     pub in_port_of_link: Vec<u8>,
-    /// Per-link latency in cycles (dense copy of the topology's).
-    pub latency_of_link: Vec<u32>,
-    /// Per-link express flag (dense copy of the topology's).
-    pub express_link: Vec<bool>,
     /// Calendar wheel length (power of two > max link latency).
     pub wheel_len: usize,
     /// For each shard, the sorted shards that may address mail to it
@@ -287,8 +367,6 @@ impl<'a> EnginePlan<'a> {
                 in_port_of_link[lid.index()] = (i + 1) as u8;
             }
         }
-        let latency_of_link: Vec<u32> = topo.links().iter().map(|l| l.latency_cycles).collect();
-        let express_link: Vec<bool> = topo.links().iter().map(|l| l.is_express()).collect();
         // Calendar sized to cover the longest link latency. Zero-latency
         // links would land arrivals in the bucket stage 1 already drained
         // this cycle (delivering them a whole revolution late), so the
@@ -334,17 +412,29 @@ impl<'a> EnginePlan<'a> {
                 v.sort_unstable();
             }
         }
+        let class_b_start = cfg.vcs - (cfg.vcs / 4).max(1);
+        let all_vcs: u32 = if cfg.vcs == 32 {
+            u32::MAX
+        } else {
+            (1u32 << cfg.vcs) - 1
+        };
+        let (class_a_mask, class_b_mask) = if dateline {
+            let a = (1u32 << class_b_start) - 1;
+            (a, all_vcs & !a)
+        } else {
+            (all_vcs, all_vcs)
+        };
         EnginePlan {
             topo,
             routes,
             cfg,
             partition,
             dateline,
-            class_b_start: cfg.vcs - (cfg.vcs / 4).max(1),
+            class_b_start,
+            class_a_mask,
+            class_b_mask,
             express_on_path,
             in_port_of_link,
-            latency_of_link,
-            express_link,
             wheel_len,
             inbox_sources: sources,
         }
@@ -368,6 +458,19 @@ impl<'a> EnginePlan<'a> {
         match class {
             VcClass::Free | VcClass::PreExpress => 0..self.class_b_start,
             VcClass::PostExpress => self.class_b_start..self.cfg.vcs,
+        }
+    }
+
+    /// Packed form of [`Self::vc_range`]: a bitmask of the VCs a packet
+    /// of the given dateline class may request (bit = VC index).
+    /// Walking this mask with `trailing_zeros` visits exactly the VCs
+    /// `vc_range` yields, in the same ascending order, so the free-VC
+    /// search stays bit-for-bit with the range scan it replaces.
+    #[inline]
+    pub(crate) fn class_mask(&self, class: VcClass) -> u32 {
+        match class {
+            VcClass::Free | VcClass::PreExpress => self.class_a_mask,
+            VcClass::PostExpress => self.class_b_mask,
         }
     }
 
@@ -492,9 +595,9 @@ pub(crate) struct ShardState {
     nodes: Vec<NodeState>,
     /// Global node id of each local node.
     global_of_node: Vec<u16>,
+    /// Packed hot control state per local node — see [`NodeCtl`].
+    pub(crate) ctl: Vec<NodeCtl>,
     // --- SoA VC storage, indexed by shard-local slot ---
-    /// First slot of each node (`slot = vc_base[node] + in_port*vcs + vc`).
-    vc_base: Vec<u32>,
     /// Owning local node of each slot (RC dirty-list lookups).
     node_of_slot: Vec<u16>,
     /// Packed per-slot metadata: state machine + ring-buffer cursor in
@@ -513,20 +616,13 @@ pub(crate) struct ShardState {
     in_port_of_slot: Vec<u8>,
     /// VC index of each slot (`idx % vcs`, precomputed).
     vc_of_slot: Vec<u8>,
-    /// Flits buffered per local node (active-set membership count).
-    pub(crate) buffered: Vec<u32>,
     /// Free downstream slots, flattened `[link * vcs + vc]`, global link
     /// ids; only entries whose link source this shard owns are used.
-    credits: Vec<u16>,
+    /// Each cell is double-buffered in place ([`CreditCell`]) so credits
+    /// freed during a cycle become spendable next cycle without a
+    /// separate end-of-cycle application pass.
+    credits: Vec<CreditCell>,
     // --- flattened per-port router control state ---
-    /// First out-port entry of each local node.
-    port_base: Vec<u32>,
-    /// First in-port entry of each local node (= `vc_base[node] / vcs`).
-    in_port_base: Vec<u32>,
-    /// Out-port count per local node.
-    out_ports_of: Vec<u8>,
-    /// Arbitration scan width per local node (`in_ports * vcs`).
-    total_in_vcs_of: Vec<u8>,
     /// Routed-VC bitmask per (node, out-port) — bit = in-VC index.
     routed_mask: Vec<u32>,
     /// Active-VC bitmask per (node, out-port) — bit = in-VC index.
@@ -535,29 +631,37 @@ pub(crate) struct ShardState {
     va_rr: Vec<u8>,
     /// Switch-allocation round-robin pointer per (node, out-port).
     sa_rr: Vec<u8>,
-    /// Output VC holder per ((node, out-port), vc).
-    out_holder: Vec<Option<(u8, u8)>>,
-    /// Input VCs currently `Routed`, per local node (VA fast skip).
-    routed_count: Vec<u16>,
-    /// Bitmask of in-ports that already sent a flit this cycle.
-    in_port_used: Vec<u32>,
-    /// Raw global link id per (node, out-port); `u32::MAX` for ejection.
-    link_of_out_port: Vec<u32>,
-    /// Shard owning the far end of each (node, out-port); own id for
-    /// ejection and intra-shard links.
-    dst_shard_of_out_port: Vec<u16>,
-    /// Raw global link id per (node, in-port); `u32::MAX` for injection.
-    link_of_in_port: Vec<u32>,
-    /// Shard owning the upstream end of each (node, in-port); own id for
-    /// injection and intra-shard links.
-    src_shard_of_in_port: Vec<u16>,
+    /// Held output VCs per (node, out-port), bit = out-VC index. The
+    /// free-VC search is one `!holder & class_mask` + `trailing_zeros`
+    /// over this packed form; the holding (in-port, in-VC) identity is
+    /// reconstructed from slot metadata on the cold dump paths.
+    holder_mask: Vec<u32>,
+    /// Packed link facts per (node, out-port) — see [`OutPortInfo`].
+    out_port_info: Vec<OutPortInfo>,
+    /// Upstream credit index (`link * vcs + vc`) freed when a flit pops
+    /// from this slot; `u32::MAX` for injection-port slots.
+    credit_of_slot: Vec<u32>,
+    /// Shard owning the upstream end of each slot's in-port (own id for
+    /// injection and intra-shard links).
+    src_shard_of_slot: Vec<u16>,
     // --- arrival calendar ---
     /// Cycle-indexed arrival buckets; slot `cycle & wheel_mask`.
     pub(crate) wheel: Vec<Vec<ArrivalEvent>>,
     wheel_mask: u64,
+    /// Occupancy bitset over the wheel's buckets (bit `b` of word
+    /// `b / 64` set ⇔ bucket `b` is non-empty). Idle fast-forward finds
+    /// the next arrival with word-wide `trailing_zeros` jumps instead of
+    /// probing buckets one by one.
+    wheel_occ: Vec<u64>,
     /// Flits currently traversing links into this shard (booked in
     /// `wheel`).
     pub(crate) inflight_arrivals: u64,
+    /// Local node fed by each link (`u16::MAX` when this shard does not
+    /// own the link's destination) — flat ingest table so arrival
+    /// delivery needs no topology or partition lookups.
+    arrive_node_of_link: Vec<u16>,
+    /// First (VC-0) buffer slot fed by each link; add the arrival VC.
+    arrive_slot_of_link: Vec<u32>,
     // --- active sets ---
     /// Bit per local node: has any buffered flit (gates RC/VA/SA).
     work_mask: Vec<u64>,
@@ -573,8 +677,6 @@ pub(crate) struct ShardState {
     /// body/tail flits arriving on that channel belong to. Written when a
     /// boundary head is ingested.
     remap: Vec<u32>,
-    /// Credits freed this cycle for owned links, `link * vcs + vc`.
-    pending_credits: Vec<u32>,
     /// Outgoing mailbox staging, one bundle per destination shard.
     outbox: Vec<OutBundle>,
     /// Flits resident in this shard (emission/ingest increment, ejection/
@@ -620,11 +722,15 @@ impl ShardState {
             .map(|&n| NodeState::new(topo, plan.routes, n))
             .collect();
         let global_of_node: Vec<u16> = owned.iter().map(|n| n.0).collect();
-        // Flat slot layout.
+        // Flat slot layout, with the upstream credit index and owner
+        // shard of every slot resolved up front (the traversal winner
+        // path reads them with single slot-indexed loads).
         let mut vc_base = Vec::with_capacity(nodes.len());
         let mut node_of_slot = Vec::new();
         let mut in_port_of_slot = Vec::new();
         let mut vc_of_slot = Vec::new();
+        let mut credit_of_slot = Vec::new();
+        let mut src_shard_of_slot = Vec::new();
         let mut total_slots = 0u32;
         for (i, st) in nodes.iter().enumerate() {
             vc_base.push(total_slots);
@@ -639,21 +745,27 @@ impl ShardState {
             );
             node_of_slot.extend(std::iter::repeat_n(i as u16, slots));
             for idx in 0..slots {
-                in_port_of_slot.push((idx / cfg.vcs) as u8);
-                vc_of_slot.push((idx % cfg.vcs) as u8);
+                let in_port = idx / cfg.vcs;
+                let vc = idx % cfg.vcs;
+                in_port_of_slot.push(in_port as u8);
+                vc_of_slot.push(vc as u8);
+                if in_port == 0 {
+                    credit_of_slot.push(u32::MAX);
+                    src_shard_of_slot.push(id as u16);
+                } else {
+                    let lid = st.in_links[in_port - 1].index();
+                    credit_of_slot.push((lid * cfg.vcs + vc) as u32);
+                    src_shard_of_slot.push(plan.partition.link_src_shard[lid]);
+                }
             }
             total_slots += slots as u32;
         }
         let total_slots = total_slots as usize;
-        // Flat per-port layout (out-ports and in-ports) with shard
-        // ownership of each far end resolved up front.
+        // Flat per-port layout with the link facts of each out-port
+        // packed into one record ([`OutPortInfo`]).
         let mut port_base = Vec::with_capacity(nodes.len());
-        let mut out_ports_of = Vec::with_capacity(nodes.len());
         let mut total_in_vcs_of = Vec::with_capacity(nodes.len());
-        let mut link_of_out_port = Vec::new();
-        let mut dst_shard_of_out_port = Vec::new();
-        let mut link_of_in_port = Vec::new();
-        let mut src_shard_of_in_port = Vec::new();
+        let mut out_port_info = Vec::new();
         let mut total_out_ports = 0u32;
         for st in &nodes {
             port_base.push(total_out_ports);
@@ -662,23 +774,56 @@ impl ShardState {
                 "out-port count {} exceeds the packed slot-meta field",
                 st.out_ports()
             );
-            out_ports_of.push(st.out_ports() as u8);
             total_in_vcs_of.push((st.in_ports() * cfg.vcs) as u8);
-            link_of_out_port.push(u32::MAX); // ejection port
-            dst_shard_of_out_port.push(id as u16);
+            out_port_info.push(OutPortInfo {
+                link: u32::MAX, // ejection port
+                dst_shard: id as u16,
+                latency: 0,
+                express: false,
+            });
             for &l in &st.out_links {
-                link_of_out_port.push(l.index() as u32);
-                dst_shard_of_out_port.push(plan.partition.link_dst_shard[l.index()]);
-            }
-            link_of_in_port.push(u32::MAX); // injection port
-            src_shard_of_in_port.push(id as u16);
-            for &l in &st.in_links {
-                link_of_in_port.push(l.index() as u32);
-                src_shard_of_in_port.push(plan.partition.link_src_shard[l.index()]);
+                let link = topo.link(l);
+                assert!(
+                    link.latency_cycles <= u32::from(u8::MAX),
+                    "link latency {} exceeds the packed out-port record",
+                    link.latency_cycles
+                );
+                out_port_info.push(OutPortInfo {
+                    link: l.index() as u32,
+                    dst_shard: plan.partition.link_dst_shard[l.index()],
+                    latency: link.latency_cycles as u8,
+                    express: link.is_express(),
+                });
             }
             total_out_ports += st.out_ports() as u32;
         }
-        let in_port_base: Vec<u32> = vc_base.iter().map(|&b| b / cfg.vcs as u32).collect();
+        // Flat ingest tables: for every link feeding an owned node, the
+        // local node index and the slot of its VC 0, so arrival delivery
+        // is two array loads instead of topology + partition chases.
+        let mut arrive_node_of_link = vec![u16::MAX; topo.links().len()];
+        let mut arrive_slot_of_link = vec![0u32; topo.links().len()];
+        for l in topo.links() {
+            let lid = l.id.index();
+            if usize::from(plan.partition.link_dst_shard[lid]) != id {
+                continue;
+            }
+            let local = plan.partition.local_of_node[l.dst.index()];
+            let in_port = usize::from(plan.in_port_of_link[lid]);
+            arrive_node_of_link[lid] = local as u16;
+            arrive_slot_of_link[lid] = vc_base[local as usize] + (in_port * cfg.vcs) as u32;
+        }
+        let ctl: Vec<NodeCtl> = (0..nodes.len())
+            .map(|i| NodeCtl {
+                vc_base: vc_base[i],
+                port_base: port_base[i],
+                in_port_used: 0,
+                buffered: 0,
+                routed_ports: 0,
+                active_ports: 0,
+                routed_count: 0,
+                total_in_vcs: total_in_vcs_of[i],
+            })
+            .collect();
         let ring = cfg.buffer_depth.next_power_of_two();
         let filler = Flit {
             packet: u32::MAX,
@@ -693,7 +838,7 @@ impl ShardState {
         ShardState {
             id,
             global_of_node,
-            buffered: vec![0; nodes.len()],
+            ctl,
             slot_meta: vec![0; total_slots],
             flit_buf: vec![filler; total_slots * ring],
             ring,
@@ -701,35 +846,29 @@ impl ShardState {
             depth: cfg.buffer_depth,
             in_port_of_slot,
             vc_of_slot,
-            vc_base,
             node_of_slot,
             routed_mask: vec![0; total_out_ports as usize],
             active_mask: vec![0; total_out_ports as usize],
             va_rr: vec![0; total_out_ports as usize],
             sa_rr: vec![0; total_out_ports as usize],
-            out_holder: vec![None; total_out_ports as usize * cfg.vcs],
-            routed_count: vec![0; nodes.len()],
-            in_port_used: vec![0; nodes.len()],
-            port_base,
-            in_port_base,
-            out_ports_of,
-            total_in_vcs_of,
-            link_of_out_port,
-            dst_shard_of_out_port,
-            link_of_in_port,
-            src_shard_of_in_port,
+            holder_mask: vec![0; total_out_ports as usize],
+            out_port_info,
+            credit_of_slot,
+            src_shard_of_slot,
             nodes,
-            credits: vec![cfg.buffer_depth as u16; topo.links().len() * cfg.vcs],
+            credits: vec![CreditCell::new(cfg.buffer_depth as u16); topo.links().len() * cfg.vcs],
             wheel: vec![Vec::new(); plan.wheel_len],
             wheel_mask: (plan.wheel_len - 1) as u64,
+            wheel_occ: vec![0; plan.wheel_len.div_ceil(64)],
             inflight_arrivals: 0,
+            arrive_node_of_link,
+            arrive_slot_of_link,
             work_mask: vec![0; mask_words],
             src_mask: vec![0; mask_words],
             rc_dirty: Vec::new(),
             packets: Vec::new(),
             class_of: Vec::new(),
             remap: vec![u32::MAX; topo.links().len() * cfg.vcs],
-            pending_credits: Vec::new(),
             outbox: (0..shards).map(|_| OutBundle::default()).collect(),
             active_flits: 0,
             outstanding: vec![0; n_local],
@@ -772,14 +911,51 @@ impl ShardState {
     }
 
     /// Cycle of the earliest booked link arrival ≥ `now`, if any. The
-    /// calendar only holds arrivals within one wheel revolution of `now`.
+    /// calendar only holds arrivals within one wheel revolution of `now`,
+    /// and the occupancy bitset answers "which bucket next" a word (64
+    /// buckets) at a time: one masked load plus `trailing_zeros` per
+    /// word, so a multi-cycle idle gap is skipped in one jump instead of
+    /// probing buckets one by one.
     pub(crate) fn next_arrival_cycle(&self, now: u64) -> Option<u64> {
         if self.inflight_arrivals == 0 {
             return None;
         }
-        (0..self.wheel.len() as u64)
-            .find(|off| !self.wheel[((now + off) & self.wheel_mask) as usize].is_empty())
-            .map(|off| now + off)
+        let len = self.wheel.len() as u64;
+        let start = (now & self.wheel_mask) as usize;
+        let nwords = self.wheel_occ.len();
+        let sw = start >> 6;
+        // Buckets ≥ start in the starting word…
+        let head = self.wheel_occ[sw] & (u64::MAX << (start & 63));
+        if head != 0 {
+            return Some(now + u64::from(head.trailing_zeros()) - (start & 63) as u64);
+        }
+        // …then whole words onward, wrapping; the k == nwords pass picks
+        // up the starting word's buckets below `start`.
+        for k in 1..=nwords {
+            let wi = (sw + k) % nwords;
+            let w = if wi == sw {
+                self.wheel_occ[wi] & !(u64::MAX << (start & 63))
+            } else {
+                self.wheel_occ[wi]
+            };
+            if w != 0 {
+                let bucket = ((wi as u64) << 6) + u64::from(w.trailing_zeros());
+                let off = (bucket + len - start as u64) & self.wheel_mask;
+                return Some(now + off);
+            }
+        }
+        debug_assert!(false, "inflight arrivals but empty occupancy bitset");
+        None
+    }
+
+    /// Books one link arrival into the calendar, maintaining the
+    /// occupancy bitset.
+    #[inline]
+    fn wheel_push(&mut self, arrive: u64, ev: ArrivalEvent) {
+        let bucket = (arrive & self.wheel_mask) as usize;
+        self.wheel[bucket].push(ev);
+        self.wheel_occ[bucket >> 6] |= 1u64 << (bucket & 63);
+        self.inflight_arrivals += 1;
     }
 
     /// Appends `f` to a VC ring, updating active-set state. Marks the slot
@@ -797,7 +973,7 @@ impl ShardState {
         let pos = (meta::head(m) + len) & self.ring_mask;
         self.flit_buf[slot * self.ring + pos] = f;
         self.slot_meta[slot] = m + meta::LEN_ONE;
-        self.buffered[node] += 1;
+        self.ctl[node].buffered += 1;
         self.set_work(node);
     }
 
@@ -811,9 +987,11 @@ impl ShardState {
         }
     }
 
+    /// Pops the head flit of a slot whose metadata word `m` the caller
+    /// already holds (saves the reload on the traversal winner path).
     #[inline]
-    fn pop_flit(&mut self, slot: usize) -> Flit {
-        let m = self.slot_meta[slot];
+    fn pop_flit_meta(&mut self, slot: usize, m: u32) -> Flit {
+        debug_assert_eq!(m, self.slot_meta[slot], "stale metadata word");
         debug_assert!(meta::len(m) > 0, "pop from empty VC");
         let head = meta::head(m);
         let f = self.flit_buf[slot * self.ring + head];
@@ -883,37 +1061,35 @@ impl ShardState {
     /// One simulated cycle for this shard (the step phase of a
     /// superstep). Boundary traffic lands in `self.outbox`; the caller is
     /// responsible for posting outboxes and running the exchange phase.
+    /// Credit application needs no stage of its own: the double-buffered
+    /// [`CreditCell`]s fold freed credits in on their next access, which
+    /// preserves next-cycle visibility exactly.
     pub(crate) fn step(&mut self, plan: &EnginePlan<'_>, now: u64) {
         self.deliver_link_arrivals(plan, now);
         self.emit_from_sources(plan, now);
         self.route_compute();
-        self.allocate_vcs(plan);
-        self.switch_traversal(plan, now);
-        // Credits freed this cycle become visible next cycle.
-        for i in self.pending_credits.drain(..) {
-            self.credits[i as usize] += 1;
-        }
+        self.alloc_and_traverse(plan, now);
     }
 
     /// Stage 1: drain this cycle's calendar bucket into input buffers.
     fn deliver_link_arrivals(&mut self, plan: &EnginePlan<'_>, now: u64) {
         let bucket = (now & self.wheel_mask) as usize;
-        if self.wheel[bucket].is_empty() {
+        let occ_bit = 1u64 << (bucket & 63);
+        if self.wheel_occ[bucket >> 6] & occ_bit == 0 {
             return;
         }
-        let dwell = plan.cfg.pipeline_dwell();
+        self.wheel_occ[bucket >> 6] &= !occ_bit;
+        // The arrival cycle is the link-traversal cycle; the router
+        // pipeline (RC, VA/SA, ST) starts the following cycle, so a
+        // hop costs `link latency + pipeline` cycles end to end.
+        let ready = now + 1 + plan.cfg.pipeline_dwell();
         let mut events = std::mem::take(&mut self.wheel[bucket]);
         self.inflight_arrivals -= events.len() as u64;
         for (lid, vc, flit) in events.drain(..) {
-            let link = plan.topo.link(LinkId(lid));
-            let node = plan.partition.local_of_node[link.dst.index()] as usize;
-            let in_port = usize::from(plan.in_port_of_link[lid as usize]);
-            let slot = self.vc_base[node] as usize + in_port * plan.cfg.vcs + usize::from(vc);
+            let node = usize::from(self.arrive_node_of_link[lid as usize]);
+            let slot = self.arrive_slot_of_link[lid as usize] as usize + usize::from(vc);
             let mut f = flit;
-            // The arrival cycle is the link-traversal cycle; the router
-            // pipeline (RC, VA/SA, ST) starts the following cycle, so a
-            // hop costs `link latency + pipeline` cycles end to end.
-            f.ready = now + 1 + dwell;
+            f.ready = ready;
             self.push_flit(node, slot, f);
         }
         // Hand the bucket's allocation back for reuse.
@@ -944,7 +1120,7 @@ impl ShardState {
                             // Pick an injection VC in the packet's class.
                             let info = self.packets[pid as usize];
                             let range = plan.vc_range(self.class_of[pid as usize]);
-                            let base = self.vc_base[node] as usize; // in-port 0 ⇒ slot = base + vc
+                            let base = self.ctl[node].vc_base as usize; // in-port 0 ⇒ slot = base + vc
                             let pick = range.clone().find(|&v| {
                                 meta::len(self.slot_meta[base + v]) < plan.cfg.buffer_depth
                             });
@@ -980,7 +1156,7 @@ impl ShardState {
                     }
                 }
                 if let Some(mut em) = self.nodes[node].emitting {
-                    let slot = self.vc_base[node] as usize + usize::from(em.vc);
+                    let slot = self.ctl[node].vc_base as usize + usize::from(em.vc);
                     if meta::len(self.slot_meta[slot]) < plan.cfg.buffer_depth {
                         let flit = Flit {
                             packet: em.packet,
@@ -1027,103 +1203,106 @@ impl ShardState {
             debug_assert!(head.is_head, "queue head after Idle must be a head flit");
             let node = usize::from(self.node_of_slot[slot]);
             let out_port = self.nodes[node].route_port[head.dst.index()];
-            let idx = slot - self.vc_base[node] as usize;
+            let idx = slot - self.ctl[node].vc_base as usize;
             self.slot_meta[slot] =
                 (m & meta::STATE_CLEAR) | meta::ROUTED | (u32::from(out_port) << meta::PORT_SHIFT);
-            self.routed_mask[self.port_base[node] as usize + usize::from(out_port)] |= 1 << idx;
-            self.routed_count[node] += 1;
+            self.routed_mask[self.ctl[node].port_base as usize + usize::from(out_port)] |= 1 << idx;
+            self.ctl[node].routed_ports |= 1 << out_port;
+            self.ctl[node].routed_count += 1;
         }
     }
 
-    /// Stage 4: VC allocation (round-robin per output port), work-active
-    /// nodes only. The arbitration order within a node is identical to the
-    /// seed engine's.
-    fn allocate_vcs(&mut self, plan: &EnginePlan<'_>) {
+    /// Stages 4 + 5, fused per node: VC allocation (round-robin per
+    /// output port) followed by switch allocation + traversal, one flit
+    /// per out-port and per in-port per cycle, work-active nodes only.
+    ///
+    /// Fusing the two stages per node is bit-for-bit equivalent to two
+    /// full passes: a node's VC allocation reads only its own masks and
+    /// slot metadata, while another node's traversal writes land in
+    /// structures invisible until next cycle (double-buffered credit
+    /// cells, calendar buckets ≥ `now + 1`, mailbox outboxes) — and the
+    /// node's state stays hot in cache across both stages. Within a
+    /// node, arbitration order is identical to the seed engine's.
+    fn alloc_and_traverse(&mut self, plan: &EnginePlan<'_>, now: u64) {
         let vcs = plan.cfg.vcs;
+        let dwell = plan.cfg.pipeline_dwell();
         for w in 0..self.work_mask.len() {
             let mut bits = self.work_mask[w];
             while bits != 0 {
                 let node = (w << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                if self.routed_count[node] == 0 {
-                    continue;
-                }
-                let base = self.vc_base[node] as usize;
-                let pb = self.port_base[node] as usize;
-                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
-                for p in 0..usize::from(self.out_ports_of[node]) {
-                    if self.routed_count[node] == 0 {
-                        break;
-                    }
-                    // Only VCs actually Routed for this port, in the same
-                    // round-robin order a full scan from va_rr would use.
-                    let mask = self.routed_mask[pb + p];
-                    if mask == 0 {
-                        continue;
-                    }
-                    let start = usize::from(self.va_rr[pb + p]);
-                    for idx in cyclic_bits(mask, start) {
-                        let m = self.slot_meta[base + idx];
-                        debug_assert_eq!(meta::tag(m), meta::ROUTED);
-                        debug_assert_eq!(meta::out_port(m), p);
-                        debug_assert!(meta::len(m) > 0, "Routed VC holds its head flit");
-                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
-                        let head_packet = head.packet;
-                        let range = plan.vc_range(self.class_of[head_packet as usize]);
-                        let free = range
-                            .clone()
-                            .find(|&v| self.out_holder[(pb + p) * vcs + v].is_none());
-                        if let Some(ovc) = free {
-                            let in_port = self.in_port_of_slot[base + idx];
-                            let in_vc = self.vc_of_slot[base + idx];
-                            self.out_holder[(pb + p) * vcs + ovc] = Some((in_port, in_vc));
-                            self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
-                                | meta::ACTIVE
-                                | ((p as u32) << meta::PORT_SHIFT)
-                                | ((ovc as u32) << meta::OVC_SHIFT);
-                            self.routed_mask[pb + p] &= !(1 << idx);
-                            self.routed_count[node] -= 1;
-                            self.active_mask[pb + p] |= 1 << idx;
-                            self.va_rr[pb + p] = rr_next(idx, total_in_vcs);
+                let c = self.ctl[node];
+                let base = c.vc_base as usize;
+                let pb = c.port_base as usize;
+                let total_in_vcs = usize::from(c.total_in_vcs);
+
+                // --- VC allocation ---
+                if c.routed_count != 0 {
+                    // Ports with routed VCs, ascending — the same ports a
+                    // full 0..out_ports probe would act on.
+                    let mut rp = c.routed_ports;
+                    while rp != 0 {
+                        let p = rp.trailing_zeros() as usize;
+                        rp &= rp - 1;
+                        // Only VCs actually Routed for this port, in the
+                        // same round-robin order a full scan from va_rr
+                        // would use.
+                        let mask = self.routed_mask[pb + p];
+                        let start = usize::from(self.va_rr[pb + p]);
+                        for idx in cyclic_bits(mask, start) {
+                            let m = self.slot_meta[base + idx];
+                            debug_assert_eq!(meta::tag(m), meta::ROUTED);
+                            debug_assert_eq!(meta::out_port(m), p);
+                            debug_assert!(meta::len(m) > 0, "Routed VC holds its head flit");
+                            let head_packet =
+                                self.flit_buf[(base + idx) * self.ring + meta::head(m)].packet;
+                            // Free VCs open to this packet's class, as a
+                            // bitmask: lowest set bit = the VC the range
+                            // scan would have found.
+                            let free = !self.holder_mask[pb + p]
+                                & plan.class_mask(self.class_of[head_packet as usize]);
+                            if free != 0 {
+                                let ovc = free.trailing_zeros() as usize;
+                                self.holder_mask[pb + p] |= 1 << ovc;
+                                self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
+                                    | meta::ACTIVE
+                                    | ((p as u32) << meta::PORT_SHIFT)
+                                    | ((ovc as u32) << meta::OVC_SHIFT);
+                                self.routed_mask[pb + p] &= !(1 << idx);
+                                self.ctl[node].routed_count -= 1;
+                                self.active_mask[pb + p] |= 1 << idx;
+                                self.ctl[node].active_ports |= 1 << p;
+                                self.va_rr[pb + p] = rr_next(idx, total_in_vcs);
+                            }
+                        }
+                        if self.routed_mask[pb + p] == 0 {
+                            self.ctl[node].routed_ports &= !(1 << p);
                         }
                     }
                 }
-            }
-        }
-    }
 
-    /// Stage 5: switch allocation + traversal, one flit per out-port and
-    /// per in-port per cycle, work-active nodes only.
-    fn switch_traversal(&mut self, plan: &EnginePlan<'_>, now: u64) {
-        let vcs = plan.cfg.vcs;
-        for w in 0..self.work_mask.len() {
-            let mut bits = self.work_mask[w];
-            while bits != 0 {
-                let node = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
+                // --- switch allocation + traversal ---
                 // The seed engine zeroes this for every node during its
                 // full emission scan; here the reset rides the switch
                 // stage of active nodes (quiescent nodes have no flits to
                 // arbitrate, so their stale masks are unobservable).
-                self.in_port_used[node] = 0;
-                let base = self.vc_base[node] as usize;
-                let pb = self.port_base[node] as usize;
-                let total_in_vcs = usize::from(self.total_in_vcs_of[node]);
-                for p in 0..usize::from(self.out_ports_of[node]) {
+                self.ctl[node].in_port_used = 0;
+                let mut ap = self.ctl[node].active_ports;
+                while ap != 0 {
+                    let p = ap.trailing_zeros() as usize;
+                    ap &= ap - 1;
                     // Only VCs actually Active on this port, in the same
                     // round-robin order a full scan from sa_rr would use.
                     let mask = self.active_mask[pb + p];
-                    if mask == 0 {
-                        continue;
-                    }
                     let start = usize::from(self.sa_rr[pb + p]);
-                    let mut winner: Option<(usize, u8)> = None;
+                    let opi = self.out_port_info[pb + p];
+                    let mut winner: Option<(usize, u8, u32)> = None;
                     for idx in cyclic_bits(mask, start) {
                         let m = self.slot_meta[base + idx];
                         debug_assert_eq!(meta::tag(m), meta::ACTIVE);
                         debug_assert_eq!(meta::out_port(m), p);
                         let in_port = usize::from(self.in_port_of_slot[base + idx]);
-                        if self.in_port_used[node] & (1 << in_port) != 0 {
+                        if self.ctl[node].in_port_used & (1 << in_port) != 0 {
                             continue;
                         }
                         if meta::len(m) == 0 {
@@ -1131,47 +1310,45 @@ impl ShardState {
                             // forwarded (body flits still in transit).
                             continue;
                         }
-                        let head = &self.flit_buf[(base + idx) * self.ring + meta::head(m)];
-                        if head.ready > now {
+                        let ready = self.flit_buf[(base + idx) * self.ring + meta::head(m)].ready;
+                        if ready > now {
                             continue;
                         }
                         let out_vc = meta::out_vc(m);
                         if p > 0 {
-                            let lid = self.link_of_out_port[pb + p] as usize;
-                            if self.credits[lid * vcs + out_vc] == 0 {
+                            let lid = opi.link as usize;
+                            if self.credits[lid * vcs + out_vc].normalize(now) == 0 {
                                 continue;
                             }
                         }
-                        winner = Some((idx, out_vc as u8));
+                        winner = Some((idx, out_vc as u8, m));
                         break;
                     }
-                    let Some((idx, out_vc)) = winner else {
+                    let Some((idx, out_vc, wm)) = winner else {
                         continue;
                     };
                     self.sa_rr[pb + p] = rr_next(idx, total_in_vcs);
-                    let flit = self.pop_flit(base + idx);
-                    self.buffered[node] -= 1;
-                    if self.buffered[node] == 0 {
+                    let flit = self.pop_flit_meta(base + idx, wm);
+                    self.ctl[node].buffered -= 1;
+                    if self.ctl[node].buffered == 0 {
                         self.clear_work(node);
                     }
                     let in_port = usize::from(self.in_port_of_slot[base + idx]);
-                    self.in_port_used[node] |= 1 << in_port;
+                    self.ctl[node].in_port_used |= 1 << in_port;
                     self.stats.router_flits[usize::from(self.global_of_node[node])] += 1;
 
                     // Return a credit upstream for the slot we just freed;
                     // an injection-port pop re-arms a parked source. A
                     // boundary upstream gets its credit by mail (applied
                     // during the exchange phase — the same next-cycle
-                    // visibility as the local pending list).
+                    // visibility as the local pending half of the cell).
                     if in_port > 0 {
-                        let pi = self.in_port_base[node] as usize + in_port;
-                        let up = self.link_of_in_port[pi] as usize;
-                        let cred = (up * vcs + usize::from(self.vc_of_slot[base + idx])) as u32;
-                        let owner = usize::from(self.src_shard_of_in_port[pi]);
+                        let cred = self.credit_of_slot[base + idx] as usize;
+                        let owner = usize::from(self.src_shard_of_slot[base + idx]);
                         if owner == self.id {
-                            self.pending_credits.push(cred);
+                            self.credits[cred].free(now);
                         } else {
-                            self.outbox[owner].credits.push(cred);
+                            self.outbox[owner].credits.push(cred as u32);
                         }
                     } else if self.nodes[node].emitting.is_some()
                         || !self.nodes[node].src_queue.is_empty()
@@ -1211,20 +1388,41 @@ impl ShardState {
                             }
                         }
                     } else {
-                        let lid = self.link_of_out_port[pb + p] as usize;
-                        self.credits[lid * vcs + usize::from(out_vc)] -= 1;
+                        let lid = opi.link as usize;
+                        self.credits[lid * vcs + usize::from(out_vc)].take(now);
                         let pid = flit.packet as usize;
-                        if plan.express_link[lid] {
+                        if opi.express {
                             // Dateline: the packet is class B from here on.
                             self.class_of[pid] = VcClass::PostExpress;
                         }
                         self.stats.link_flits[lid] += 1;
-                        let arrive = now + u64::from(plan.latency_of_link[lid]);
-                        let target = usize::from(self.dst_shard_of_out_port[pb + p]);
+                        let arrive = now + u64::from(opi.latency);
+                        let target = usize::from(opi.dst_shard);
                         if target == self.id {
-                            self.wheel[(arrive & self.wheel_mask) as usize]
-                                .push((lid as u32, out_vc, flit));
-                            self.inflight_arrivals += 1;
+                            if opi.latency == 1 {
+                                // One-cycle links skip the calendar: the
+                                // flit lands in its destination VC at send
+                                // time with the ready cycle the deliver
+                                // stage would have stamped next cycle.
+                                // This is observable-behavior-preserving
+                                // for latency 1 only — the head is marked
+                                // RC-dirty this cycle and route computation
+                                // drains the list next cycle, exactly when
+                                // a calendar delivery at `now + 1` would
+                                // have routed it, and the early-buffered
+                                // flit cannot win arbitration before
+                                // `ready` (nor push its slot's VC state;
+                                // wormhole order is unchanged because a
+                                // link's flits all take this path).
+                                let dst = usize::from(self.arrive_node_of_link[lid]);
+                                let slot =
+                                    self.arrive_slot_of_link[lid] as usize + usize::from(out_vc);
+                                let mut f = flit;
+                                f.ready = now + 2 + dwell;
+                                self.push_flit(dst, slot, f);
+                            } else {
+                                self.wheel_push(arrive, (opi.link, out_vc, flit));
+                            }
                         } else {
                             let info = &self.packets[pid];
                             self.outbox[target].flits.push(BoundaryFlit {
@@ -1242,10 +1440,13 @@ impl ShardState {
                     }
 
                     if flit.is_tail {
-                        self.out_holder[(pb + p) * vcs + usize::from(out_vc)] = None;
+                        self.holder_mask[pb + p] &= !(1 << out_vc);
                         let m = self.slot_meta[base + idx] & meta::STATE_CLEAR;
                         self.slot_meta[base + idx] = m; // back to Idle
                         self.active_mask[pb + p] &= !(1 << idx);
+                        if self.active_mask[pb + p] == 0 {
+                            self.ctl[node].active_ports &= !(1 << p);
+                        }
                         if meta::len(m) > 0 {
                             // The next packet's head is already queued
                             // behind the departed tail: needs RC next
@@ -1277,10 +1478,13 @@ impl ShardState {
 
     /// Ingests one incoming bundle: applies boundary credits and books
     /// boundary flits into the local calendar wheel, minting local packet
-    /// handles for arriving heads (the exchange phase).
-    pub(crate) fn ingest(&mut self, plan: &EnginePlan<'_>, bundle: &mut OutBundle) {
+    /// handles for arriving heads (the exchange phase). `now` is the
+    /// superstep being exchanged: mailbox credits land in the pending
+    /// half of their [`CreditCell`] with this stamp, giving them the
+    /// same next-cycle visibility as locally freed credits.
+    pub(crate) fn ingest(&mut self, plan: &EnginePlan<'_>, bundle: &mut OutBundle, now: u64) {
         for idx in bundle.credits.drain(..) {
-            self.credits[idx as usize] += 1;
+            self.credits[idx as usize].free(now);
         }
         for src in bundle.src_credits.drain(..) {
             self.apply_source_credit(plan, NodeId(src));
@@ -1306,14 +1510,13 @@ impl ShardState {
             debug_assert_ne!(self.remap[key], u32::MAX, "body flit without a head");
             let mut f = m.flit;
             f.packet = self.remap[key];
-            self.wheel[(m.arrive & self.wheel_mask) as usize].push((m.link, m.vc, f));
-            self.inflight_arrivals += 1;
+            self.wheel_push(m.arrive, (m.link, m.vc, f));
             self.active_flits += 1;
         }
     }
 
     /// Drains every mailbox addressed to this shard (the exchange phase).
-    fn collect_inboxes(&mut self, plan: &EnginePlan<'_>, shared: &Shared) {
+    fn collect_inboxes(&mut self, plan: &EnginePlan<'_>, shared: &Shared, now: u64) {
         for &from in &plan.inbox_sources[self.id] {
             let mut scratch = {
                 let mut cell = shared.mail[usize::from(from)][self.id]
@@ -1324,7 +1527,7 @@ impl ShardState {
                 }
                 std::mem::take(&mut *cell)
             };
-            self.ingest(plan, &mut scratch);
+            self.ingest(plan, &mut scratch, now);
             // Return the drained allocation for the sender to reuse.
             let mut cell = shared.mail[usize::from(from)][self.id]
                 .lock()
@@ -1337,13 +1540,31 @@ impl ShardState {
 
     // ---- deadlock triage ------------------------------------------------
 
+    /// Reconstructs which (in-port, in-VC) holds output VC `v` of local
+    /// node `node`'s out-port `p` — cold dump path only; the hot path
+    /// tracks just the packed `holder_mask`.
+    fn holder_of(&self, node: usize, p: usize, v: usize) -> Option<(u8, u8)> {
+        let base = self.ctl[node].vc_base as usize;
+        (0..usize::from(self.ctl[node].total_in_vcs)).find_map(|idx| {
+            let m = self.slot_meta[base + idx];
+            if meta::tag(m) == meta::ACTIVE && meta::out_port(m) == p && meta::out_vc(m) == v {
+                Some((
+                    self.in_port_of_slot[base + idx],
+                    self.vc_of_slot[base + idx],
+                ))
+            } else {
+                None
+            }
+        })
+    }
+
     /// Builds the channel wait-for graph of this shard's stuck state and
     /// prints one cycle if present. Channels are (link, vc) pairs;
     /// injection VCs are virtual channels numbered past the links. With
     /// P > 1 only intra-shard cycles are visible — a genuine cross-shard
     /// cycle shows up as chains ending at boundary links in several
     /// shards' dumps.
-    fn dump_waitfor_cycle(&self, plan: &EnginePlan<'_>) {
+    fn dump_waitfor_cycle(&self, plan: &EnginePlan<'_>, now: u64) {
         let vcs = plan.cfg.vcs;
         let links = plan.topo.links().len();
         let chan = |lid: usize, vc: usize| lid * vcs + vc;
@@ -1351,7 +1572,7 @@ impl ShardState {
         let total = links * vcs + plan.topo.num_nodes() * vcs;
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
         for (node, st) in self.nodes.iter().enumerate() {
-            let base = self.vc_base[node] as usize;
+            let base = self.ctl[node].vc_base as usize;
             for idx in 0..st.in_ports() * vcs {
                 let slot = base + idx;
                 let m = self.slot_meta[slot];
@@ -1370,7 +1591,7 @@ impl ShardState {
                     meta::ACTIVE if out_port > 0 => {
                         let out_vc = meta::out_vc(m);
                         let lid = st.out_links[out_port - 1].index();
-                        if self.credits[lid * vcs + out_vc] == 0 {
+                        if self.credits[lid * vcs + out_vc].peek(now) == 0 {
                             edges[src_chan].push(chan(lid, out_vc));
                         }
                     }
@@ -1378,9 +1599,9 @@ impl ShardState {
                         // Waiting for a held out VC in the packet's class.
                         let head = self.front_flit(slot).expect("nonempty");
                         let range = plan.vc_range(self.class_of[head.packet as usize]);
-                        let pb = self.port_base[node] as usize;
+                        let pb = self.ctl[node].port_base as usize;
                         for v in range {
-                            if self.out_holder[(pb + out_port) * vcs + v].is_some() {
+                            if self.holder_mask[pb + out_port] & (1 << v) != 0 {
                                 let lid = st.out_links[out_port - 1].index();
                                 edges[src_chan].push(chan(lid, v));
                             }
@@ -1452,11 +1673,11 @@ impl ShardState {
     /// Prints every blocked head flit in this shard and why it cannot
     /// progress.
     pub(crate) fn dump_blocked(&self, plan: &EnginePlan<'_>, now: u64) {
-        self.dump_waitfor_cycle(plan);
+        self.dump_waitfor_cycle(plan, now);
         let vcs = plan.cfg.vcs;
         let mut lines = 0;
         for (node, st) in self.nodes.iter().enumerate() {
-            let base = self.vc_base[node] as usize;
+            let base = self.ctl[node].vc_base as usize;
             for idx in 0..st.in_ports() * vcs {
                 let slot = base + idx;
                 let Some(head) = self.front_flit(slot) else {
@@ -1469,9 +1690,8 @@ impl ShardState {
                 let reason = match meta::tag(m) {
                     meta::IDLE => "idle (RC pending)".to_string(),
                     meta::ROUTED => {
-                        let pb = self.port_base[node] as usize;
                         let holders: Vec<String> = (0..vcs)
-                            .map(|v| match self.out_holder[(pb + out_port) * vcs + v] {
+                            .map(|v| match self.holder_of(node, out_port, v) {
                                 None => format!("vc{v}:free"),
                                 Some((ip, iv)) => format!("vc{v}:held({ip},{iv})"),
                             })
@@ -1488,7 +1708,7 @@ impl ShardState {
                                 "active out{} vc{} credits={} ready={}",
                                 out_port,
                                 out_vc,
-                                self.credits[lid.index() * vcs + out_vc],
+                                self.credits[lid.index() * vcs + out_vc].peek(now),
                                 head.ready
                             )
                         }
@@ -1723,7 +1943,7 @@ fn worker_loop(
             shared.barrier.wait();
             // --- superstep: exchange phase ---
             for s in my.iter_mut() {
-                s.collect_inboxes(plan, shared);
+                s.collect_inboxes(plan, shared, now);
             }
         }
         // Publish post-step activity for next cycle's lockstep decision.
@@ -2222,5 +2442,48 @@ mod tests {
         let routes = RoutingTable::compute_xy(&t);
         let sim = ShardedSimulator::with_shard_count(&t, &routes, SimConfig::paper(), 4);
         assert_eq!(sim.num_shards(), 4);
+    }
+
+    #[test]
+    fn credit_cell_defers_freed_credits_to_next_cycle() {
+        let mut c = CreditCell::new(2);
+        assert_eq!(c.normalize(5), 2);
+        c.take(5);
+        assert_eq!(c.peek(5), 1);
+        // A credit freed during cycle 5 is invisible for the rest of
+        // cycle 5 — exactly the old staged-list semantics…
+        c.free(5);
+        assert_eq!(c.normalize(5), 1);
+        assert_eq!(c.peek(5), 1);
+        // …and folds in on any access at a later cycle.
+        assert_eq!(c.peek(6), 2);
+        assert_eq!(c.normalize(8), 2);
+        assert_eq!(c.peek(8), 2);
+    }
+
+    #[test]
+    fn occupancy_bitset_jumps_to_next_bucket() {
+        let t = small_mesh(2, 1);
+        let routes = RoutingTable::compute_xy(&t);
+        let plan = EnginePlan::new(&t, &routes, SimConfig::paper(), Partition::single(&t));
+        let mut s = ShardState::new(&plan, 0);
+        assert_eq!(s.next_arrival_cycle(10), None, "empty calendar");
+        let f = Flit {
+            packet: 0,
+            dst: NodeId(1),
+            is_head: true,
+            is_tail: true,
+            ready: 0,
+        };
+        // An arrival within the wheel's revolution is found from any
+        // earlier cycle in one bitset probe, including across the
+        // bucket-index wrap (cycle 13 lives in a lower bucket than 11).
+        s.wheel_push(13, (0, 0, f));
+        for now in 10..=13 {
+            assert_eq!(s.next_arrival_cycle(now), Some(13), "from {now}");
+        }
+        s.wheel_push(11, (0, 0, f));
+        assert_eq!(s.next_arrival_cycle(10), Some(11));
+        assert_eq!(s.next_arrival_cycle(11), Some(11));
     }
 }

@@ -101,9 +101,9 @@ impl<'a> Simulator<'a> {
     /// cycle boundary.
     pub fn in_network_flits(&self) -> u64 {
         self.shard
-            .buffered
+            .ctl
             .iter()
-            .map(|&b| u64::from(b))
+            .map(|c| u64::from(c.buffered))
             .sum::<u64>()
             + self.shard.inflight_arrivals
     }
@@ -544,7 +544,7 @@ mod tests {
         assert!(sim.shard.rc_dirty.is_empty());
         assert!(sim.shard.wheel.iter().all(|b| b.is_empty()));
         assert_eq!(sim.shard.inflight_arrivals, 0);
-        assert!(sim.shard.buffered.iter().all(|&b| b == 0));
+        assert!(sim.shard.ctl.iter().all(|c| c.buffered == 0));
         assert_eq!(sim.shard.stats.flits_delivered, 32);
     }
 }

@@ -14,6 +14,13 @@
 //!   offered load whose mean latency exceeds a configured multiple of the
 //!   zero-load latency (or whose run no longer completes).
 //!
+//! The [`SweepConfig`] knobs compose: [`SweepConfig::with_shards`]
+//! routes every run through the sharded engine (opening 32×32+ meshes)
+//! and [`SweepConfig::closed_loop`] switches every run to credit-limited
+//! NICs — together they power `repro load_sweep32 --closed-loop WINDOW
+//! --shards P`, the large-mesh accepted-load curves. Results are
+//! bit-for-bit independent of either knob's wall-clock effect.
+//!
 //! Every run is deterministic given its seed, so sweep results — including
 //! the bisection trajectory — are bit-for-bit reproducible.
 
