@@ -7,6 +7,7 @@
 //! cargo run --release -p hyppi-bench --bin repro load_sweep -- --json curves.json
 //! cargo run --release -p hyppi-bench --bin repro load_sweep32 -- --shards 4
 //! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --shards 4
+//! cargo run --release -p hyppi-bench --bin repro fault_sweep -- --json faults.json
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
 
@@ -21,11 +22,10 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-/// Writes the JSON export of a load-sweep dataset when `--json PATH` was
-/// given.
-fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResult) {
+/// Writes a dataset's JSON export when `--json PATH` was given.
+fn maybe_write_json_str(args: &[String], json: &str) {
     if let Some(path) = flag_value(args, "--json") {
-        match std::fs::write(&path, result.to_json()) {
+        match std::fs::write(&path, json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("could not write {path}: {e}");
@@ -33,6 +33,12 @@ fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResul
             }
         }
     }
+}
+
+/// Writes the JSON export of a load-sweep dataset when `--json PATH` was
+/// given.
+fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResult) {
+    maybe_write_json_str(args, &result.to_json());
 }
 
 fn main() {
@@ -182,6 +188,24 @@ fn main() {
             println!("{}", hyppi::experiments::npb32(kernel, shards).render());
         }
     }
+    if arg == "fault_sweep" {
+        // Resilience sweep: K seeded fault samples per fault count, open
+        // and closed loop, 16x16 plus the sharded 32x32 scale-up; minutes
+        // of runtime, on-demand only.
+        ran = true;
+        let shards: usize = flag_value(&args, "--shards")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(4);
+        println!("## Fault sweep — saturation + tails vs. fault count ({shards} shards on 32x32)");
+        let r = hyppi::experiments::fault_sweep(shards);
+        println!("{}", r.render());
+        maybe_write_json_str(&args, &r.to_json());
+    }
     if arg == "sweep-span" {
         ran = true;
         sweep_span();
@@ -209,10 +233,10 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
-             load_sweep, load_sweep32, npb32, sweep-span, sweep-rate, sweep-vcs, \
-             sweep-buffers, sweep-routing (load_sweep/load_sweep32 accept --json PATH; \
-             load_sweep32/npb32 accept --shards N; load_sweep32 accepts \
-             --closed-loop WINDOW; npb32 accepts --kernel FT|CG|MG|LU|all)"
+             load_sweep, load_sweep32, npb32, fault_sweep, sweep-span, sweep-rate, sweep-vcs, \
+             sweep-buffers, sweep-routing (load_sweep/load_sweep32/fault_sweep accept \
+             --json PATH; load_sweep32/npb32/fault_sweep accept --shards N; load_sweep32 \
+             accepts --closed-loop WINDOW; npb32 accepts --kernel FT|CG|MG|LU|all)"
         );
         std::process::exit(2);
     }

@@ -15,6 +15,7 @@
 //! | load sweep (methodology ext.) | [`load_sweep::load_sweep`] | latency-throughput curves + saturation, open- and closed-loop |
 //! | 32×32 load sweep (sharded) | [`load_sweep::load_sweep32`] | large-mesh curves (uniform/transpose + rescaled NPB shapes), open- or closed-loop |
 //! | 32×32 NPB window (sharded) | [`npb::npb32`] | rescaled 1024-rank kernel, shard parity asserted |
+//! | fault sweep (robustness ext.) | [`fault_sweep::fault_sweep`] | saturation + tails vs. fault count, 16×16 and 32×32, open- and closed-loop |
 //!
 //! Every driver is deterministic; the `repro` binary in `crates/bench`
 //! regenerates all of them (the workspace-root `README.md` carries the
@@ -23,6 +24,7 @@
 pub mod ablations;
 pub mod all_optical;
 pub mod design_space;
+pub mod fault_sweep;
 pub mod fig3;
 pub mod load_sweep;
 pub mod npb;
@@ -31,6 +33,10 @@ pub mod tables;
 pub use ablations::{buffer_sensitivity, routing_policy_comparison, vc_sensitivity};
 pub use all_optical::{fig8, table6, Fig8Result};
 pub use design_space::{fig5, table3, table4, DesignPoint, Fig5Result};
+pub use fault_sweep::{
+    fault_curve, fault_sweep, sample_connected, FaultSweepCell, FaultSweepCurve, FaultSweepResult,
+    FAULT_COUNTS_16, FAULT_COUNTS_32, FAULT_PROBE_RATE,
+};
 pub use fig3::{fig3, Fig3Result};
 pub use load_sweep::{
     load_sweep, load_sweep32, sweep_curves, LoadSweepResult, CLOSED_LOOP_WINDOW, SWEEP_MAX_RATE,

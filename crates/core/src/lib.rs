@@ -80,8 +80,9 @@ pub mod prelude {
         SquareMicrometers, TechnologyParams,
     };
     pub use hyppi_topology::{
-        express_mesh, mesh, torus, Coord, ExpressSpec, Link, LinkClass, LinkId, LinkLoads,
-        MeshSpec, NodeId, Partition, RoutingTable, ShardSpec, Topology, ROUTER_PIPELINE_CYCLES,
+        express_mesh, mesh, torus, Coord, ExpressSpec, FaultSpec, Link, LinkClass, LinkId,
+        LinkLoads, MeshSpec, NodeId, Partition, RouteError, RoutingTable, ShardSpec, Topology,
+        ROUTER_PIPELINE_CYCLES,
     };
     pub use hyppi_traffic::{
         packetize_message, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig,

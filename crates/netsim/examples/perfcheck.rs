@@ -13,7 +13,12 @@
 //! all three engines, accepted throughput recorded); and a
 //! shard-scaling section times a 32×32 uniform cell on the sharded
 //! engine (P=1 vs `--shards N`, parity asserted, host parallelism
-//! recorded so single-core CI numbers read honestly). Results are
+//! recorded so single-core CI numbers read honestly); and a fault
+//! section runs a faulty 16×16 cell (dead link + degraded span + dead
+//! router, faults on the quadrant cuts) with bit-for-bit parity asserted
+//! across all three engines, then records compact
+//! saturation-vs-fault-count curves on the 16×16 and 32×32 meshes
+//! (seeded fault samples, up*/down* detour routes). Results are
 //! written to `BENCH_netsim.json` (in the current directory) so future
 //! PRs can track the perf trajectory; the `engine` field names the
 //! optimization round that produced the record (see the README's field
@@ -37,7 +42,7 @@ use hyppi_netsim::{
 };
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, ShardSpec, Topology,
+    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
 use hyppi_traffic::{NpbKernel, NpbTraceSpec, SyntheticPattern, Trace};
 use std::fmt::Write as _;
@@ -142,6 +147,33 @@ impl ShardRecord {
     fn protocol_overhead(&self) -> f64 {
         self.sequential_secs / self.single_secs
     }
+}
+
+/// The fault parity cell: a faulty 16×16 uniform run (dead link +
+/// degraded span + dead router, faults on the quadrant cuts), parity
+/// asserted across all three engines.
+struct FaultRecord {
+    rate: f64,
+    warmup: u64,
+    measure: u64,
+    dead_links: usize,
+    degraded_spans: usize,
+    dead_routers: usize,
+    rerouted_hops: u64,
+    unreachable_pairs: u64,
+    mean_latency: f64,
+    secs: f64,
+}
+
+/// One point of the compact saturation-vs-fault-count record.
+struct FaultSatPoint {
+    mesh: &'static str,
+    fault_count: usize,
+    sample_seed: u64,
+    saturation_load: f64,
+    saturated_in_range: bool,
+    rerouted_hops: u64,
+    unreachable_pairs: u64,
 }
 
 /// Cell filters parsed from `--cells KERNEL[:SPAN],...` or the positional
@@ -337,6 +369,8 @@ fn main() {
     let sweep = run_sweep_section(quick, fast);
     let closed = run_closed_loop_section(quick, fast);
     let shard = run_shard_section(quick, shards);
+    let fault = run_fault_section(quick, fast);
+    let fault_sat = run_fault_saturation_section(quick, shards);
 
     // Machine-readable record for the perf trajectory.
     let mut json = String::new();
@@ -402,6 +436,43 @@ fn main() {
         shard.speedup(),
         shard.protocol_overhead(),
     );
+    let _ = writeln!(
+        json,
+        "  \"fault\": {{ \"mesh\": \"16x16\", \"pattern\": \"uniform\", \"rate\": {:.3}, \"warmup\": {}, \"measure\": {}, \"dead_links\": {}, \"degraded_spans\": {}, \"dead_routers\": {}, \"rerouted_hops\": {}, \"unreachable_pairs\": {}, \"mean_latency\": {:.4}, \"secs\": {:.4} }},",
+        fault.rate,
+        fault.warmup,
+        fault.measure,
+        fault.dead_links,
+        fault.degraded_spans,
+        fault.dead_routers,
+        fault.rerouted_hops,
+        fault.unreachable_pairs,
+        fault.mean_latency,
+        fault.secs,
+    );
+    json.push_str("  \"fault_sweep\": [\n");
+    for (i, p) in fault_sat.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"mesh\": \"{}\", \"fault_count\": {}, \"sample_seed\": {}, \"saturation_load\": {}, \"rerouted_hops\": {}, \"unreachable_pairs\": {} }}",
+            p.mesh,
+            p.fault_count,
+            p.sample_seed,
+            if p.saturated_in_range {
+                format!("{:.4}", p.saturation_load)
+            } else {
+                "null".into()
+            },
+            p.rerouted_hops,
+            p.unreachable_pairs,
+        );
+        json.push_str(if i + 1 == fault_sat.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
@@ -646,4 +717,168 @@ fn run_shard_section(quick: bool, shards: usize) -> ShardRecord {
         record.cycles,
     );
     record
+}
+
+/// The faulty-mesh parity cell: 16×16 uniform with a dead link and a
+/// degraded span on the quadrant cuts plus a dead router, routed with the
+/// fault-avoiding up*/down* table and run on all three engines with
+/// bit-for-bit parity asserted (`--fast` skips the seed engine; the cheap
+/// sharded assert stays). The healthy mesh is installed as the rerouting
+/// baseline, so the record pins the resilience counters too.
+fn run_fault_section(quick: bool, fast: bool) -> FaultRecord {
+    let healthy = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let healthy_routes = RoutingTable::compute_xy(&healthy);
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(3 * 16 + 7), NodeId(3 * 16 + 8))
+        .degraded_span(NodeId(9 * 16 + 7), NodeId(9 * 16 + 8))
+        .dead_router(NodeId(6 * 16 + 8));
+    let dead_links = spec.dead_links.len();
+    let degraded_spans = spec.degraded_spans.len();
+    let dead_routers = spec.dead_routers.len();
+    let topo = spec.apply(&healthy);
+    let routes =
+        RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps the mesh routable");
+    let (rate, warmup, measure) = if quick {
+        (0.10, 100, 400)
+    } else {
+        (0.10, 300, 1200)
+    };
+    let mut cfg = SimConfig::paper();
+    cfg.max_cycles = 2_000_000;
+    let m = SyntheticPattern::Uniform.matrix(&topo, rate);
+
+    let t0 = Instant::now();
+    let stats = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(&healthy, &healthy_routes)
+        .run_synthetic(&m, warmup, measure, 11)
+        .expect("faulty active-set run completes");
+    let secs = t0.elapsed().as_secs_f64();
+    if !fast {
+        let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+            .with_baseline(&healthy, &healthy_routes)
+            .run_synthetic(&m, warmup, measure, 11)
+            .expect("faulty reference run completes");
+        assert_eq!(stats, reference, "fault cell engine parity violated");
+    }
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .with_baseline(&healthy, &healthy_routes)
+        .run_synthetic(&m, warmup, measure, 11)
+        .expect("faulty sharded run completes");
+    assert_eq!(sharded, stats, "fault cell shard parity violated");
+    assert!(stats.rerouted_hops > 0, "dead span must force detours");
+    assert!(
+        stats.unreachable_pairs > 0,
+        "dead router must drop its pairs"
+    );
+
+    let record = FaultRecord {
+        rate,
+        warmup,
+        measure,
+        dead_links,
+        degraded_spans,
+        dead_routers,
+        rerouted_hops: stats.rerouted_hops,
+        unreachable_pairs: stats.unreachable_pairs,
+        mean_latency: stats.mean_latency(),
+        secs,
+    };
+    println!(
+        "FAULT 16x16 uniform r={rate:.2} ({dead_links} dead + {degraded_spans} degraded spans, {dead_routers} dead router): lat {:.1} clks | rerouted {} hops | unreachable {} pkts | {:.2?} | parity OK ({})",
+        record.mean_latency,
+        record.rerouted_hops,
+        record.unreachable_pairs,
+        std::time::Duration::from_secs_f64(record.secs),
+        if fast { "sharded" } else { "seed + sharded" },
+    );
+    record
+}
+
+/// Compact saturation-vs-fault-count record: for each mesh and fault
+/// count, one seeded fault sample (dead-or-degraded spans, resampled on
+/// disconnection) swept to its uniform saturation load, with the
+/// resilience counters probed at a fixed sub-saturation rate. Runs the
+/// quick sweep config in both modes — the full figure lives in
+/// `repro fault_sweep`; this record just tracks the trajectory.
+fn run_fault_saturation_section(quick: bool, shards: usize) -> Vec<FaultSatPoint> {
+    let mut points = Vec::new();
+    let mesh16 = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    points.extend(fault_sat_curve(
+        &mesh16,
+        "16x16",
+        &[0, 4],
+        &SweepConfig::quick(),
+    ));
+    let mesh32 = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let cfg32 = if quick {
+        SweepConfig {
+            warmup: 100,
+            measure: 400,
+            ..SweepConfig::quick()
+        }
+    } else {
+        SweepConfig::quick()
+    }
+    .with_shards(shards);
+    points.extend(fault_sat_curve(&mesh32, "32x32", &[0, 4], &cfg32));
+    points
+}
+
+fn fault_sat_curve(
+    topo: &Topology,
+    mesh_label: &'static str,
+    counts: &[usize],
+    cfg: &SweepConfig,
+) -> Vec<FaultSatPoint> {
+    let healthy_routes = RoutingTable::compute_xy(topo);
+    counts
+        .iter()
+        .map(|&count| {
+            // Seeded sample; disconnecting draws step to a fresh seed
+            // (same rule as the `repro fault_sweep` driver).
+            let mut seed = 0xBEEF + count as u64;
+            let spec = loop {
+                let s = FaultSpec::sample(topo, count, seed);
+                if s.is_empty() || RoutingTable::compute_xy_avoiding(&s.apply(topo)).is_ok() {
+                    break s;
+                }
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            };
+            let run_cfg = if spec.is_empty() {
+                cfg.clone()
+            } else {
+                cfg.clone().faults(spec)
+            };
+            let runner = SweepRunner::new(topo, &healthy_routes, SimConfig::paper(), run_cfg);
+            let gen = |r: f64| SyntheticPattern::Uniform.matrix(topo, r);
+            let sat = runner.find_saturation(&gen, 0.5);
+            let probe = runner.run_point(&gen(0.05));
+            let point = FaultSatPoint {
+                mesh: mesh_label,
+                fault_count: count,
+                sample_seed: seed,
+                saturation_load: sat.saturation_load,
+                saturated_in_range: sat.saturated_in_range,
+                rerouted_hops: probe.rerouted_hops,
+                unreachable_pairs: probe.unreachable_pairs,
+            };
+            println!(
+                "FAULT-SAT {mesh_label} uniform, {count} faults (seed {seed}): saturation {} | rerouted {} hops | unreachable {} pkts",
+                if point.saturated_in_range {
+                    format!("{:.3}", point.saturation_load)
+                } else {
+                    format!("> {:.3}", point.saturation_load)
+                },
+                point.rerouted_hops,
+                point.unreachable_pairs,
+            );
+            point
+        })
+        .collect()
 }

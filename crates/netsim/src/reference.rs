@@ -112,6 +112,10 @@ impl NodeState {
 /// run methods as [`crate::Simulator`], kept only as the parity baseline.
 pub struct ReferenceSimulator<'a> {
     topo: &'a Topology,
+    routes: &'a RoutingTable,
+    /// Healthy-mesh baseline for `SimStats::rerouted_hops` (faulted
+    /// topologies only; see [`ReferenceSimulator::with_baseline`]).
+    baseline: Option<(&'a Topology, &'a RoutingTable)>,
     cfg: SimConfig,
     dateline: bool,
     nodes: Vec<NodeState>,
@@ -159,7 +163,11 @@ impl<'a> ReferenceSimulator<'a> {
                     let mut at = start;
                     while !visited[at.index()] {
                         chain.push(at);
-                        let lid = routes.next_link(at, dst).expect("connected");
+                        // Unreachable pairs (faulted topologies) have no
+                        // next hop; the chain inherits `false` below.
+                        let Some(lid) = routes.next_link(at, dst) else {
+                            break;
+                        };
                         let link = topo.link(lid);
                         if link.is_express() {
                             for &n in &chain {
@@ -188,6 +196,8 @@ impl<'a> ReferenceSimulator<'a> {
         }
         ReferenceSimulator {
             topo,
+            routes,
+            baseline: None,
             cfg,
             dateline,
             buffered: vec![0; nodes.len()],
@@ -206,6 +216,30 @@ impl<'a> ReferenceSimulator<'a> {
             accept_until: u64::MAX,
             stats: SimStats::new(topo.links().len(), topo.num_nodes()),
         }
+    }
+
+    /// Installs the healthy-mesh baseline (topology + routes the faults
+    /// were applied to) so admitted packets are charged
+    /// `SimStats::rerouted_hops` for detours versus the healthy route.
+    pub fn with_baseline(mut self, topo: &'a Topology, routes: &'a RoutingTable) -> Self {
+        assert_eq!(routes.num_nodes(), topo.num_nodes());
+        assert_eq!(topo.num_nodes(), self.topo.num_nodes());
+        self.baseline = Some((topo, routes));
+        self
+    }
+
+    /// Extra hops the faulted route src → dst takes versus the healthy
+    /// baseline route (clamped at zero; zero with no baseline installed).
+    fn extra_hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        let Some((base_topo, base_routes)) = self.baseline else {
+            return 0;
+        };
+        if src == dst || !self.routes.reachable(src, dst) {
+            return 0;
+        }
+        let faulted = u64::from(self.routes.hops(self.topo, src, dst));
+        let healthy = u64::from(base_routes.hops(base_topo, src, dst));
+        faulted.saturating_sub(healthy)
     }
 
     /// Records the post-admission NIC backlog of `node` into the peak
@@ -227,6 +261,21 @@ impl<'a> ReferenceSimulator<'a> {
         match class {
             VcClass::Free | VcClass::PreExpress => 0..b_start,
             VcClass::PostExpress => b_start..self.cfg.vcs,
+        }
+    }
+
+    /// [`Self::vc_range`] restricted to a fault-degraded link: the lowest
+    /// `max(1, half)` VCs of the class — every dateline class stays
+    /// usable, so the class-B escape argument is untouched.
+    #[inline]
+    fn degraded_vc_range(&self, class: VcClass) -> std::ops::Range<usize> {
+        if !self.dateline {
+            return 0..(self.cfg.vcs / 2).max(1);
+        }
+        let b_start = self.cfg.vcs - (self.cfg.vcs / 4).max(1);
+        match class {
+            VcClass::Free | VcClass::PreExpress => 0..(b_start / 2).max(1),
+            VcClass::PostExpress => b_start..b_start + ((self.cfg.vcs - b_start) / 2).max(1),
         }
     }
 
@@ -252,6 +301,12 @@ impl<'a> ReferenceSimulator<'a> {
             while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
                 let e = &trace.events[next_event];
                 next_event += 1;
+                // Faulted topologies: traffic to or from a dead router has
+                // no route — dropped at admission.
+                if !self.routes.reachable(e.src, e.dst) {
+                    self.stats.unreachable_pairs += 1;
+                    continue;
+                }
                 let pid = self.packets.len() as u32;
                 self.packets.push(PacketInfo {
                     src: e.src,
@@ -261,6 +316,7 @@ impl<'a> ReferenceSimulator<'a> {
                     ejected: 0,
                 });
                 self.class_of.push(self.initial_class(e.src, e.dst));
+                self.stats.rerouted_hops += self.extra_hops(e.src, e.dst);
                 self.nodes[e.src.index()].src_queue.push_back(pid);
                 self.pending_sources += 1;
                 self.note_backlog(e.src.index());
@@ -336,6 +392,13 @@ impl<'a> ReferenceSimulator<'a> {
                         if dst == NodeId(src as u16) {
                             continue;
                         }
+                        // The RNG draws already happened, so dropping an
+                        // unreachable pair keeps the sequence aligned with
+                        // the active-set engines.
+                        if !self.routes.reachable(NodeId(src as u16), dst) {
+                            self.stats.unreachable_pairs += 1;
+                            continue;
+                        }
                         let pid = self.packets.len() as u32;
                         let measured = now >= warmup;
                         self.packets.push(PacketInfo {
@@ -347,6 +410,7 @@ impl<'a> ReferenceSimulator<'a> {
                         });
                         self.class_of
                             .push(self.initial_class(NodeId(src as u16), dst));
+                        self.stats.rerouted_hops += self.extra_hops(NodeId(src as u16), dst);
                         self.nodes[src].src_queue.push_back(pid);
                         self.pending_sources += 1;
                         self.note_backlog(src);
@@ -508,6 +572,9 @@ impl<'a> ReferenceSimulator<'a> {
                 if self.nodes[node].routed_count == 0 {
                     break;
                 }
+                // Fault-degraded links expose only the low half of each
+                // class's VCs (the ejection port never degrades).
+                let degraded = p > 0 && self.topo.link(self.nodes[node].out_links[p - 1]).degraded;
                 let start = self.nodes[node].va_rr[p] as usize;
                 for k in 0..total_in_vcs {
                     let idx = (start + k) % total_in_vcs;
@@ -521,7 +588,12 @@ impl<'a> ReferenceSimulator<'a> {
                         continue;
                     };
                     let head_packet = head.packet;
-                    let range = self.vc_range(self.class_of[head_packet as usize]);
+                    let class = self.class_of[head_packet as usize];
+                    let range = if degraded {
+                        self.degraded_vc_range(class)
+                    } else {
+                        self.vc_range(class)
+                    };
                     let free = range
                         .clone()
                         .find(|&v| self.nodes[node].out_holder[p * vcs + v].is_none());

@@ -240,6 +240,8 @@ struct OutPortInfo {
     latency: u8,
     /// Express link (dateline class-B transition on traversal).
     express: bool,
+    /// Fault-degraded link (halved usable-VC set, see `degraded_class_mask`).
+    degraded: bool,
 }
 
 /// Iterator over the set bits of a mask in cyclic (round-robin) order
@@ -300,6 +302,15 @@ pub(crate) struct EnginePlan<'a> {
     pub class_a_mask: u32,
     /// Bitmask of the VCs open to `PostExpress` packets.
     pub class_b_mask: u32,
+    /// `class_a_mask` restricted to a fault-degraded link: the lowest
+    /// `max(1, half)` of the class's VCs (see `degraded_class_mask`).
+    pub degraded_class_a_mask: u32,
+    /// `class_b_mask` restricted to a fault-degraded link.
+    pub degraded_class_b_mask: u32,
+    /// Healthy-mesh topology and routes, present only when simulating a
+    /// faulted topology: used to charge `SimStats::rerouted_hops` for the
+    /// extra hops a packet takes versus its healthy route.
+    pub baseline: Option<(&'a Topology, &'a RoutingTable)>,
     /// `express_on_path[dst][node]`: does the route node→dst cross an
     /// express link? Only populated when the dateline is in force.
     express_on_path: Vec<Vec<bool>>,
@@ -339,7 +350,11 @@ impl<'a> EnginePlan<'a> {
                     let mut at = start;
                     while !visited[at.index()] {
                         chain.push(at);
-                        let lid = routes.next_link(at, dst).expect("connected");
+                        // Unreachable pairs (faulted topologies) have no
+                        // next hop; the chain inherits `false` below.
+                        let Some(lid) = routes.next_link(at, dst) else {
+                            break;
+                        };
                         let link = topo.link(lid);
                         if link.is_express() {
                             // Everything up the chain routes through here.
@@ -424,6 +439,22 @@ impl<'a> EnginePlan<'a> {
         } else {
             (all_vcs, all_vcs)
         };
+        // A degraded link keeps the lowest half of each class's VCs,
+        // rounded down but never below one — every dateline class stays
+        // usable, so the class-B escape argument is untouched.
+        let halve_low = |mask: u32| -> u32 {
+            let keep = (mask.count_ones() / 2).max(1);
+            let mut m = mask;
+            let mut kept = 0u32;
+            let mut out = 0u32;
+            while m != 0 && kept < keep {
+                let low = m & m.wrapping_neg();
+                out |= low;
+                m &= m - 1;
+                kept += 1;
+            }
+            out
+        };
         EnginePlan {
             topo,
             routes,
@@ -433,11 +464,36 @@ impl<'a> EnginePlan<'a> {
             class_b_start,
             class_a_mask,
             class_b_mask,
+            degraded_class_a_mask: halve_low(class_a_mask),
+            degraded_class_b_mask: halve_low(class_b_mask),
+            baseline: None,
             express_on_path,
             in_port_of_link,
             wheel_len,
             inbox_sources: sources,
         }
+    }
+
+    /// Installs the healthy-mesh baseline used to account
+    /// `SimStats::rerouted_hops` on a faulted topology.
+    pub fn set_baseline(&mut self, topo: &'a Topology, routes: &'a RoutingTable) {
+        assert_eq!(routes.num_nodes(), topo.num_nodes());
+        assert_eq!(topo.num_nodes(), self.topo.num_nodes());
+        self.baseline = Some((topo, routes));
+    }
+
+    /// Extra hops the faulted route src → dst takes versus the healthy
+    /// baseline route (clamped at zero; zero with no baseline installed).
+    pub fn extra_hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        let Some((base_topo, base_routes)) = self.baseline else {
+            return 0;
+        };
+        if src == dst || !self.routes.reachable(src, dst) {
+            return 0;
+        }
+        let faulted = u64::from(self.routes.hops(self.topo, src, dst));
+        let healthy = u64::from(base_routes.hops(base_topo, src, dst));
+        faulted.saturating_sub(healthy)
     }
 
     /// VC index range usable by a packet of the given dateline class.
@@ -471,6 +527,17 @@ impl<'a> EnginePlan<'a> {
         match class {
             VcClass::Free | VcClass::PreExpress => self.class_a_mask,
             VcClass::PostExpress => self.class_b_mask,
+        }
+    }
+
+    /// [`Self::class_mask`] restricted to a fault-degraded link: the
+    /// lowest `max(1, half)` VCs of the class. Contiguous-low-bits form,
+    /// so the range scan in the reference engine visits the same VCs.
+    #[inline]
+    pub(crate) fn degraded_class_mask(&self, class: VcClass) -> u32 {
+        match class {
+            VcClass::Free | VcClass::PreExpress => self.degraded_class_a_mask,
+            VcClass::PostExpress => self.degraded_class_b_mask,
         }
     }
 
@@ -780,6 +847,7 @@ impl ShardState {
                 dst_shard: id as u16,
                 latency: 0,
                 express: false,
+                degraded: false,
             });
             for &l in &st.out_links {
                 let link = topo.link(l);
@@ -793,6 +861,7 @@ impl ShardState {
                     dst_shard: plan.partition.link_dst_shard[l.index()],
                     latency: link.latency_cycles as u8,
                     express: link.is_express(),
+                    degraded: link.degraded,
                 });
             }
             total_out_ports += st.out_ports() as u32;
@@ -1028,6 +1097,7 @@ impl ShardState {
         self.nodes[local].src_queue.push_back(pid);
         self.pending_sources += 1;
         self.origin_packets += 1;
+        self.stats.rerouted_hops += plan.extra_hops(src, dst);
         let backlog = self.nodes[local].src_queue.len() as u32
             + u32::from(self.nodes[local].emitting.is_some());
         if backlog > self.stats.peak_backlog[src.index()] {
@@ -1249,6 +1319,9 @@ impl ShardState {
                         // would use.
                         let mask = self.routed_mask[pb + p];
                         let start = usize::from(self.va_rr[pb + p]);
+                        // Fault-degraded links expose only the low half of
+                        // each class's VCs (ejection ports never degrade).
+                        let degraded = self.out_port_info[pb + p].degraded;
                         for idx in cyclic_bits(mask, start) {
                             let m = self.slot_meta[base + idx];
                             debug_assert_eq!(meta::tag(m), meta::ROUTED);
@@ -1259,8 +1332,13 @@ impl ShardState {
                             // Free VCs open to this packet's class, as a
                             // bitmask: lowest set bit = the VC the range
                             // scan would have found.
-                            let free = !self.holder_mask[pb + p]
-                                & plan.class_mask(self.class_of[head_packet as usize]);
+                            let class = self.class_of[head_packet as usize];
+                            let open = if degraded {
+                                plan.degraded_class_mask(class)
+                            } else {
+                                plan.class_mask(class)
+                            };
+                            let free = !self.holder_mask[pb + p] & open;
                             if free != 0 {
                                 let ovc = free.trailing_zeros() as usize;
                                 self.holder_mask[pb + p] |= 1 << ovc;
@@ -1859,10 +1937,19 @@ fn worker_loop(
                 while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
                     let e = &trace.events[next_event];
                     next_event += 1;
+                    let shard = usize::from(plan.partition.shard_of_node[e.src.index()]);
+                    // Faulted topologies: traffic to or from a dead router
+                    // has no route — dropped at admission (owner counts
+                    // it), activating nothing, so fast-forward stays legal.
+                    if !plan.routes.reachable(e.src, e.dst) {
+                        if mine[shard] != usize::MAX {
+                            my[mine[shard]].stats.unreachable_pairs += 1;
+                        }
+                        continue;
+                    }
                     // Any admission (even to another worker's shard)
                     // activates some shard, so nobody may fast-forward.
                     must_step = true;
-                    let shard = usize::from(plan.partition.shard_of_node[e.src.index()]);
                     if mine[shard] != usize::MAX {
                         my[mine[shard]].admit(plan, e.src, e.dst, e.flits, e.cycle);
                     }
@@ -1879,9 +1966,16 @@ fn worker_loop(
                     must_step = true;
                     tables.inject_cycle(&mut rng, now, warmup, |src, dst, inject_cycle| {
                         let shard = usize::from(plan.partition.shard_of_node[src.index()]);
-                        if mine[shard] != usize::MAX {
-                            my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
+                        if mine[shard] == usize::MAX {
+                            return;
                         }
+                        // The RNG draws already happened identically on
+                        // every worker; dropping here keeps the sequence.
+                        if !plan.routes.reachable(src, dst) {
+                            my[mine[shard]].stats.unreachable_pairs += 1;
+                            return;
+                        }
+                        my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
                     });
                 }
             }
@@ -2115,6 +2209,14 @@ impl<'a> ShardedSimulator<'a> {
     /// thread (useful on small hosts — results are identical either way).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs the healthy-mesh baseline (topology + routes the faults
+    /// were applied to) so admitted packets are charged
+    /// [`SimStats::rerouted_hops`] for detours versus the healthy route.
+    pub fn with_baseline(mut self, topo: &'a Topology, routes: &'a RoutingTable) -> Self {
+        self.plan.set_baseline(topo, routes);
         self
     }
 

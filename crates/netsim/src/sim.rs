@@ -68,6 +68,14 @@ impl<'a> Simulator<'a> {
         self.plan.route_uses_express(src, dst)
     }
 
+    /// Installs the healthy-mesh baseline (topology + routes the faults
+    /// were applied to) so admitted packets are charged
+    /// [`SimStats::rerouted_hops`] for detours versus the healthy route.
+    pub fn with_baseline(mut self, topo: &'a Topology, routes: &'a RoutingTable) -> Self {
+        self.plan.set_baseline(topo, routes);
+        self
+    }
+
     // ---- manual stepping (instrumentation API) --------------------------
     //
     // The `run_*` entry points own the clock, fast-forward idle gaps and
@@ -78,8 +86,14 @@ impl<'a> Simulator<'a> {
 
     /// Queues a packet at its source NIC for manual stepping. `cycle` is
     /// the admission timestamp used for latency accounting (pass the
-    /// current cycle).
+    /// current cycle). Mirrors the run loops' admission rule on faulted
+    /// topologies: a pair with no route is dropped and counted in
+    /// [`SimStats::unreachable_pairs`] instead of being queued.
     pub fn admit(&mut self, src: NodeId, dst: NodeId, flits: u32, cycle: u64) {
+        if !self.plan.routes.reachable(src, dst) {
+            self.shard.stats.unreachable_pairs += 1;
+            return;
+        }
         self.shard.admit(&self.plan, src, dst, flits, cycle);
     }
 

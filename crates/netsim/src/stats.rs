@@ -191,6 +191,14 @@ pub struct SimStats {
     pub link_flits: Vec<u64>,
     /// Switch traversals per router (energy accounting), node-id indexed.
     pub router_flits: Vec<u64>,
+    /// Extra hops taken versus the healthy-mesh route, summed over admitted
+    /// packets (clamped at zero per packet). Only counted on fault-aware
+    /// runs, where the engine is given the healthy baseline table; always
+    /// zero otherwise.
+    pub rerouted_hops: u64,
+    /// Packets dropped at admission because the routing table has no path
+    /// for their (src, dst) pair — traffic to or from dead routers.
+    pub unreachable_pairs: u64,
 }
 
 impl SimStats {
@@ -235,6 +243,8 @@ impl SimStats {
         self.flits_delivered += other.flits_delivered;
         self.flits_injected += other.flits_injected;
         self.accepted_flits += other.accepted_flits;
+        self.rerouted_hops += other.rerouted_hops;
+        self.unreachable_pairs += other.unreachable_pairs;
         for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
             *a += b;
         }
@@ -351,9 +361,15 @@ mod tests {
         b.accepted_flits = 3;
         b.peak_backlog[2] = 7;
         b.peak_outstanding[2] = 1;
+        a.rerouted_hops = 2;
+        a.unreachable_pairs = 1;
+        b.rerouted_hops = 3;
+        b.unreachable_pairs = 4;
         a.absorb(&b);
         assert_eq!(a.flits_injected, 15);
         assert_eq!(a.accepted_flits, 9);
+        assert_eq!(a.rerouted_hops, 5);
+        assert_eq!(a.unreachable_pairs, 5);
         assert_eq!(a.peak_backlog, vec![4, 0, 7]);
         assert_eq!(a.peak_outstanding, vec![2, 0, 1]);
         assert_eq!(a.accepted_throughput(3, 3), 1.0);

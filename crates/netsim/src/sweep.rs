@@ -28,7 +28,7 @@ use crate::config::SimConfig;
 use crate::shard::ShardedSimulator;
 use crate::sim::{SimError, Simulator};
 use crate::stats::{LatencyStats, SimStats};
-use hyppi_topology::{RoutingTable, ShardSpec, Topology};
+use hyppi_topology::{FaultSpec, RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -122,6 +122,11 @@ pub struct SweepConfig {
     /// collapsed and the accepted curve has hit its plateau. Unused
     /// open-loop (there the latency multiple is the criterion).
     pub accept_epsilon: f64,
+    /// Fault set applied to the (healthy) sweep topology: every run then
+    /// simulates the faulted mesh with fault-avoiding up*/down* routes,
+    /// charging `SimStats::rerouted_hops` against the healthy baseline.
+    /// `None` (default) sweeps the topology as given.
+    pub faults: Option<FaultSpec>,
 }
 
 impl SweepConfig {
@@ -140,6 +145,7 @@ impl SweepConfig {
             threads: 0,
             max_outstanding: 0,
             accept_epsilon: 0.05,
+            faults: None,
         }
     }
 
@@ -156,6 +162,15 @@ impl SweepConfig {
     pub fn closed_loop(mut self, window: usize) -> Self {
         assert!(window >= 1, "closed-loop window must admit a packet");
         self.max_outstanding = window;
+        self
+    }
+
+    /// Applies a fault set to every run of the sweep (see
+    /// [`SweepConfig::faults`]). [`SweepRunner::new`] panics if the spec
+    /// disconnects live routers — resilience samplers draw a fresh seed
+    /// in that case.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
         self
     }
 
@@ -201,6 +216,12 @@ pub struct LoadPoint {
     pub completed_runs: u32,
     /// False when any seed hit the cycle cap (overloaded/unstable).
     pub stable: bool,
+    /// Extra hops versus the healthy baseline, summed over completed
+    /// seeds (zero on healthy sweeps — see `SimStats::rerouted_hops`).
+    pub rerouted_hops: u64,
+    /// Packets dropped at admission for lack of a route, summed over
+    /// completed seeds (see `SimStats::unreachable_pairs`).
+    pub unreachable_pairs: u64,
 }
 
 impl LoadPoint {
@@ -251,6 +272,10 @@ pub struct LoadCurve {
 pub struct SweepRunner<'a> {
     topo: &'a Topology,
     routes: &'a RoutingTable,
+    /// Faulted topology + fault-avoiding routes when [`SweepConfig::faults`]
+    /// is set; runs then simulate these, with `(topo, routes)` installed as
+    /// the healthy baseline for `SimStats::rerouted_hops`.
+    faulted: Option<(Topology, RoutingTable)>,
     sim: SimConfig,
     cfg: SweepConfig,
 }
@@ -277,9 +302,19 @@ impl<'a> SweepRunner<'a> {
         );
         sim.max_cycles = cfg.run_max_cycles;
         sim.max_outstanding = cfg.max_outstanding;
+        let faulted = match &cfg.faults {
+            Some(spec) if !spec.is_empty() => {
+                let ft = spec.apply(topo);
+                let fr = RoutingTable::compute_xy_avoiding(&ft)
+                    .unwrap_or_else(|e| panic!("fault spec disconnects the sweep mesh: {e}"));
+                Some((ft, fr))
+            }
+            _ => None,
+        };
         SweepRunner {
             topo,
             routes,
+            faulted,
             sim,
             cfg,
         }
@@ -291,22 +326,30 @@ impl<'a> SweepRunner<'a> {
     }
 
     fn run_one(&self, matrix: &TrafficMatrix, seed: u64) -> Result<SimStats, SimError> {
+        // Faulted sweeps simulate the faulted pair with the healthy pair
+        // as the rerouted-hops baseline; healthy sweeps run as given.
+        let (topo, routes, baseline) = match &self.faulted {
+            Some((t, r)) => (t, r, Some((self.topo, self.routes))),
+            None => (self.topo, self.routes, None),
+        };
         if self.cfg.shards > 1 {
-            ShardedSimulator::new(
-                self.topo,
-                self.routes,
+            let mut sim = ShardedSimulator::new(
+                topo,
+                routes,
                 self.sim,
                 ShardSpec::for_count(self.cfg.shards),
             )
-            .with_threads(self.cfg.threads)
-            .run_synthetic(matrix, self.cfg.warmup, self.cfg.measure, seed)
+            .with_threads(self.cfg.threads);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic(matrix, self.cfg.warmup, self.cfg.measure, seed)
         } else {
-            Simulator::new(self.topo, self.routes, self.sim).run_synthetic(
-                matrix,
-                self.cfg.warmup,
-                self.cfg.measure,
-                seed,
-            )
+            let mut sim = Simulator::new(topo, routes, self.sim);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic(matrix, self.cfg.warmup, self.cfg.measure, seed)
         }
     }
 
@@ -317,10 +360,14 @@ impl<'a> SweepRunner<'a> {
         let mut completed = 0u32;
         let mut cycles = 0u64;
         let mut accepted_flits = 0u64;
+        let mut rerouted_hops = 0u64;
+        let mut unreachable_pairs = 0u64;
         for stats in outcomes.iter().flatten() {
             latency.merge(&stats.all);
             cycles += stats.cycles;
             accepted_flits += stats.accepted_flits;
+            rerouted_hops += stats.rerouted_hops;
+            unreachable_pairs += stats.unreachable_pairs;
             completed += 1;
         }
         let stable = completed as usize == outcomes.len();
@@ -343,6 +390,8 @@ impl<'a> SweepRunner<'a> {
             cycles,
             completed_runs: completed,
             stable,
+            rerouted_hops,
+            unreachable_pairs,
         }
     }
 
@@ -499,7 +548,7 @@ impl<'a> SweepRunner<'a> {
 mod tests {
     use super::*;
     use hyppi_phys::{Gbps, LinkTechnology};
-    use hyppi_topology::{mesh, MeshSpec};
+    use hyppi_topology::{mesh, MeshSpec, NodeId};
     use hyppi_traffic::SyntheticPattern;
 
     fn small_mesh(w: u16, h: u16) -> Topology {
@@ -691,6 +740,48 @@ mod tests {
         // left the offered-load diagonal.
         let past = runner.run_point(&gen((a.saturation_load * 1.5).min(1.0)));
         assert!(past.accepted < past.offered * (1.0 - runner.config().accept_epsilon));
+    }
+
+    #[test]
+    fn faulted_sweep_reports_resilience_counters() {
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let spec = FaultSpec::none()
+            .dead_link(NodeId(5), NodeId(6))
+            .degraded_span(NodeId(9), NodeId(10));
+        let faulted = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::quick().faults(spec),
+        );
+        let p = faulted.run_point(&gen(0.10));
+        assert!(p.stable);
+        assert!(p.rerouted_hops > 0, "dead link never forced a detour");
+        assert_eq!(p.unreachable_pairs, 0, "no dead routers in this spec");
+        // A healthy runner on the same grid reports zeros.
+        let healthy = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let hp = healthy.run_point(&gen(0.10));
+        assert_eq!(hp.rerouted_hops, 0);
+        assert_eq!(hp.unreachable_pairs, 0);
+        // Faults cost latency at equal load.
+        assert!(p.mean_latency() >= hp.mean_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnects the sweep mesh")]
+    fn faulted_sweep_rejects_disconnecting_spec() {
+        // Killing both horizontal spans of a 2×2 mesh splits the live
+        // nodes into two connected components — an unroutable spec.
+        let topo = small_mesh(2, 2);
+        let routes = RoutingTable::compute_xy(&topo);
+        let cfg = SweepConfig::quick().faults(
+            FaultSpec::none()
+                .dead_link(NodeId(0), NodeId(1))
+                .dead_link(NodeId(2), NodeId(3)),
+        );
+        let _ = SweepRunner::new(&topo, &routes, SimConfig::paper(), cfg);
     }
 
     #[test]

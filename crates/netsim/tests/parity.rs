@@ -8,10 +8,12 @@
 //! implementation; any intentional microarchitectural change must land in
 //! both engines.
 
-use hyppi_netsim::{ReferenceSimulator, SimConfig, Simulator};
+use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator};
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::NodeId;
-use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
+use hyppi_topology::{
+    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, RoutingTable, Topology,
+};
 use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
 
 /// Plain electronic mesh.
@@ -145,6 +147,56 @@ fn assert_synthetic_parity_cfg(
 
 fn assert_synthetic_parity(topo: &Topology, seed: u64, label: &str) {
     assert_synthetic_parity_cfg(topo, 0.08, seed, SimConfig::paper(), label);
+}
+
+/// Faulted-mesh trace cell: apply `spec` to `healthy`, route around the
+/// faults with the up*/down* table, run both engines with the healthy
+/// baseline installed, and pin bit-for-bit equality.
+fn assert_fault_trace_parity(
+    healthy: &Topology,
+    spec: &FaultSpec,
+    trace: &Trace,
+    cfg: SimConfig,
+    label: &str,
+) -> SimStats {
+    let healthy_routes = RoutingTable::compute_xy(healthy);
+    let topo = spec.apply(healthy);
+    let routes = RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps mesh routable");
+    let new = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(healthy, &healthy_routes)
+        .run_trace(trace)
+        .expect("active-set engine completes");
+    let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+        .with_baseline(healthy, &healthy_routes)
+        .run_trace(trace)
+        .expect("reference engine completes");
+    assert_eq!(new, reference, "faulted trace parity diverged: {label}");
+    new
+}
+
+/// Faulted-mesh synthetic cell (same parity rule, Bernoulli injection).
+fn assert_fault_synthetic_parity(
+    healthy: &Topology,
+    spec: &FaultSpec,
+    rate: f64,
+    seed: u64,
+    cfg: SimConfig,
+    label: &str,
+) -> SimStats {
+    let healthy_routes = RoutingTable::compute_xy(healthy);
+    let topo = spec.apply(healthy);
+    let routes = RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps mesh routable");
+    let m = uniform_matrix(&topo, rate);
+    let new = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(healthy, &healthy_routes)
+        .run_synthetic(&m, 150, 600, seed)
+        .expect("active-set engine completes");
+    let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+        .with_baseline(healthy, &healthy_routes)
+        .run_synthetic(&m, 150, 600, seed)
+        .expect("reference engine completes");
+    assert_eq!(new, reference, "faulted synthetic parity diverged: {label}");
+    new
 }
 
 /// The fixture matrix from the issue: ≥3 seeds × {plain mesh, express
@@ -336,5 +388,99 @@ fn histogram_parity_under_contention() {
     assert!(new.all.p50() < new.all.p99());
     for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
         assert_eq!(new.all.percentile(q), reference.all.percentile(q));
+    }
+}
+
+/// Faulted plain mesh, trace-driven: dead links (detours), a degraded
+/// span (raised latency + halved VCs), and a dead router (admission
+/// drops) must all stay bit-for-bit across the engines — and the new
+/// resilience counters must actually fire.
+#[test]
+fn trace_parity_faulted_plain_mesh() {
+    let healthy = plain_mesh(8, 8);
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(27), NodeId(28))
+        .dead_link(NodeId(12), NodeId(20))
+        .degraded_span(NodeId(35), NodeId(36))
+        .dead_router(NodeId(45));
+    for seed in [2u64, 13] {
+        let trace = fixture_trace(&healthy, seed, 500);
+        let stats = assert_fault_trace_parity(
+            &healthy,
+            &spec,
+            &trace,
+            SimConfig::paper(),
+            &format!("faulted plain 8x8, seed {seed}"),
+        );
+        assert!(stats.unreachable_pairs > 0, "dead-router traffic never hit");
+        assert!(stats.rerouted_hops > 0, "dead links never forced a detour");
+        assert_eq!(
+            stats.all.count + stats.unreachable_pairs,
+            500,
+            "every trace event is either delivered or dropped"
+        );
+    }
+}
+
+/// Faulted express mesh: a dead regular span plus a *degraded express
+/// span* — the halved-VC discipline must keep at least one VC in each
+/// dateline class, and the up*/down* detours must coexist with the
+/// class-B transition.
+#[test]
+fn trace_parity_faulted_express_mesh() {
+    let healthy = express(16, 2, 5);
+    let elink = healthy
+        .links()
+        .iter()
+        .find(|l| l.is_express())
+        .expect("express mesh has express links");
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(3), NodeId(4))
+        .degraded_span(elink.src, elink.dst);
+    for seed in [8u64, 21] {
+        let trace = fixture_trace(&healthy, seed, 400);
+        let stats = assert_fault_trace_parity(
+            &healthy,
+            &spec,
+            &trace,
+            SimConfig::paper(),
+            &format!("faulted express 16x2 span 5, seed {seed}"),
+        );
+        assert_eq!(stats.unreachable_pairs, 0, "no dead routers in this cell");
+        assert_eq!(stats.all.count, 400);
+    }
+}
+
+/// Faulted synthetic cells, open loop and closed loop: the admission-time
+/// drop must not consume RNG draws (P=1 vs reference would diverge) and
+/// must not occupy closed-loop window slots.
+#[test]
+fn synthetic_parity_faulted_mesh_open_and_closed_loop() {
+    let healthy = plain_mesh(6, 6);
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(14), NodeId(15))
+        .degraded_span(NodeId(20), NodeId(26))
+        .dead_router(NodeId(28));
+    let open = assert_fault_synthetic_parity(
+        &healthy,
+        &spec,
+        0.08,
+        31,
+        SimConfig::paper(),
+        "faulted plain 6x6 open loop",
+    );
+    assert!(open.unreachable_pairs > 0);
+    assert!(open.rerouted_hops > 0);
+    for window in [1usize, 4] {
+        let closed = assert_fault_synthetic_parity(
+            &healthy,
+            &spec,
+            0.30,
+            9 + window as u64,
+            SimConfig::paper_closed_loop(window),
+            &format!("faulted plain 6x6 closed loop, window {window}"),
+        );
+        assert!(closed.unreachable_pairs > 0);
+        assert!(closed.accepted_flits > 0);
     }
 }

@@ -13,7 +13,7 @@
 use hyppi_netsim::{ShardedSimulator, SimConfig, SimStats, Simulator};
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
 use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
 
@@ -309,6 +309,93 @@ fn oversubscribed_workers_match_single_shard() {
                 sharded, single,
                 "oversubscribed parity diverged: grid {}x{} on {threads} threads, window {}",
                 spec.sx, spec.sy, cfg.max_outstanding
+            );
+        }
+    }
+}
+
+/// Faults sitting exactly on the shard cut lines: a dead span and a
+/// degraded span across the x = 7↔8 column cut (a boundary of every
+/// grid in `GRIDS`), a dead span across the y = 7↔8 row cut of the 2×2
+/// and 4×2 grids, and a dead router in the first column east of the
+/// x-cut. Boundary classification must stay correct — a dead boundary
+/// link simply never exists in the ingest tables, a degraded one mails
+/// its flits with the raised latency — and the resilience counters must
+/// absorb across shards exactly like the other statistics.
+#[test]
+fn trace_parity_faulted_16x16_faults_on_cuts() {
+    let healthy = paper_mesh();
+    let healthy_routes = RoutingTable::compute_xy(&healthy);
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(3 * 16 + 7), NodeId(3 * 16 + 8))
+        .degraded_span(NodeId(9 * 16 + 7), NodeId(9 * 16 + 8))
+        .dead_link(NodeId(7 * 16 + 5), NodeId(8 * 16 + 5))
+        .dead_router(NodeId(6 * 16 + 8));
+    let topo = spec.apply(&healthy);
+    let routes = RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps mesh routable");
+    let cfg = SimConfig::paper();
+    let trace = fixture_trace(&healthy, 17, 700);
+    let single = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(&healthy, &healthy_routes)
+        .run_trace(&trace)
+        .expect("single-shard engine completes");
+    assert!(
+        single.unreachable_pairs > 0,
+        "dead-router traffic never hit"
+    );
+    assert!(single.rerouted_hops > 0, "cut faults never forced a detour");
+    for grid in GRIDS {
+        for threads in [1, 0] {
+            let sharded = ShardedSimulator::new(&topo, &routes, cfg, grid)
+                .with_threads(threads)
+                .with_baseline(&healthy, &healthy_routes)
+                .run_trace(&trace)
+                .expect("sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "faulted-cut trace parity diverged: grid {}x{}, threads {threads}",
+                grid.sx, grid.sy
+            );
+        }
+    }
+}
+
+/// Closed-loop synthetic cell on the faulted express mesh, with a
+/// *degraded express link* that leaps over the x = 7↔8 column cut: the
+/// halved class-B VC set, the dateline transition, the mailbox flit
+/// exchange and the cross-shard source-credit return all interact.
+#[test]
+fn closed_loop_faulted_express_parity_on_cut() {
+    let healthy = paper_express(5);
+    let healthy_routes = RoutingTable::compute_xy(&healthy);
+    let cut_express = healthy
+        .links()
+        .iter()
+        .find(|l| l.is_express() && (l.src.0 % 16) < 8 && (l.dst.0 % 16) >= 8)
+        .expect("a span-5 express link crosses the column cut");
+    let spec = FaultSpec::none()
+        .degraded_span(cut_express.src, cut_express.dst)
+        .dead_link(NodeId(5 * 16 + 7), NodeId(5 * 16 + 8));
+    let topo = spec.apply(&healthy);
+    let routes = RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps mesh routable");
+    let cfg = SimConfig::paper_closed_loop(4);
+    let m = uniform_matrix(&topo, 0.25);
+    let single = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(&healthy, &healthy_routes)
+        .run_synthetic(&m, 150, 500, 23)
+        .expect("single-shard engine completes");
+    assert!(single.accepted_flits > 0);
+    for grid in GRIDS {
+        for threads in [1, 0] {
+            let sharded = ShardedSimulator::new(&topo, &routes, cfg, grid)
+                .with_threads(threads)
+                .with_baseline(&healthy, &healthy_routes)
+                .run_synthetic(&m, 150, 500, 23)
+                .expect("sharded engine completes");
+            assert_eq!(
+                sharded, single,
+                "faulted express closed-loop parity diverged: grid {}x{}, threads {threads}",
+                grid.sx, grid.sy
             );
         }
     }

@@ -113,6 +113,7 @@ impl Topology {
             length,
             latency_cycles,
             capacity,
+            degraded: false,
         });
         self.out[src.index()].push(id);
         self.inc[dst.index()].push(id);
@@ -153,6 +154,11 @@ impl Topology {
     /// Count of links matching a predicate.
     pub fn count_links(&self, pred: impl Fn(&Link) -> bool) -> usize {
         self.links.iter().filter(|l| pred(l)).count()
+    }
+
+    /// Marks a link degraded (used by [`FaultSpec::apply`](crate::FaultSpec::apply)).
+    pub fn set_degraded(&mut self, id: LinkId) {
+        self.links[id.index()].degraded = true;
     }
 }
 

@@ -19,6 +19,7 @@
 //! technique used in the BookSim 2.0 simulator for custom networks".
 
 pub mod build;
+pub mod fault;
 pub mod graph;
 pub mod ids;
 pub mod link;
@@ -27,9 +28,10 @@ pub mod routing;
 pub mod shard;
 
 pub use build::{express_mesh, mesh, torus, ExpressSpec, MeshSpec};
+pub use fault::FaultSpec;
 pub use graph::Topology;
 pub use ids::{Coord, LinkId, NodeId};
 pub use link::{Link, LinkClass, ROUTER_PIPELINE_CYCLES};
 pub use loads::LinkLoads;
-pub use routing::RoutingTable;
+pub use routing::{RouteError, RoutingTable};
 pub use shard::{Partition, ShardSpec};

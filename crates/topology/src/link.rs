@@ -40,6 +40,10 @@ pub struct Link {
     pub latency_cycles: u32,
     /// Data capacity.
     pub capacity: Gbps,
+    /// Whether a fault spec marked this link degraded (raised latency and
+    /// halved usable VCs). Healthy builders always leave this `false`;
+    /// [`FaultSpec::apply`](crate::FaultSpec::apply) sets it.
+    pub degraded: bool,
 }
 
 impl Link {
@@ -84,6 +88,7 @@ mod tests {
             length: Micrometers::from_mm(3.0),
             latency_cycles: 2,
             capacity: Gbps::new(50.0),
+            degraded: false,
         };
         assert!(l.is_express());
         let r = Link {

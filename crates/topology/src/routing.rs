@@ -1,18 +1,63 @@
-//! Deterministic oblivious shortest-path routing.
+//! Deterministic oblivious routing, healthy and fault-aware.
 //!
 //! The paper adopts "an oblivious shortest-path routing method … in order to
 //! match the routing technique used in the BookSim 2.0 simulator for custom
-//! networks". We implement it as one reverse Dijkstra per destination with
-//! the per-hop cost `router pipeline (3 cycles) + link latency (1 or 2)`,
-//! yielding a per-node next-hop table. Ties are broken deterministically by
-//! link id, which (given builder creation order) prefers regular mesh links
-//! and produces dimension-ordered-looking staircase routes.
+//! networks". Per-hop cost is always `router pipeline (3 cycles) + link
+//! latency`, and every variant yields a per-(node, destination) next-hop
+//! table with deterministic link-id tie-breaks. Three table builders:
+//!
+//! * [`RoutingTable::compute_xy`] — the production rule for healthy meshes:
+//!   X-then-Y. A packet first finishes all horizontal movement within its
+//!   source row (a row-restricted Dijkstra, so span-3/5/15 express links
+//!   are taken exactly where they lower the cost), then descends the
+//!   destination column. Combined with the express-dateline VC discipline
+//!   in `hyppi-netsim` this is deadlock-free.
+//! * [`RoutingTable::compute_xy_avoiding`] — the fault-aware variant for
+//!   topologies produced by [`FaultSpec::apply`](crate::FaultSpec::apply).
+//!   It uses the **up\*/down\*** turn model: links are oriented by a BFS
+//!   spanning order, every route is zero or more "up" moves followed by
+//!   zero or more "down" moves, and the down→up turn is prohibited. That
+//!   single prohibited turn makes the channel dependency graph acyclic on
+//!   *any* surviving topology (express links and degraded spans
+//!   included), and it routes every pair of live routers in a connected
+//!   component — only genuinely disconnecting fault sets are reported as
+//!   [`RouteError::Unreachable`]. Routers with no surviving links are
+//!   *dead* and exempt (engines drop their traffic at admission).
+//! * [`RoutingTable::compute`] — unrestricted shortest paths, used by the
+//!   static analyses.
 
 use crate::graph::Topology;
 use crate::ids::{LinkId, NodeId};
 use crate::link::ROUTER_PIPELINE_CYCLES;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Failure modes of fault-aware route computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The fault set disconnects two live routers: no route from `src`
+    /// to `dst` exists (up*/down* is complete within a connected
+    /// component, so this only fires on genuine disconnection).
+    Unreachable {
+        /// Live router that cannot reach `dst`.
+        src: NodeId,
+        /// Live router unreachable from `src`.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "fault set leaves no route from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// All-pairs next-hop routing table.
 #[derive(Debug, Clone)]
@@ -70,6 +115,112 @@ impl RoutingTable {
             }
         }
         RoutingTable { n, next, dist }
+    }
+
+    /// Computes a fault-aware **up\*/down\*** table for a (possibly
+    /// faulted) topology, e.g. one produced by
+    /// [`FaultSpec::apply`](crate::FaultSpec::apply).
+    ///
+    /// Nodes get a total order `(BFS level, id)` — one BFS per live
+    /// component, rooted at its lowest-id node. A directed link is *up*
+    /// when it decreases that order and *down* when it increases it.
+    /// Every route is up-moves first, then down-moves: per destination,
+    /// a node that reaches it on the down-subnetwork takes its Dijkstra
+    /// next hop there; a node that cannot takes its cheapest up first hop
+    /// (targets sit earlier in the order, so their entries are already
+    /// final). A packet that has made a down move is at a node whose
+    /// down-distance is finite, so the table never turns it back up —
+    /// the down→up turn is structurally impossible.
+    ///
+    /// Deadlock freedom: up channels form an acyclic dependency graph
+    /// (the order strictly decreases), down channels likewise (it
+    /// strictly increases), and the only transition is up → down — the
+    /// classic up*/down* argument, valid for any surviving topology,
+    /// express links and degraded spans included. The engines' dateline
+    /// VC discipline composes on top exactly as for healthy tables.
+    ///
+    /// Completeness: the component root reaches every component node via
+    /// down tree edges, and every non-root node has an up link (its BFS
+    /// parent), so **all live pairs within a component route**. A fault
+    /// set that splits the live routers into ≥ 2 components is rejected
+    /// with [`RouteError::Unreachable`]. Routers with no surviving links
+    /// are **dead**: pairs involving them stay unroutable (`next_link` =
+    /// `None`) without being an error — engines drop such traffic at
+    /// admission and count it in `unreachable_pairs`.
+    pub fn compute_xy_avoiding(topo: &Topology) -> Result<Self, RouteError> {
+        let n = topo.num_nodes();
+        let live: Vec<bool> = topo
+            .nodes()
+            .map(|v| !topo.outgoing(v).is_empty() || !topo.incoming(v).is_empty())
+            .collect();
+        // BFS levels over the undirected graph, one BFS per live component
+        // (components other than the first only matter to produce a clean
+        // Unreachable error below).
+        let mut level = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in topo.nodes() {
+            if !live[root.index()] || level[root.index()] != u32::MAX {
+                continue;
+            }
+            level[root.index()] = 0;
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                let lu = level[u.index()];
+                for &lid in topo.outgoing(u).iter().chain(topo.incoming(u)) {
+                    let l = topo.link(lid);
+                    let w = if l.src == u { l.dst } else { l.src };
+                    if level[w.index()] == u32::MAX {
+                        level[w.index()] = lu + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let ord = |v: NodeId| (level[v.index()], v.0);
+        // Down-subnetwork: links that increase the (level, id) order.
+        let down = Self::restricted(topo, |_, l| ord(l.dst) > ord(l.src));
+        // Ascending order: an up link's target entry is already final.
+        let mut order: Vec<NodeId> = topo.nodes().collect();
+        order.sort_by_key(|&v| ord(v));
+        let mut next = vec![vec![None; n]; n];
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for dst in topo.nodes() {
+            let di = dst.index();
+            for &node in &order {
+                let ni = node.index();
+                if node == dst {
+                    dist[di][ni] = 0;
+                    continue;
+                }
+                if down.dist[di][ni] != u32::MAX {
+                    next[di][ni] = down.next[di][ni];
+                    dist[di][ni] = down.dist[di][ni];
+                    continue;
+                }
+                // Down-unreachable: cheapest up first hop.
+                for &lid in topo.outgoing(node) {
+                    let link = topo.link(lid);
+                    if ord(link.dst) > ord(link.src) {
+                        continue; // down link
+                    }
+                    let tail = dist[di][link.dst.index()];
+                    if tail == u32::MAX {
+                        continue;
+                    }
+                    let cand = tail + ROUTER_PIPELINE_CYCLES + link.latency_cycles;
+                    let better = cand < dist[di][ni]
+                        || (cand == dist[di][ni] && next[di][ni].is_some_and(|cur| lid < cur));
+                    if better {
+                        dist[di][ni] = cand;
+                        next[di][ni] = Some(lid);
+                    }
+                }
+                if next[di][ni].is_none() && live[ni] && live[di] {
+                    return Err(RouteError::Unreachable { src: node, dst });
+                }
+            }
+        }
+        Ok(RoutingTable { n, next, dist })
     }
 
     /// Computes a table restricted to links accepted by `allow`, leaving
@@ -160,6 +311,14 @@ impl RoutingTable {
         self.next[dst.index()][node.index()]
     }
 
+    /// Whether the table routes `src` to `dst`. Always true for healthy
+    /// tables; false for pairs a fault-aware table left unroutable (dead
+    /// endpoints).
+    #[inline]
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.next[dst.index()][src.index()].is_some()
+    }
+
     /// Total path cost in clock cycles (router pipelines + link latencies
     /// for every traversed hop).
     #[inline]
@@ -182,9 +341,21 @@ impl RoutingTable {
         path
     }
 
-    /// Number of hops (links traversed) from `src` to `dst`.
+    /// Number of hops (links traversed) from `src` to `dst`. Unlike
+    /// [`path`](Self::path) this never allocates, so engines can afford it
+    /// per admitted packet when accounting rerouted hops.
     pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> u32 {
-        self.path(topo, src, dst).len() as u32
+        let mut at = src;
+        let mut hops = 0u32;
+        while at != dst {
+            let lid = self
+                .next_link(at, dst)
+                .expect("connected topology always has a next hop");
+            at = topo.link(lid).dst;
+            hops += 1;
+            debug_assert!(hops as usize <= self.n, "routing loop detected");
+        }
+        hops
     }
 
     /// Number of nodes the table covers.
@@ -371,5 +542,153 @@ mod tests {
         assert_eq!(r.cost(NodeId(7), NodeId(7)), 0);
         assert!(r.next_link(NodeId(7), NodeId(7)).is_none());
         assert!(r.path(&t, NodeId(7), NodeId(7)).is_empty());
+    }
+
+    // --- fault-aware up*/down* routing ---
+
+    use crate::fault::FaultSpec;
+
+    fn mesh4() -> Topology {
+        mesh(MeshSpec {
+            width: 4,
+            height: 4,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: hyppi_phys::Gbps::new(50.0),
+        })
+    }
+
+    #[test]
+    fn avoiding_routes_all_pairs_on_healthy_mesh() {
+        let t = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let xy = RoutingTable::compute_xy(&t);
+        let ud = RoutingTable::compute_xy_avoiding(&t).expect("healthy mesh routes");
+        for a in [0u16, 5, 100, 255, 240, 15] {
+            for b in [0u16, 9, 77, 254, 15, 240] {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert!(ud.reachable(a, b));
+                // Up*/down* paths are a subset of all paths, so their cost
+                // is bounded below by the shortest-path (= XY) cost.
+                assert!(ud.cost(a, b) >= xy.cost(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_detours_around_dead_link() {
+        let healthy = mesh4();
+        // Row 1 is 4-5-6-7; kill the 5–6 span.
+        let t = FaultSpec::none()
+            .dead_link(NodeId(5), NodeId(6))
+            .apply(&healthy);
+        let r = RoutingTable::compute_xy_avoiding(&t).expect("still connected");
+        let path = r.path(&t, NodeId(4), NodeId(7));
+        assert!(path.len() > 3, "must detour, got {} hops", path.len());
+        for &lid in &path {
+            let l = t.link(lid);
+            assert!(
+                (l.src, l.dst) != (NodeId(5), NodeId(6))
+                    && (l.src, l.dst) != (NodeId(6), NodeId(5))
+            );
+        }
+        // Every live pair routes.
+        for s in t.nodes() {
+            for d in t.nodes() {
+                assert!(r.reachable(s, d), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_tolerates_dead_router() {
+        let healthy = mesh4();
+        let t = FaultSpec::none().dead_router(NodeId(5)).apply(&healthy);
+        let r = RoutingTable::compute_xy_avoiding(&t).expect("live nodes stay connected");
+        // Pairs touching the dead router are unroutable, not an error.
+        assert!(!r.reachable(NodeId(0), NodeId(5)));
+        assert!(!r.reachable(NodeId(5), NodeId(0)));
+        // Its neighbours detour around it: 4 -> 6 is 2 hops healthy, 4 faulted.
+        assert_eq!(r.hops(&t, NodeId(4), NodeId(6)), 4);
+        for s in t.nodes() {
+            for d in t.nodes() {
+                if s != NodeId(5) && d != NodeId(5) {
+                    assert!(r.reachable(s, d), "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_rejects_disconnecting_faults() {
+        let healthy = mesh(MeshSpec {
+            width: 2,
+            height: 2,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: hyppi_phys::Gbps::new(50.0),
+        });
+        // Killing both horizontal spans splits the mesh into two live columns.
+        let t = FaultSpec::none()
+            .dead_link(NodeId(0), NodeId(1))
+            .dead_link(NodeId(2), NodeId(3))
+            .apply(&healthy);
+        let err = RoutingTable::compute_xy_avoiding(&t).unwrap_err();
+        let RouteError::Unreachable { src, dst } = err;
+        assert_ne!(src, dst);
+    }
+
+    #[test]
+    fn avoiding_paths_are_consistent_on_faulted_express_mesh() {
+        let healthy = express_mesh(
+            MeshSpec::paper(LinkTechnology::Electronic),
+            ExpressSpec {
+                span: 5,
+                tech: LinkTechnology::Hyppi,
+            },
+        );
+        let t = FaultSpec::none()
+            .dead_link(NodeId(100), NodeId(101))
+            .dead_router(NodeId(37))
+            .degraded_span(NodeId(7), NodeId(8))
+            .apply(&healthy);
+        let r = RoutingTable::compute_xy_avoiding(&t).expect("connected");
+        for s in [0u16, 36, 99, 102, 255, 240, 15] {
+            for d in [0u16, 38, 101, 255, 15, 240, 129] {
+                let (s, d) = (NodeId(s), NodeId(d));
+                if s == d {
+                    continue;
+                }
+                // Only pairs touching the dead router are unroutable.
+                assert_eq!(r.reachable(s, d), s != NodeId(37) && d != NodeId(37));
+                if !r.reachable(s, d) {
+                    continue;
+                }
+                // Loop-free (path() debug-asserts length ≤ n) and the
+                // advertised cost equals the sum of per-hop costs.
+                let path = r.path(&t, s, d);
+                let mut seen = vec![false; t.num_nodes()];
+                let mut cost = 0;
+                for &lid in &path {
+                    let l = t.link(lid);
+                    assert!(!seen[l.src.index()], "revisited {} on {s}->{d}", l.src);
+                    seen[l.src.index()] = true;
+                    cost += ROUTER_PIPELINE_CYCLES + l.latency_cycles;
+                }
+                assert_eq!(cost, r.cost(s, d), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_latency_raises_route_cost() {
+        let healthy = mesh4();
+        let t = FaultSpec::none()
+            .degraded_span(NodeId(0), NodeId(1))
+            .apply(&healthy);
+        let r = RoutingTable::compute_xy_avoiding(&t).expect("connected");
+        let h = RoutingTable::compute_xy(&healthy);
+        // 0 -> 1: the direct link now costs 3 + (1+2) = 6, and any detour
+        // costs more — either way the faulted cost exceeds the healthy 4.
+        assert!(r.cost(NodeId(0), NodeId(1)) > h.cost(NodeId(0), NodeId(1)));
     }
 }
