@@ -7,6 +7,8 @@
 //! cargo run --release -p hyppi-bench --bin repro load_sweep -- --json curves.json
 //! cargo run --release -p hyppi-bench --bin repro load_sweep32 -- --shards 4
 //! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --shards 4
+//! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --save cg.snap
+//! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --resume cg.snap
 //! cargo run --release -p hyppi-bench --bin repro fault_sweep -- --json faults.json
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
@@ -120,8 +122,9 @@ fn main() {
         // Cycle-accurate and ~200 simulations deep: on-demand only, like
         // the ablations.
         ran = true;
+        let cold = args.iter().any(|a| a == "--cold");
         println!("## Load sweep — latency-throughput curves + saturation loads");
-        let r = hyppi::experiments::load_sweep();
+        let r = hyppi::experiments::load_sweep(cold);
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
@@ -156,7 +159,8 @@ fn main() {
             ),
             None => println!("## Load sweep 32x32 — sharded engine, {shards} shards"),
         }
-        let r = hyppi::experiments::load_sweep32(shards, closed_loop);
+        let cold = args.iter().any(|a| a == "--cold");
+        let r = hyppi::experiments::load_sweep32(shards, closed_loop, cold);
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
@@ -183,9 +187,57 @@ fn main() {
                     std::process::exit(2);
                 })],
         };
+        let save = flag_value(&args, "--save");
+        let resume = flag_value(&args, "--resume");
+        if (save.is_some() || resume.is_some()) && kernels.len() != 1 {
+            eprintln!("--save/--resume checkpoint a single kernel (pass --kernel FT|CG|MG|LU)");
+            std::process::exit(2);
+        }
         println!("## NPB 32x32 — rescaled 1024-rank windows, sharded engine ({shards} shards)");
         for kernel in kernels {
-            println!("{}", hyppi::experiments::npb32(kernel, shards).render());
+            if let Some(path) = &save {
+                // Run to the window's midpoint, write the checkpoint, stop.
+                let (snap, stop) = hyppi::experiments::npb32_save(kernel, shards);
+                if let Err(e) = std::fs::write(path, snap.bytes()) {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "saved {kernel} 32x32 checkpoint at cycle {stop} to {path} ({} bytes); \
+                     complete it with: repro npb32 --kernel {kernel} --resume {path}",
+                    snap.size_bytes()
+                );
+            } else if let Some(path) = &resume {
+                // Restore a --save checkpoint (any shard count) and finish.
+                let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("could not read {path}: {e}");
+                    std::process::exit(1);
+                });
+                let snap = Snapshot::from_bytes(bytes).unwrap_or_else(|e| {
+                    eprintln!("{path} is not a simulator snapshot: {e}");
+                    std::process::exit(1);
+                });
+                let from = snap.now();
+                let cell =
+                    hyppi::experiments::npb32_resume(kernel, shards, &snap).unwrap_or_else(|e| {
+                        eprintln!("{path} does not checkpoint this run: {e}");
+                        std::process::exit(1);
+                    });
+                println!(
+                    "{} 32x32 ({} shards, resumed from cycle {from}): lat {:.2} clks \
+                     (p50 {} p99 {}) | {} pkts | {} flits | {} cycles",
+                    cell.kernel,
+                    cell.shards,
+                    cell.latency_clks,
+                    cell.p50,
+                    cell.p99,
+                    cell.packets,
+                    cell.flits,
+                    cell.cycles
+                );
+            } else {
+                println!("{}", hyppi::experiments::npb32(kernel, shards).render());
+            }
         }
     }
     if arg == "fault_sweep" {
@@ -201,8 +253,9 @@ fn main() {
                 })
             })
             .unwrap_or(4);
+        let cold = args.iter().any(|a| a == "--cold");
         println!("## Fault sweep — saturation + tails vs. fault count ({shards} shards on 32x32)");
-        let r = hyppi::experiments::fault_sweep(shards);
+        let r = hyppi::experiments::fault_sweep(shards, cold);
         println!("{}", r.render());
         maybe_write_json_str(&args, &r.to_json());
     }
@@ -236,7 +289,9 @@ fn main() {
              load_sweep, load_sweep32, npb32, fault_sweep, sweep-span, sweep-rate, sweep-vcs, \
              sweep-buffers, sweep-routing (load_sweep/load_sweep32/fault_sweep accept \
              --json PATH; load_sweep32/npb32/fault_sweep accept --shards N; load_sweep32 \
-             accepts --closed-loop WINDOW; npb32 accepts --kernel FT|CG|MG|LU|all)"
+             accepts --closed-loop WINDOW; sweeps accept --cold to disable warm-start \
+             anchoring; npb32 accepts --kernel FT|CG|MG|LU|all and \
+             --save/--resume PATH checkpointing)"
         );
         std::process::exit(2);
     }

@@ -332,16 +332,22 @@ pub const SAMPLES_32: usize = 2;
 /// fault count on the paper's 16×16 mesh and the 32×32 scale-up (sharded
 /// engine), open- and closed-loop. Every fault set is seeded, so the whole
 /// dataset is reproducible bit-for-bit.
-pub fn fault_sweep(shards: usize) -> FaultSweepResult {
+///
+/// `cold` (`repro fault_sweep --cold`) disables warm-start anchoring,
+/// re-running the warm-up phase at every probed load.
+pub fn fault_sweep(shards: usize, cold: bool) -> FaultSweepResult {
     let mut curves = Vec::new();
     let mesh16 = mesh(MeshSpec::paper(LinkTechnology::Electronic));
-    let cfg16 = SweepConfig {
+    let mut cfg16 = SweepConfig {
         // Fault cells are saturation searches; the load grid of the load
         // sweep is not re-probed here, so a coarser bisection keeps the
         // counts × samples × modes fan-out affordable.
         tolerance: 0.02,
         ..SweepConfig::paper()
     };
+    if cold {
+        cfg16 = cfg16.cold();
+    }
     curves.push(fault_curve(
         &mesh16,
         "mesh16 open-loop",
@@ -359,7 +365,7 @@ pub fn fault_sweep(shards: usize) -> FaultSweepResult {
         &cfg16.clone().closed_loop(CLOSED_LOOP_WINDOW),
     ));
     let mesh32 = super::npb::mesh32();
-    let cfg32 = SweepConfig {
+    let mut cfg32 = SweepConfig {
         // Same scale-down as `load_sweep32`: shorter windows (the 1024-node
         // mesh measures ~4× the packets per cycle), batch-thread execution,
         // sharded runs.
@@ -370,6 +376,9 @@ pub fn fault_sweep(shards: usize) -> FaultSweepResult {
         ..SweepConfig::paper()
     }
     .with_shards(shards);
+    if cold {
+        cfg32 = cfg32.cold();
+    }
     curves.push(fault_curve(
         &mesh32,
         "mesh32 open-loop",

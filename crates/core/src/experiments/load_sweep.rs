@@ -237,8 +237,15 @@ pub const CLOSED_LOOP_WINDOW: usize = 32;
 /// saturation plateau instead of tracking offered load. Every underlying
 /// run is deterministic, so the whole dataset is reproducible
 /// bit-for-bit.
-pub fn load_sweep() -> LoadSweepResult {
-    let cfg = SweepConfig::paper();
+///
+/// Sweeps are warm-started by default (one warm-up per pattern × seed,
+/// snapshot-resumed per rate — see `docs/SNAPSHOT_FORMAT.md`); `cold`
+/// (`repro load_sweep --cold`) re-runs the warm-up at every grid point.
+pub fn load_sweep(cold: bool) -> LoadSweepResult {
+    let mut cfg = SweepConfig::paper();
+    if cold {
+        cfg = cfg.cold();
+    }
     let plain = mesh(MeshSpec::paper(LinkTechnology::Electronic));
     let mut patterns = SyntheticPattern::DEFAULT_SWEEP.to_vec();
     patterns.extend(NpbKernel::ALL.map(SyntheticPattern::Npb));
@@ -295,7 +302,10 @@ pub fn load_sweep() -> LoadSweepResult {
 /// flattens at the 1024-node saturation plateau instead of tracking
 /// offered load, which is what makes the large-mesh curves readable
 /// past the knee.
-pub fn load_sweep32(shards: usize, closed_loop: Option<usize>) -> LoadSweepResult {
+///
+/// `cold` (`repro load_sweep32 --cold`) disables warm-start anchoring,
+/// re-running the warm-up phase at every grid point.
+pub fn load_sweep32(shards: usize, closed_loop: Option<usize>, cold: bool) -> LoadSweepResult {
     let mut cfg = SweepConfig {
         // The 1024-node mesh is ~4× the per-cycle work of the paper mesh;
         // a slightly shorter window keeps the full sweep affordable while
@@ -310,6 +320,9 @@ pub fn load_sweep32(shards: usize, closed_loop: Option<usize>) -> LoadSweepResul
         ..SweepConfig::paper()
     }
     .with_shards(shards);
+    if cold {
+        cfg = cfg.cold();
+    }
     let label = match closed_loop {
         Some(window) => {
             cfg = cfg.closed_loop(window);

@@ -42,5 +42,7 @@ pub use load_sweep::{
     load_sweep, load_sweep32, sweep_curves, LoadSweepResult, CLOSED_LOOP_WINDOW, SWEEP_MAX_RATE,
     SWEEP_RATES,
 };
-pub use npb::{fig6, npb32, npb32_cell, table5, Fig6Result, Npb32Cell, Table5Result};
+pub use npb::{
+    fig6, npb32, npb32_cell, npb32_resume, npb32_save, table5, Fig6Result, Npb32Cell, Table5Result,
+};
 pub use tables::{table1, table2};

@@ -8,7 +8,9 @@
 
 use crate::table::TextTable;
 use hyppi_analytic::{dynamic_energy_joules, parallel_map, NocModel};
-use hyppi_netsim::{EnergyCounts, ShardedSimulator, SimConfig, Simulator};
+use hyppi_netsim::{
+    EnergyCounts, RunOutcome, ShardedSimulator, SimConfig, SimError, Simulator, Snapshot,
+};
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
 use hyppi_traffic::{NpbKernel, NpbTraceSpec, ScaledNpbSpec, Trace};
@@ -176,8 +178,7 @@ pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell 
     let topo = mesh32();
     assert_eq!(usize::from(trace.num_nodes), topo.num_nodes());
     let routes = RoutingTable::compute_xy(&topo);
-    let mut cfg = SimConfig::paper();
-    cfg.max_cycles = 20_000_000; // deadlock guard for the big mesh
+    let cfg = npb32_config();
     let single = Simulator::new(&topo, &routes, cfg)
         .run_trace(trace)
         .expect("P=1 engine completes the scaled NPB window");
@@ -203,6 +204,61 @@ pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell 
 pub fn npb32(kernel: NpbKernel, shards: usize) -> Npb32Cell {
     let trace = ScaledNpbSpec::mesh32(kernel).default_window();
     npb32_cell(kernel, shards, &trace)
+}
+
+/// The engine plan every `npb32` leg runs under (shared so the save and
+/// resume legs of a checkpointed run cannot drift apart).
+fn npb32_config() -> SimConfig {
+    let mut cfg = SimConfig::paper();
+    cfg.max_cycles = 20_000_000; // deadlock guard for the big mesh
+    cfg
+}
+
+/// The `repro npb32 --save` leg: runs `kernel`'s default rescaled window
+/// through the sharded engine up to the window's midpoint cycle and
+/// returns the paused engine [`Snapshot`] plus the pause cycle. The
+/// snapshot is partition-independent — `--resume` may use any shard
+/// count (see `docs/SNAPSHOT_FORMAT.md`).
+pub fn npb32_save(kernel: NpbKernel, shards: usize) -> (Snapshot, u64) {
+    let trace = ScaledNpbSpec::mesh32(kernel).default_window();
+    let stop = trace.events.last().map(|e| e.cycle / 2).unwrap_or(0).max(1);
+    let topo = mesh32();
+    let routes = RoutingTable::compute_xy(&topo);
+    let outcome = ShardedSimulator::with_shard_count(&topo, &routes, npb32_config(), shards)
+        .run_trace_until(&trace, stop)
+        .expect("scaled NPB window simulates");
+    match outcome {
+        RunOutcome::Paused(snap) => (snap, stop),
+        RunOutcome::Finished(_) => {
+            unreachable!("the window extends past its own midpoint cycle")
+        }
+    }
+}
+
+/// The `repro npb32 --resume` leg: restores a [`npb32_save`] snapshot
+/// under `shards` shards and completes the window. The snapshot's plan
+/// and trace fingerprints reject a checkpoint from a different kernel
+/// or configuration.
+pub fn npb32_resume(
+    kernel: NpbKernel,
+    shards: usize,
+    snap: &Snapshot,
+) -> Result<Npb32Cell, SimError> {
+    let trace = ScaledNpbSpec::mesh32(kernel).default_window();
+    let topo = mesh32();
+    let routes = RoutingTable::compute_xy(&topo);
+    let stats = ShardedSimulator::with_shard_count(&topo, &routes, npb32_config(), shards)
+        .resume_trace(snap, &trace)?;
+    Ok(Npb32Cell {
+        kernel,
+        shards,
+        latency_clks: stats.mean_latency(),
+        p50: stats.all.p50(),
+        p99: stats.all.p99(),
+        packets: stats.all.count,
+        flits: stats.flits_delivered,
+        cycles: stats.cycles,
+    })
 }
 
 /// One Table V row: total dynamic energy for the FT benchmark.
@@ -354,6 +410,29 @@ mod tests {
         // The stretched LU wavefront is 2 hops: zero-load-ish latency.
         assert!(cell.latency_clks >= 11.0, "latency {}", cell.latency_clks);
         assert!(cell.render().contains("parity OK"));
+    }
+
+    #[test]
+    fn npb32_checkpoint_roundtrip_on_a_scaled_slice() {
+        // The --save/--resume legs run the full default window (repro
+        // only); pin the machinery — pause mid-window under P=4, resume
+        // under P=1 — on the same reduced LU slice, against an
+        // uninterrupted run.
+        let trace = ScaledNpbSpec::mesh32(NpbKernel::Lu).trace_window(1, 0.25);
+        let topo = mesh32();
+        let routes = RoutingTable::compute_xy(&topo);
+        let stop = trace.events.last().expect("slice is non-empty").cycle / 2 + 1;
+        let snap = ShardedSimulator::with_shard_count(&topo, &routes, npb32_config(), 4)
+            .run_trace_until(&trace, stop)
+            .expect("slice simulates")
+            .expect_paused();
+        let resumed = ShardedSimulator::with_shard_count(&topo, &routes, npb32_config(), 1)
+            .resume_trace(&snap, &trace)
+            .expect("resume completes");
+        let whole = Simulator::new(&topo, &routes, npb32_config())
+            .run_trace(&trace)
+            .expect("whole run completes");
+        assert_eq!(resumed, whole);
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub mod prelude {
         ElectricalLinkModel, OpticalLinkModel, RouterConfig, RouterModel, TechNode,
     };
     pub use hyppi_netsim::{
-        EnergyCounts, LatencyStats, LoadCurve, LoadPoint, ReferenceSimulator, SaturationSearch,
-        ShardedSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
+        EnergyCounts, LatencyStats, LoadCurve, LoadPoint, ReferenceSimulator, RunOutcome,
+        SaturationSearch, ShardedSimulator, SimConfig, SimError, SimStats, Simulator, Snapshot,
+        SnapshotError, SweepConfig, SweepRunner,
     };
     pub use hyppi_optical::{
         all_optical_projection, AllOpticalDesign, OpticalRouterModel, PortKind, RadarPoint,

@@ -13,7 +13,11 @@
 //! all three engines, accepted throughput recorded); and a
 //! shard-scaling section times a 32×32 uniform cell on the sharded
 //! engine (P=1 vs `--shards N`, parity asserted, host parallelism
-//! recorded so single-core CI numbers read honestly); and a fault
+//! recorded so single-core CI numbers read honestly); a snapshot
+//! section pins the checkpoint/restore splice (pause + resume ==
+//! uninterrupted, restored on all three engines) and records snapshot
+//! bytes/node, save/restore µs, and the warm-start sweep multiple on
+//! the 16×16 rate grid (see `docs/SNAPSHOT_FORMAT.md`); and a fault
 //! section runs a faulty 16×16 cell (dead link + degraded span + dead
 //! router, faults on the quadrant cuts) with bit-for-bit parity asserted
 //! across all three engines, then records compact
@@ -146,6 +150,39 @@ impl ShardRecord {
 
     fn protocol_overhead(&self) -> f64 {
         self.sequential_secs / self.single_secs
+    }
+}
+
+/// Checkpoint/restore measurements: snapshot size and save/restore
+/// micro-costs on a mid-run 16×16 cell, a splice parity cell (pause +
+/// resume == uninterrupted, restored across engines), and the
+/// warm-start sweep speedup on the 16×16 rate grid.
+struct SnapshotRecord {
+    mesh: &'static str,
+    snapshot_bytes: usize,
+    bytes_per_node: f64,
+    /// Mean serialization cost of one full-state snapshot, µs.
+    save_us: f64,
+    /// Mean decode + engine-rebuild cost of one restore, µs.
+    restore_us: f64,
+    grid_rates: usize,
+    seeds: usize,
+    warmup: u64,
+    measure: u64,
+    /// Wall time of the rate grid with per-point warm-up re-runs.
+    cold_grid_secs: f64,
+    /// Wall time of the same grid warm-started from cached anchors
+    /// (anchor construction included).
+    warm_grid_secs: f64,
+    /// Simulated-cycle work ratio cold/warm — deterministic, unlike the
+    /// wall-clock ratio, which parallel scheduling can flatten on
+    /// many-core hosts (the grid fans out wider than the anchor phase).
+    work_multiple: f64,
+}
+
+impl SnapshotRecord {
+    fn wall_speedup(&self) -> f64 {
+        self.cold_grid_secs / self.warm_grid_secs
     }
 }
 
@@ -369,6 +406,7 @@ fn main() {
     let sweep = run_sweep_section(quick, fast);
     let closed = run_closed_loop_section(quick, fast);
     let shard = run_shard_section(quick, shards);
+    let snapshot = run_snapshot_section(quick, fast);
     let fault = run_fault_section(quick, fast);
     let fault_sat = run_fault_saturation_section(quick, shards);
 
@@ -435,6 +473,23 @@ fn main() {
         shard.sequential_secs,
         shard.speedup(),
         shard.protocol_overhead(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{ \"mesh\": \"{}\", \"pattern\": \"uniform\", \"snapshot_bytes\": {}, \"bytes_per_node\": {:.1}, \"save_usecs\": {:.1}, \"restore_usecs\": {:.1}, \"grid_rates\": {}, \"seeds\": {}, \"warmup\": {}, \"measure\": {}, \"cold_grid_secs\": {:.4}, \"warm_grid_secs\": {:.4}, \"wall_speedup\": {:.4}, \"warm_start_multiple\": {:.4} }},",
+        snapshot.mesh,
+        snapshot.snapshot_bytes,
+        snapshot.bytes_per_node,
+        snapshot.save_us,
+        snapshot.restore_us,
+        snapshot.grid_rates,
+        snapshot.seeds,
+        snapshot.warmup,
+        snapshot.measure,
+        snapshot.cold_grid_secs,
+        snapshot.warm_grid_secs,
+        snapshot.wall_speedup(),
+        snapshot.work_multiple,
     );
     let _ = writeln!(
         json,
@@ -715,6 +770,149 @@ fn run_shard_section(quick: bool, shards: usize) -> ShardRecord {
         record.protocol_overhead(),
         record.packets,
         record.cycles,
+    );
+    record
+}
+
+/// The checkpoint/restore section. Three measurements on the paper's
+/// 16×16 mesh:
+///
+/// 1. **Splice parity cell** — run uniform traffic to the middle of the
+///    measurement window, snapshot, and finish from the snapshot on the
+///    active-set, quadrant-sharded and (unless `fast`) seed engines;
+///    all must match the uninterrupted run bit for bit. This is the
+///    cell CI's `--quick` smoke pins on every push.
+/// 2. **Save/restore micro-costs** — mean µs to serialize one full-state
+///    snapshot and to decode + rebuild an engine from it, plus bytes
+///    per node.
+/// 3. **Warm-start sweep speedup** — the 16×16 uniform rate grid run
+///    cold (per-point warm-up re-runs) vs warm-started from cached
+///    anchors. Wall seconds are recorded for the human; the asserted
+///    `warm_start_multiple` is the *simulated-cycle* work ratio, which
+///    is deterministic — the wall ratio flattens on many-core hosts
+///    because the grid fans out wider than the anchor phase.
+fn run_snapshot_section(quick: bool, fast: bool) -> SnapshotRecord {
+    let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let (warmup, measure, seeds, rates): (u64, u64, Vec<u64>, Vec<f64>) = if quick {
+        (200, 100, vec![11], vec![0.05, 0.10, 0.15, 0.20])
+    } else {
+        (
+            400,
+            200,
+            vec![11, 42],
+            vec![0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.20, 0.25],
+        )
+    };
+
+    // 1. Splice parity: pause mid-measurement, resume on every engine.
+    let m = SyntheticPattern::Uniform.matrix(&topo, 0.10);
+    let split = warmup + measure / 2;
+    let whole = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, seeds[0])
+        .expect("uninterrupted run completes");
+    let snap = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic_until(&m, warmup, measure, seeds[0], split)
+        .expect("run to the split cycle completes")
+        .expect_paused();
+    let resumed = Simulator::new(&topo, &routes, cfg)
+        .resume_synthetic(&snap, &m, warmup, measure, seeds[0])
+        .expect("active-set resume completes");
+    assert_eq!(resumed, whole, "snapshot splice parity violated");
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .resume_synthetic(&snap, &m, warmup, measure, seeds[0])
+        .expect("sharded resume completes");
+    assert_eq!(sharded, whole, "snapshot shard-restore parity violated");
+    if !fast {
+        let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+            .resume_synthetic(&snap, &m, warmup, measure, seeds[0])
+            .expect("seed-engine resume completes");
+        assert_eq!(reference, whole, "snapshot seed-restore parity violated");
+    }
+
+    // 2. Save/restore micro-costs on the mid-run snapshot.
+    let reps = 20u32;
+    let t0 = Instant::now();
+    let mut sim = None;
+    for _ in 0..reps {
+        sim = Some(
+            Simulator::new(&topo, &routes, cfg)
+                .restore(&snap)
+                .expect("mid-run snapshot restores"),
+        );
+    }
+    let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    let sim = sim.expect("at least one restore ran");
+    let t1 = Instant::now();
+    let mut resaved = sim.snapshot(split);
+    for _ in 1..reps {
+        resaved = sim.snapshot(split);
+    }
+    let save_us = t1.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    assert_eq!(
+        resaved.size_bytes(),
+        snap.size_bytes(),
+        "re-exported snapshot changed size"
+    );
+
+    // 3. Warm vs cold rate grid.
+    let sweep_cfg = SweepConfig {
+        warmup,
+        measure,
+        seeds: seeds.clone(),
+        ..SweepConfig::quick()
+    };
+    let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+    let cold_runner = SweepRunner::new(&topo, &routes, cfg, sweep_cfg.clone().cold());
+    let t2 = Instant::now();
+    let cold_points = cold_runner.run_grid(&gen, &rates);
+    let cold_grid_secs = t2.elapsed().as_secs_f64();
+    let warm_runner = SweepRunner::new(&topo, &routes, cfg, sweep_cfg);
+    let t3 = Instant::now();
+    let warm_points = warm_runner.run_grid(&gen, &rates);
+    let warm_grid_secs = t3.elapsed().as_secs_f64();
+
+    let runs = (rates.len() * seeds.len()) as u32;
+    let completed: u32 = warm_points.iter().map(|p| p.completed_runs).sum();
+    assert_eq!(completed, runs, "warm grid run hit the cycle cap");
+    let cold_work: u64 = cold_points.iter().map(|p| p.cycles).sum();
+    let warm_cycles: u64 = warm_points.iter().map(|p| p.cycles).sum();
+    // Anchors simulate [0, warmup] once per seed; each resumed run then
+    // simulates (final_now - warmup). LoadPoint cycles record final_now.
+    let warm_work = seeds.len() as u64 * warmup + (warm_cycles - u64::from(runs) * warmup);
+    let work_multiple = cold_work as f64 / warm_work as f64;
+    assert!(
+        work_multiple >= 1.2,
+        "warm-start work multiple {work_multiple:.2} below the 1.2x floor"
+    );
+
+    let record = SnapshotRecord {
+        mesh: "16x16",
+        snapshot_bytes: snap.size_bytes(),
+        bytes_per_node: snap.size_bytes() as f64 / f64::from(snap.num_nodes()),
+        save_us,
+        restore_us,
+        grid_rates: rates.len(),
+        seeds: seeds.len(),
+        warmup,
+        measure,
+        cold_grid_secs,
+        warm_grid_secs,
+        work_multiple,
+    };
+    println!(
+        "SNAPSHOT 16x16 uniform: {} B ({:.0} B/node) | save {save_us:.0} us, restore {restore_us:.0} us | grid {} rates x {} seeds: cold {cold_grid_secs:.2}s vs warm {warm_grid_secs:.2}s (wall {:.2}x, work {work_multiple:.2}x) | splice parity OK ({})",
+        record.snapshot_bytes,
+        record.bytes_per_node,
+        record.grid_rates,
+        record.seeds,
+        record.wall_speedup(),
+        if fast {
+            "active-set + sharded"
+        } else {
+            "all three engines"
+        },
     );
     record
 }

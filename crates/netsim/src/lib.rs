@@ -124,7 +124,29 @@
 //! the window bounds latency). Both engines share the
 //! [`stats::LatencyStats`] histogram, so sweep statistics stay under the
 //! parity oracle. A [`SweepConfig::shards`] knob routes each run through
-//! the sharded engine, opening 32×32+ meshes.
+//! the sharded engine, opening 32×32+ meshes. Grids and searches are
+//! **warm-started** by default — one warm-up per (pattern, seed),
+//! snapshot-resumed per rate ([`SweepConfig::cold`] opts out).
+//!
+//! ## Checkpoint/restore
+//!
+//! The [`snapshot`] module serializes the complete logical simulation
+//! state at a cycle boundary into a versioned, std-only byte format
+//! whose contract is: *run N cycles == snapshot + restore + run
+//! remainder*, bit-for-bit in [`SimStats`] including the latency
+//! histograms. The format is partition-independent — a P-shard
+//! [`ShardedSimulator`] snapshot restores into a P′=1 [`Simulator`]
+//! (or any shard count), and the same bytes restore into the frozen
+//! [`ReferenceSimulator`] for parity checks; per-(link, VC) credits are
+//! derived at import rather than stored, and the latency-1 calendar
+//! bypass is stripped at export. Entry points: `snapshot`/`restore` on
+//! all three engines, `run_trace_until`/`run_synthetic_until` (pause
+//! mid-run, returning [`RunOutcome::Paused`]), and
+//! `resume_trace`/`resume_synthetic`. `tests/snapshot_parity.rs` pins
+//! the splice across open/closed-loop, express, faulted and shard-cut
+//! cells. The byte-level layout, the fingerprint mismatch rules, and
+//! the restore-equals-continue argument live in the workspace-root
+//! [`docs/SNAPSHOT_FORMAT.md`](../../../docs/SNAPSHOT_FORMAT.md).
 
 pub mod config;
 pub mod energy_counts;
@@ -133,6 +155,7 @@ pub mod reference;
 pub mod router;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod sweep;
 
@@ -140,6 +163,7 @@ pub use config::SimConfig;
 pub use energy_counts::EnergyCounts;
 pub use reference::ReferenceSimulator;
 pub use shard::ShardedSimulator;
-pub use sim::Simulator;
+pub use sim::{RunOutcome, SimError, Simulator};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{LatencyStats, SimStats};
 pub use sweep::{LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner};

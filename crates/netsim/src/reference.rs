@@ -15,12 +15,17 @@
 use crate::config::SimConfig;
 use crate::flit::{Flit, PacketInfo};
 use crate::router::{Emission, VcState};
-use crate::sim::SimError;
+use crate::shard::RunCursor;
+use crate::sim::{rescan_trace_cursor, RunOutcome, SimError};
+use crate::snapshot::{
+    plan_fingerprint, synthetic_fingerprint, trace_fingerprint, EmissionImage, EventImage,
+    FlitImage, GlobalState, NodeImage, PacketImage, SlotImage, Snapshot, SnapshotError,
+};
 use crate::stats::SimStats;
 use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// Dateline VC class of a packet (see the `router` module docs).
@@ -62,6 +67,12 @@ struct NodeState {
     in_port_used: u32,
     routed_count: u16,
     active_for_out: Vec<u16>,
+    /// Packet holding each VC's output grant, written at VC allocation
+    /// (valid while the VC's state is `Active`, stale otherwise). Pure
+    /// snapshot bookkeeping — covers the corner where an active VC's
+    /// buffered flits have all been forwarded; never read by the
+    /// simulation stages.
+    active_pid: Vec<u32>,
 }
 
 impl NodeState {
@@ -96,6 +107,7 @@ impl NodeState {
             in_port_used: 0,
             routed_count: 0,
             active_for_out: vec![0; out_ports],
+            active_pid: vec![u32::MAX; in_ports * vcs],
         }
     }
 
@@ -136,6 +148,10 @@ pub struct ReferenceSimulator<'a> {
     /// window of a synthetic run; the whole run for traces).
     accept_from: u64,
     accept_until: u64,
+    /// Packets completed before a restore and therefore dropped from
+    /// `packets` (snapshot bookkeeping: keeps the exported admission and
+    /// completion totals exact across save/restore cycles).
+    dropped_packets: u64,
     stats: SimStats,
 }
 
@@ -214,6 +230,7 @@ impl<'a> ReferenceSimulator<'a> {
             outstanding: vec![0; topo.num_nodes()],
             accept_from: 0,
             accept_until: u64::MAX,
+            dropped_packets: 0,
             stats: SimStats::new(topo.links().len(), topo.num_nodes()),
         }
     }
@@ -293,11 +310,66 @@ impl<'a> ReferenceSimulator<'a> {
     }
 
     /// Runs a trace to completion (seed algorithm).
-    pub fn run_trace(mut self, trace: &Trace) -> Result<SimStats, SimError> {
+    pub fn run_trace(self, trace: &Trace) -> Result<SimStats, SimError> {
+        Ok(self
+            .run_trace_span(trace, RunCursor::fresh_for_trace(), u64::MAX)?
+            .expect_finished())
+    }
+
+    /// Runs a trace, pausing at the cycle boundary `stop_at`; the seed
+    /// engine's twin of [`crate::Simulator::run_trace_until`].
+    pub fn run_trace_until(self, trace: &Trace, stop_at: u64) -> Result<RunOutcome, SimError> {
+        self.run_trace_span(trace, RunCursor::fresh_for_trace(), stop_at)
+    }
+
+    /// Resumes a paused trace run from `snap`, itself pausing again at
+    /// `stop_at` (pass `u64::MAX` to run to completion). Accepts
+    /// snapshots from any engine — the byte format is engine- and
+    /// partition-independent.
+    pub fn resume_trace_until(
+        self,
+        snap: &Snapshot,
+        trace: &Trace,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let (sim, mut cursor) = self.restore_from(snap, trace_fingerprint(trace))?;
+        if snap.workload_hash() == 0 {
+            cursor.next_event = rescan_trace_cursor(trace, cursor.now);
+        }
+        sim.run_trace_span(trace, cursor, stop_at)
+    }
+
+    /// Resumes a paused trace run to completion.
+    pub fn resume_trace(self, snap: &Snapshot, trace: &Trace) -> Result<SimStats, SimError> {
+        Ok(self
+            .resume_trace_until(snap, trace, u64::MAX)?
+            .expect_finished())
+    }
+
+    /// The trace run loop (seed algorithm, restartable): drives cycles
+    /// `cursor.now ..` until the workload drains or the `stop_at`
+    /// boundary is reached — pausing serializes the engine state. The
+    /// cycle-by-cycle behaviour with `stop_at = u64::MAX` is exactly the
+    /// seed loop's.
+    fn run_trace_span(
+        mut self,
+        trace: &Trace,
+        cursor: RunCursor,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
         assert_eq!(usize::from(trace.num_nodes), self.topo.num_nodes());
-        let mut now = 0u64;
-        let mut next_event = 0usize;
+        let mut now = cursor.now;
+        let mut next_event = cursor.next_event as usize;
         loop {
+            if now >= stop_at {
+                let pause = RunCursor {
+                    now,
+                    next_event: next_event as u64,
+                    rng: cursor.rng,
+                };
+                let snap = self.snapshot_at(&pause, trace_fingerprint(trace));
+                return Ok(RunOutcome::Paused(snap));
+            }
             while next_event < trace.events.len() && trace.events[next_event].cycle <= now {
                 let e = &trace.events[next_event];
                 next_event += 1;
@@ -327,7 +399,10 @@ impl<'a> ReferenceSimulator<'a> {
                 if next_event == trace.events.len() {
                     break;
                 }
-                now = trace.events[next_event].cycle;
+                // A bounded run never jumps past its stop cycle: the
+                // loop-top check turns the clamped landing into a clean
+                // pause (no-op when `stop_at` is `u64::MAX`).
+                now = trace.events[next_event].cycle.min(stop_at);
                 continue;
             }
 
@@ -341,21 +416,85 @@ impl<'a> ReferenceSimulator<'a> {
             }
         }
         self.stats.cycles = now;
-        Ok(self.stats)
+        Ok(RunOutcome::Finished(self.stats))
     }
 
     /// Runs Bernoulli-injected synthetic traffic (seed algorithm).
     pub fn run_synthetic(
-        mut self,
+        self,
         matrix: &TrafficMatrix,
         warmup: u64,
         measure: u64,
         seed: u64,
     ) -> Result<SimStats, SimError> {
+        Ok(self
+            .run_synthetic_span(
+                matrix,
+                warmup,
+                measure,
+                seed,
+                RunCursor::fresh_for_synthetic(seed),
+                u64::MAX,
+            )?
+            .expect_finished())
+    }
+
+    /// Runs synthetic traffic, pausing at the cycle boundary `stop_at`;
+    /// the seed engine's twin of
+    /// [`crate::Simulator::run_synthetic_until`].
+    pub fn run_synthetic_until(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_synthetic_span(
+            matrix,
+            warmup,
+            measure,
+            seed,
+            RunCursor::fresh_for_synthetic(seed),
+            stop_at,
+        )
+    }
+
+    /// Resumes a paused synthetic run to completion; same
+    /// workload-fingerprint rules as
+    /// [`crate::Simulator::resume_synthetic`] (the traffic matrix is
+    /// deliberately not pinned — warm-start rate sweeps resume one
+    /// post-warmup snapshot under many matrices).
+    pub fn resume_synthetic(
+        self,
+        snap: &Snapshot,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        let (sim, cursor) =
+            self.restore_from(snap, synthetic_fingerprint(warmup, measure, seed))?;
+        Ok(sim
+            .run_synthetic_span(matrix, warmup, measure, seed, cursor, u64::MAX)?
+            .expect_finished())
+    }
+
+    /// The synthetic run loop (seed algorithm, restartable); see
+    /// [`Self::run_trace_span`] for the pause protocol.
+    fn run_synthetic_span(
+        mut self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        cursor: RunCursor,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
         assert_eq!(matrix.num_nodes(), self.topo.num_nodes());
         self.accept_from = warmup;
         self.accept_until = warmup + measure;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::from_state(cursor.rng);
         let n = self.topo.num_nodes();
         let mut rates = Vec::with_capacity(n);
         let mut cdfs: Vec<Vec<(f64, NodeId)>> = Vec::with_capacity(n);
@@ -376,9 +515,18 @@ impl<'a> ReferenceSimulator<'a> {
             cdfs.push(cdf);
         }
 
-        let mut now = 0u64;
+        let mut now = cursor.now;
         let inject_until = warmup + measure;
         loop {
+            if now >= stop_at {
+                let pause = RunCursor {
+                    now,
+                    next_event: 0,
+                    rng: rng.state(),
+                };
+                let snap = self.snapshot_at(&pause, synthetic_fingerprint(warmup, measure, seed));
+                return Ok(RunOutcome::Paused(snap));
+            }
             if now < inject_until {
                 for src in 0..n {
                     if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] {
@@ -429,7 +577,7 @@ impl<'a> ReferenceSimulator<'a> {
             }
         }
         self.stats.cycles = now;
-        Ok(self.stats)
+        Ok(RunOutcome::Finished(self.stats))
     }
 
     fn step(&mut self, now: u64) {
@@ -605,6 +753,7 @@ impl<'a> ReferenceSimulator<'a> {
                             out_port: p as u8,
                             out_vc: ovc as u8,
                         };
+                        self.nodes[node].active_pid[idx] = head_packet;
                         self.nodes[node].routed_count -= 1;
                         self.nodes[node].active_for_out[p] += 1;
                         self.nodes[node].va_rr[p] = ((idx + 1) % total_in_vcs) as u32;
@@ -720,5 +869,326 @@ impl<'a> ReferenceSimulator<'a> {
                 }
             }
         }
+    }
+
+    // ---- checkpoint / restore -------------------------------------------
+    //
+    // Snapshot bookkeeping, not optimisation: the simulation stages above
+    // are untouched. The mirror exists so the parity oracle covers the
+    // checkpoint dimension — `tests/snapshot_parity.rs` asserts that the
+    // seed engine's own save/restore splices are bit-for-bit, and that
+    // its snapshots interchange with the production engines'.
+
+    /// Exports the full logical engine state at the cycle boundary
+    /// `cursor.now` (cycles `0..now` simulated, `now` not yet).
+    /// Completed packets are dropped from the table — they live on in
+    /// the statistics and the exported completion total.
+    fn export(&self, cursor: &RunCursor) -> GlobalState {
+        let vcs = self.cfg.vcs;
+        let mut gpid_of = vec![u32::MAX; self.packets.len()];
+        let mut packets = Vec::new();
+        for (pid, info) in self.packets.iter().enumerate() {
+            if info.is_complete() {
+                continue;
+            }
+            gpid_of[pid] = packets.len() as u32;
+            packets.push(PacketImage {
+                src: info.src.0,
+                dst: info.dst.0,
+                inject_cycle: info.inject_cycle,
+                flits: info.flits,
+                ejected: info.ejected,
+                class: match self.class_of[pid] {
+                    VcClass::Free => 0,
+                    VcClass::PreExpress => 1,
+                    VcClass::PostExpress => 2,
+                },
+            });
+        }
+        let map = |pid: u32| -> u32 {
+            let g = gpid_of[pid as usize];
+            debug_assert_ne!(g, u32::MAX, "live state references a completed packet");
+            g
+        };
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (node, st) in self.nodes.iter().enumerate() {
+            let mut slots = Vec::with_capacity(st.in_ports() * vcs);
+            for (idx, vc) in st.vcs.iter().enumerate() {
+                let (tag, out_port, out_vc) = match vc.state {
+                    VcState::Idle => (0u8, 0u8, 0u8),
+                    VcState::Routed { out_port } => (1, out_port, 0),
+                    VcState::Active { out_port, out_vc } => (2, out_port, out_vc),
+                };
+                slots.push(SlotImage {
+                    tag,
+                    out_port,
+                    out_vc,
+                    active_pid: if tag == 2 {
+                        map(st.active_pid[idx])
+                    } else {
+                        u32::MAX
+                    },
+                    queue: vc
+                        .queue
+                        .iter()
+                        .map(|f| FlitImage {
+                            packet: map(f.packet),
+                            dst: f.dst.0,
+                            is_head: f.is_head,
+                            is_tail: f.is_tail,
+                            ready: f.ready,
+                        })
+                        .collect(),
+                });
+            }
+            nodes.push(NodeImage {
+                slots,
+                src_queue: st.src_queue.iter().map(|&p| map(p)).collect(),
+                emitting: st.emitting.map(|em| EmissionImage {
+                    packet: map(em.packet),
+                    emitted: em.emitted,
+                    total: em.total,
+                    vc: em.vc,
+                    dst: em.dst.0,
+                    inject_cycle: em.inject_cycle,
+                }),
+                outstanding: self.outstanding[node],
+                va_rr: st.va_rr.iter().map(|&v| v as u16).collect(),
+                sa_rr: st.sa_rr.iter().map(|&v| v as u16).collect(),
+            });
+        }
+        // In-flight flits: the seed engine's per-link pipes are already
+        // the canonical (arrive, vc, flit) event lists, in send order
+        // (strictly increasing arrivals — one flit per link per cycle).
+        let links = self
+            .pipes
+            .iter()
+            .map(|pipe| {
+                pipe.iter()
+                    .map(|&(arrive, vc, f)| EventImage {
+                        arrive,
+                        vc,
+                        flit: FlitImage {
+                            packet: map(f.packet),
+                            dst: f.dst.0,
+                            is_head: f.is_head,
+                            is_tail: f.is_tail,
+                            ready: 0,
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        let completed_now = self.packets.iter().filter(|p| p.is_complete()).count() as u64;
+        let mut stats = self.stats.clone();
+        stats.cycles = cursor.now;
+        GlobalState {
+            now: cursor.now,
+            next_event: cursor.next_event,
+            rng: cursor.rng,
+            accept_from: self.accept_from,
+            accept_until: self.accept_until,
+            origin_packets: self.dropped_packets + self.packets.len() as u64,
+            completed_packets: self.dropped_packets + completed_now,
+            vcs: vcs as u32,
+            stats,
+            packets,
+            nodes,
+            links,
+        }
+    }
+
+    /// Serializes the engine state under this plan's fingerprint.
+    fn snapshot_at(&self, cursor: &RunCursor, workload_hash: u64) -> Snapshot {
+        let plan_hash = plan_fingerprint(self.topo, self.routes, &self.cfg, self.baseline);
+        Snapshot::encode(&self.export(cursor), plan_hash, workload_hash)
+    }
+
+    /// Decodes `snap` against this plan, checks the workload
+    /// fingerprint, and rebuilds the engine state; returns the engine
+    /// plus the cursor to resume from.
+    fn restore_from(
+        self,
+        snap: &Snapshot,
+        workload_hash: u64,
+    ) -> Result<(Self, RunCursor), SimError> {
+        let gs = snap.decode_for(plan_fingerprint(
+            self.topo,
+            self.routes,
+            &self.cfg,
+            self.baseline,
+        ))?;
+        let stored = snap.workload_hash();
+        if stored != 0 && workload_hash != 0 && stored != workload_hash {
+            return Err(SimError::Snapshot(SnapshotError::WorkloadMismatch));
+        }
+        let cursor = RunCursor {
+            now: gs.now,
+            next_event: gs.next_event,
+            rng: gs.rng,
+        };
+        let sim = self.import(&gs).map_err(SimError::Snapshot)?;
+        Ok((sim, cursor))
+    }
+
+    /// Fills this (freshly built) engine from a decoded snapshot.
+    /// Derived state — `out_holder`, `routed_count`, `active_for_out`,
+    /// `buffered`, credits — is reconstructed from the logical image;
+    /// credits are fully determined by downstream occupancy
+    /// (depth − in flight − buffered, see `docs/SNAPSHOT_FORMAT.md`).
+    fn import(mut self, gs: &GlobalState) -> Result<Self, SnapshotError> {
+        let vcs = self.cfg.vcs;
+        let depth = self.cfg.buffer_depth;
+        if gs.vcs as usize != vcs
+            || gs.nodes.len() != self.topo.num_nodes()
+            || gs.links.len() != self.topo.links().len()
+        {
+            return Err(SnapshotError::Corrupt);
+        }
+        // The seed engine is single-partition: packet ids are global
+        // packet ids, no handle minting needed.
+        self.packets = gs
+            .packets
+            .iter()
+            .map(|p| PacketInfo {
+                src: NodeId(p.src),
+                dst: NodeId(p.dst),
+                inject_cycle: p.inject_cycle,
+                flits: p.flits,
+                ejected: p.ejected,
+            })
+            .collect();
+        self.class_of = gs
+            .packets
+            .iter()
+            .map(|p| match p.class {
+                0 => VcClass::Free,
+                1 => VcClass::PreExpress,
+                _ => VcClass::PostExpress,
+            })
+            .collect();
+        self.dropped_packets = gs.completed_packets;
+        for (node, n) in gs.nodes.iter().enumerate() {
+            let st = &mut self.nodes[node];
+            let total_in_vcs = st.in_ports() * vcs;
+            if n.slots.len() != total_in_vcs
+                || n.va_rr.len() != st.out_ports()
+                || n.sa_rr.len() != st.out_ports()
+            {
+                return Err(SnapshotError::Corrupt);
+            }
+            let mut buffered = 0u32;
+            for (idx, img) in n.slots.iter().enumerate() {
+                if img.queue.len() > depth {
+                    return Err(SnapshotError::Corrupt);
+                }
+                // Invariants the stages rely on: a non-empty idle or
+                // routed VC holds a head flit at the front; a routed VC
+                // is never empty.
+                if img.tag != 2 && !img.queue.is_empty() && !img.queue[0].is_head {
+                    return Err(SnapshotError::Corrupt);
+                }
+                if img.tag == 1 && img.queue.is_empty() {
+                    return Err(SnapshotError::Corrupt);
+                }
+                let vc_state = &mut st.vcs[idx];
+                for f in &img.queue {
+                    vc_state.queue.push_back(Flit {
+                        packet: f.packet,
+                        dst: NodeId(f.dst),
+                        is_head: f.is_head,
+                        is_tail: f.is_tail,
+                        ready: f.ready,
+                    });
+                }
+                buffered += img.queue.len() as u32;
+                vc_state.state = match img.tag {
+                    0 => VcState::Idle,
+                    1 => VcState::Routed {
+                        out_port: img.out_port,
+                    },
+                    2 => VcState::Active {
+                        out_port: img.out_port,
+                        out_vc: img.out_vc,
+                    },
+                    _ => return Err(SnapshotError::Corrupt),
+                };
+                match img.tag {
+                    1 => st.routed_count += 1,
+                    2 => {
+                        let p = usize::from(img.out_port);
+                        st.out_holder[p * vcs + usize::from(img.out_vc)] =
+                            Some(((idx / vcs) as u8, (idx % vcs) as u8));
+                        st.active_for_out[p] += 1;
+                        st.active_pid[idx] = img.active_pid;
+                    }
+                    _ => {}
+                }
+            }
+            for p in 0..st.out_ports() {
+                if usize::from(n.va_rr[p]) >= total_in_vcs
+                    || usize::from(n.sa_rr[p]) >= total_in_vcs
+                {
+                    return Err(SnapshotError::Corrupt);
+                }
+                st.va_rr[p] = u32::from(n.va_rr[p]);
+                st.sa_rr[p] = u32::from(n.sa_rr[p]);
+            }
+            st.src_queue = n.src_queue.iter().copied().collect();
+            st.emitting = n.emitting.as_ref().map(|em| Emission {
+                packet: em.packet,
+                emitted: em.emitted,
+                total: em.total,
+                vc: em.vc,
+                dst: NodeId(em.dst),
+                inject_cycle: em.inject_cycle,
+            });
+            self.buffered[node] = buffered;
+            self.pending_sources += n.src_queue.len() as u64 + u64::from(st.emitting.is_some());
+            self.outstanding[node] = n.outstanding;
+            self.active_flits += u64::from(buffered);
+        }
+        for (lid, evs) in gs.links.iter().enumerate() {
+            for ev in evs {
+                self.pipes[lid].push_back((
+                    ev.arrive,
+                    ev.vc,
+                    Flit {
+                        packet: ev.flit.packet,
+                        dst: NodeId(ev.flit.dst),
+                        is_head: ev.flit.is_head,
+                        is_tail: ev.flit.is_tail,
+                        ready: 0,
+                    },
+                ));
+                self.active_flits += 1;
+            }
+        }
+        // Derived credit state: depth − (in flight on the link) −
+        // (buffered in the destination VC). The live `pending_credits`
+        // list is always empty at a cycle boundary (drained at the end
+        // of every step).
+        for lid in 0..self.topo.links().len() {
+            let link = self.topo.link(LinkId(lid as u32));
+            let in_port = usize::from(self.in_port_of_link[lid]);
+            for v in 0..vcs {
+                let on_link = gs.links[lid]
+                    .iter()
+                    .filter(|e| usize::from(e.vc) == v)
+                    .count();
+                let occupied = on_link
+                    + gs.nodes[link.dst.index()].slots[in_port * vcs + v]
+                        .queue
+                        .len();
+                if occupied > depth {
+                    return Err(SnapshotError::Corrupt);
+                }
+                self.credits[lid][v] = (depth - occupied) as u16;
+            }
+        }
+        self.accept_from = gs.accept_from;
+        self.accept_until = gs.accept_until;
+        self.stats = gs.stats.clone();
+        Ok(self)
     }
 }

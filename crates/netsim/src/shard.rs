@@ -110,7 +110,11 @@
 use crate::config::SimConfig;
 use crate::flit::{meta, Flit, PacketInfo};
 use crate::router::{Emission, NodeState};
-use crate::sim::SimError;
+use crate::sim::{finish_or_pause, rescan_trace_cursor, restore_shards, RunOutcome, SimError};
+use crate::snapshot::{
+    EmissionImage, EventImage, FlitImage, GlobalState, NodeImage, PacketImage, SlotImage, Snapshot,
+    SnapshotError,
+};
 use crate::stats::SimStats;
 use hyppi_topology::{LinkId, NodeId, Partition, RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
@@ -736,10 +740,21 @@ pub(crate) struct ShardState {
     src_mask: Vec<u64>,
     /// Slots whose fresh head packet needs route computation.
     pub(crate) rc_dirty: Vec<u32>,
+    /// Packet holding the slot's output VC, written when VC allocation
+    /// grants it (valid while the slot's tag is `ACTIVE`; stale
+    /// otherwise). Only read by snapshot export, for the corner where an
+    /// active slot's buffered flits have all been forwarded.
+    active_pid: Vec<u32>,
     // --- packet bookkeeping (shard-local handles) ---
     packets: Vec<PacketInfo>,
     /// Dateline class per local packet handle.
     class_of: Vec<VcClass>,
+    /// Provenance per local packet handle: `(u16::MAX, _)` for packets
+    /// admitted at an owned NIC, `(sender shard, sender-local pid)` for
+    /// handles minted when a boundary head was ingested. Snapshot export
+    /// chains these to resolve the one global packet each per-shard
+    /// handle is a segment of.
+    import_of: Vec<(u16, u32)>,
     /// In-transit wormhole remap per `link * vcs + vc`: the local handle
     /// body/tail flits arriving on that channel belong to. Written when a
     /// boundary head is ingested.
@@ -935,8 +950,10 @@ impl ShardState {
             work_mask: vec![0; mask_words],
             src_mask: vec![0; mask_words],
             rc_dirty: Vec::new(),
+            active_pid: vec![u32::MAX; total_slots],
             packets: Vec::new(),
             class_of: Vec::new(),
+            import_of: Vec::new(),
             remap: vec![u32::MAX; topo.links().len() * cfg.vcs],
             outbox: (0..shards).map(|_| OutBundle::default()).collect(),
             active_flits: 0,
@@ -1094,6 +1111,7 @@ impl ShardState {
             ejected: 0,
         });
         self.class_of.push(plan.initial_class(src, dst));
+        self.import_of.push((u16::MAX, 0));
         self.nodes[local].src_queue.push_back(pid);
         self.pending_sources += 1;
         self.origin_packets += 1;
@@ -1342,6 +1360,7 @@ impl ShardState {
                             if free != 0 {
                                 let ovc = free.trailing_zeros() as usize;
                                 self.holder_mask[pb + p] |= 1 << ovc;
+                                self.active_pid[base + idx] = head_packet;
                                 self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
                                     | meta::ACTIVE
                                     | ((p as u32) << meta::PORT_SHIFT)
@@ -1560,7 +1579,13 @@ impl ShardState {
     /// superstep being exchanged: mailbox credits land in the pending
     /// half of their [`CreditCell`] with this stamp, giving them the
     /// same next-cycle visibility as locally freed credits.
-    pub(crate) fn ingest(&mut self, plan: &EnginePlan<'_>, bundle: &mut OutBundle, now: u64) {
+    pub(crate) fn ingest(
+        &mut self,
+        plan: &EnginePlan<'_>,
+        from: u16,
+        bundle: &mut OutBundle,
+        now: u64,
+    ) {
         for idx in bundle.credits.drain(..) {
             self.credits[idx as usize].free(now);
         }
@@ -1583,6 +1608,7 @@ impl ShardState {
                     ejected: 0,
                 });
                 self.class_of.push(m.class);
+                self.import_of.push((from, m.flit.packet));
                 self.remap[key] = pid;
             }
             debug_assert_ne!(self.remap[key], u32::MAX, "body flit without a head");
@@ -1605,7 +1631,7 @@ impl ShardState {
                 }
                 std::mem::take(&mut *cell)
             };
-            self.ingest(plan, &mut scratch, now);
+            self.ingest(plan, from, &mut scratch, now);
             // Return the drained allocation for the sender to reuse.
             let mut cell = shared.mail[usize::from(from)][self.id]
                 .lock()
@@ -1905,10 +1931,62 @@ pub(crate) enum Workload<'w> {
 
 // ---- the lockstep worker loop ------------------------------------------
 
-/// Runs `my` (this worker's shards) to completion in lockstep with the
-/// other workers. Every control decision is derived from data identical
-/// across workers, so all workers step/jump/stop on the same cycles.
-/// Returns the final cycle count.
+/// The run loop's resumable position: everything the loop itself owns
+/// (shard state is carried separately). Snapshots serialize this verbatim
+/// so a restored run continues the exact admission stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RunCursor {
+    /// Next cycle to simulate.
+    pub now: u64,
+    /// Next unadmitted trace-event index (trace workloads).
+    pub next_event: u64,
+    /// Synthetic-injection RNG state (xoshiro256**).
+    pub rng: [u64; 4],
+}
+
+impl RunCursor {
+    /// Start-of-run cursor for a trace workload. Traces draw no random
+    /// numbers; the RNG field is a fixed placeholder stream.
+    pub fn fresh_for_trace() -> Self {
+        RunCursor {
+            now: 0,
+            next_event: 0,
+            rng: StdRng::seed_from_u64(0).state(),
+        }
+    }
+
+    /// Start-of-run cursor for a synthetic workload seeded with `seed`.
+    pub fn fresh_for_synthetic(seed: u64) -> Self {
+        RunCursor {
+            now: 0,
+            next_event: 0,
+            rng: StdRng::seed_from_u64(seed).state(),
+        }
+    }
+
+    /// The start-of-run cursor for the given workload.
+    pub fn fresh(workload: &Workload<'_>) -> Self {
+        match workload {
+            Workload::Synthetic { seed, .. } => Self::fresh_for_synthetic(*seed),
+            Workload::Trace(_) => Self::fresh_for_trace(),
+        }
+    }
+}
+
+/// How a bounded run ended: the workload drained, or the stop cycle was
+/// reached first (resume from the carried cursor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunEnd {
+    /// Everything delivered; the value is the final cycle count.
+    Done(u64),
+    /// `stop_at` reached with work outstanding.
+    Stopped(RunCursor),
+}
+
+/// Runs `my` (this worker's shards) from `start` until the workload
+/// drains or `stop_at` is reached, in lockstep with the other workers.
+/// Every control decision is derived from data identical across workers,
+/// so all workers step/jump/stop on the same cycles.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     plan: &EnginePlan<'_>,
@@ -1917,19 +1995,26 @@ fn worker_loop(
     workload: Workload<'_>,
     dump_on_stall: bool,
     worker_index: usize,
-) -> Result<u64, SimError> {
+    start: RunCursor,
+    stop_at: u64,
+) -> Result<RunEnd, SimError> {
     // Shard-id → index into `my` (MAX = not mine).
     let mut mine = vec![usize::MAX; plan.partition.num_shards()];
     for (i, s) in my.iter().enumerate() {
         mine[s.id] = i;
     }
-    let mut now = 0u64;
-    let mut next_event = 0usize; // full-trace cursor (trace workloads)
-    let mut rng = match workload {
-        Workload::Synthetic { seed, .. } => StdRng::seed_from_u64(seed),
-        Workload::Trace(_) => StdRng::seed_from_u64(0),
-    };
+    let mut now = start.now;
+    let mut next_event = start.next_event as usize; // full-trace cursor
+    let mut rng = StdRng::from_state(start.rng);
     loop {
+        // --- bounded-run stop (lockstep: same cycle on every worker) ---
+        if now >= stop_at {
+            return Ok(RunEnd::Stopped(RunCursor {
+                now,
+                next_event: next_event as u64,
+                rng: rng.state(),
+            }));
+        }
         // --- admission (identical sequence on every worker) ---
         let mut must_step = false;
         match workload {
@@ -2019,6 +2104,9 @@ fn worker_loop(
                     (a, None) => a,
                     (a, Some(t)) => a.min(t),
                 };
+                // A bounded run never jumps past its stop cycle — the
+                // loop-top check turns the landing into a clean pause.
+                let target = target.min(stop_at);
                 if target > now {
                     now = target;
                     continue; // re-run admission at the new cycle
@@ -2085,20 +2173,24 @@ fn worker_loop(
             });
         }
     }
-    Ok(now)
+    Ok(RunEnd::Done(now))
 }
 
-/// Runs a workload over `shards` with up to `threads` worker threads and
-/// merges the per-shard statistics. `threads == 1` runs everything on the
-/// calling thread (still exchanging through the mailbox grid when
-/// P > 1 — the protocol is identical, only the parallelism differs).
-pub(crate) fn run_sharded(
+/// Runs a workload over `shards` from `start` until it drains or
+/// `stop_at` is reached, with up to `threads` worker threads.
+/// `threads == 1` runs everything on the calling thread (still
+/// exchanging through the mailbox grid when P > 1 — the protocol is
+/// identical, only the parallelism differs). The shards are left in
+/// their end-of-run state so the caller can snapshot or merge them.
+pub(crate) fn run_sharded_until(
     plan: &EnginePlan<'_>,
-    mut shards: Vec<ShardState>,
+    shards: &mut [ShardState],
     threads: usize,
     workload: Workload<'_>,
     dump_on_stall: bool,
-) -> Result<SimStats, SimError> {
+    start: RunCursor,
+    stop_at: u64,
+) -> Result<RunEnd, SimError> {
     let nshards = shards.len();
     let workers = threads.clamp(1, nshards);
     // Acceptance window for `SimStats::accepted_flits`: the measurement
@@ -2109,25 +2201,51 @@ pub(crate) fn run_sharded(
             warmup, measure, ..
         } => (warmup, warmup + measure),
     };
-    for s in &mut shards {
+    for s in shards.iter_mut() {
         s.accept_from = accept_from;
         s.accept_until = accept_until;
     }
     let shared = Shared::new(nshards, workers);
-    let outcome: Result<u64, SimError> = if workers == 1 {
-        worker_loop(plan, &shared, &mut shards, workload, dump_on_stall, 0)
+    // Contiguous chunks, sizes balanced to within one shard.
+    let base = nshards / workers;
+    let rem = nshards % workers;
+    let mut rest = &mut shards[..];
+    let mut chunks = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let take = base + usize::from(w < rem);
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    // Publish pre-run activity. A resumed run starts with live shard
+    // state, and the very first lockstep decision reads the other
+    // workers' published flags — the default idle values would let a
+    // worker fast-forward past a restored neighbor's booked arrivals.
+    for (w, chunk) in chunks.iter().enumerate() {
+        let active = chunk.iter().any(|s| !s.quiescent());
+        shared.published[w].active.store(active, Ordering::Release);
+        let arr = chunk
+            .iter()
+            .filter_map(|s| s.next_arrival_cycle(start.now))
+            .min()
+            .unwrap_or(u64::MAX);
+        shared.published[w]
+            .next_arrival
+            .store(arr, Ordering::Release);
+    }
+    if workers == 1 {
+        let chunk = chunks.pop().expect("one worker has one chunk");
+        worker_loop(
+            plan,
+            &shared,
+            chunk,
+            workload,
+            dump_on_stall,
+            0,
+            start,
+            stop_at,
+        )
     } else {
-        // Contiguous chunks, sizes balanced to within one shard.
-        let base = nshards / workers;
-        let rem = nshards % workers;
-        let mut rest = shards.as_mut_slice();
-        let mut chunks = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let take = base + usize::from(w < rem);
-            let (head, tail) = rest.split_at_mut(take);
-            chunks.push(head);
-            rest = tail;
-        }
         let shared_ref = &shared;
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
@@ -2135,7 +2253,16 @@ pub(crate) fn run_sharded(
                 .enumerate()
                 .map(|(w, chunk)| {
                     scope.spawn(move || {
-                        worker_loop(plan, shared_ref, chunk, workload, dump_on_stall, w)
+                        worker_loop(
+                            plan,
+                            shared_ref,
+                            chunk,
+                            workload,
+                            dump_on_stall,
+                            w,
+                            start,
+                            stop_at,
+                        )
                     })
                 })
                 .collect();
@@ -2149,14 +2276,596 @@ pub(crate) fn run_sharded(
                 })
                 .expect("at least one worker")
         })
-    };
-    let cycles = outcome?;
+    }
+}
+
+/// Merges the per-shard statistics of a finished run.
+pub(crate) fn merge_stats(plan: &EnginePlan<'_>, shards: &[ShardState], cycles: u64) -> SimStats {
     let mut merged = SimStats::new(plan.topo.links().len(), plan.topo.num_nodes());
-    for s in &shards {
+    for s in shards {
         merged.absorb(&s.stats);
     }
     merged.cycles = cycles;
-    Ok(merged)
+    merged
+}
+
+/// Runs a workload over `shards` to completion and merges the per-shard
+/// statistics (the unbounded wrapper around [`run_sharded_until`]).
+pub(crate) fn run_sharded(
+    plan: &EnginePlan<'_>,
+    mut shards: Vec<ShardState>,
+    threads: usize,
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+) -> Result<SimStats, SimError> {
+    let start = RunCursor::fresh(&workload);
+    let end = run_sharded_until(
+        plan,
+        &mut shards,
+        threads,
+        workload,
+        dump_on_stall,
+        start,
+        u64::MAX,
+    )?;
+    let RunEnd::Done(cycles) = end else {
+        unreachable!("an unbounded run cannot pause");
+    };
+    Ok(merge_stats(plan, &shards, cycles))
+}
+
+// ---- snapshot export / import ------------------------------------------
+
+/// `VcClass` ↔ snapshot byte. The order matters: a packet's class only
+/// ever moves forward (Free stays Free; PreExpress → PostExpress on the
+/// first express traversal), so the canonical class of a packet split
+/// across per-shard handles is the numeric maximum over its chain.
+#[inline]
+fn class_to_u8(c: VcClass) -> u8 {
+    match c {
+        VcClass::Free => 0,
+        VcClass::PreExpress => 1,
+        VcClass::PostExpress => 2,
+    }
+}
+
+#[inline]
+fn class_from_u8(v: u8) -> VcClass {
+    match v {
+        0 => VcClass::Free,
+        1 => VcClass::PreExpress,
+        _ => VcClass::PostExpress,
+    }
+}
+
+/// Exports the complete logical state of a run at the cycle boundary
+/// `cursor.now` (cycles `0..now` simulated, `now` not yet) into the
+/// partition-independent [`GlobalState`].
+///
+/// Per-shard packet handles are resolved to global packets by chaining
+/// each handle's provenance (`import_of`) back to its admission-minted
+/// root; completed chains are dropped — they survive through the merged
+/// statistics and the completion counters. The latency-1 wheel bypass is
+/// undone: a buffered flit stamped `now + 1 + dwell` can only have been
+/// pushed by the bypass during the last simulated cycle (normal
+/// deliveries and emissions stamp at most `now + dwell`), so it is
+/// exported as still in flight on its link with arrival cycle `now`,
+/// which is exactly where a calendar-only engine would hold it.
+pub(crate) fn export_shards(
+    plan: &EnginePlan<'_>,
+    shards: &[ShardState],
+    cursor: &RunCursor,
+) -> GlobalState {
+    let now = cursor.now;
+    let vcs = plan.cfg.vcs;
+    let dwell = plan.cfg.pipeline_dwell();
+
+    // --- resolve per-shard packet handles to global packets ---
+    // Handle index = noff[shard] + shard-local pid.
+    let mut noff = Vec::with_capacity(shards.len());
+    let mut total = 0usize;
+    for s in shards {
+        noff.push(total);
+        total += s.packets.len();
+    }
+    let mut parent = vec![u32::MAX; total];
+    for (sid, s) in shards.iter().enumerate() {
+        for (p, &(from, fpid)) in s.import_of.iter().enumerate() {
+            if from != u16::MAX {
+                parent[noff[sid] + p] = (noff[usize::from(from)] + fpid as usize) as u32;
+            }
+        }
+    }
+    let root_of = |mut h: usize| -> usize {
+        while parent[h] != u32::MAX {
+            h = parent[h] as usize;
+        }
+        h
+    };
+    // Aggregate per chain: ejections happen at exactly one handle (the
+    // destination shard's) and the dateline class only moves forward, so
+    // sum and max are the canonical global values.
+    let mut agg_ejected = vec![0u32; total];
+    let mut agg_class = vec![0u8; total];
+    for (sid, s) in shards.iter().enumerate() {
+        for p in 0..s.packets.len() {
+            let r = root_of(noff[sid] + p);
+            agg_ejected[r] += s.packets[p].ejected;
+            agg_class[r] = agg_class[r].max(class_to_u8(s.class_of[p]));
+        }
+    }
+    // Number the live roots in (shard, pid) scan order.
+    let mut gpid_of = vec![u32::MAX; total];
+    let mut packets = Vec::new();
+    for (sid, s) in shards.iter().enumerate() {
+        for (p, info) in s.packets.iter().enumerate() {
+            let h = noff[sid] + p;
+            if parent[h] != u32::MAX || agg_ejected[h] >= info.flits {
+                continue; // segment handle, or a completed packet
+            }
+            gpid_of[h] = packets.len() as u32;
+            packets.push(PacketImage {
+                src: info.src.0,
+                dst: info.dst.0,
+                inject_cycle: info.inject_cycle,
+                flits: info.flits,
+                ejected: agg_ejected[h],
+                class: agg_class[h],
+            });
+        }
+    }
+    // Propagate each root's number down its chain (roots map to
+    // themselves; segments read their root's entry).
+    for h in 0..total {
+        gpid_of[h] = gpid_of[root_of(h)];
+    }
+    let map = |sid: usize, pid: u32| -> u32 {
+        let g = gpid_of[noff[sid] + pid as usize];
+        debug_assert_ne!(g, u32::MAX, "live state references a completed packet");
+        g
+    };
+
+    // --- per-node images (with the wheel bypass stripped) ---
+    let mut nodes = Vec::with_capacity(plan.topo.num_nodes());
+    let mut stripped: Vec<(u32, EventImage)> = Vec::new();
+    for g in 0..plan.topo.num_nodes() {
+        let sid = usize::from(plan.partition.shard_of_node[g]);
+        let s = &shards[sid];
+        let local = plan.partition.local_of_node[g] as usize;
+        let st = &s.nodes[local];
+        let c = s.ctl[local];
+        let base = c.vc_base as usize;
+        let pb = c.port_base as usize;
+        let in_ports = st.in_ports();
+        let out_ports = st.out_ports();
+        let mut slots = Vec::with_capacity(in_ports * vcs);
+        for idx in 0..in_ports * vcs {
+            let slot = base + idx;
+            let m = s.slot_meta[slot];
+            let len = meta::len(m);
+            let head = meta::head(m);
+            let mut queue = Vec::with_capacity(len);
+            for k in 0..len {
+                let f = s.flit_buf[slot * s.ring + ((head + k) & s.ring_mask)];
+                queue.push(FlitImage {
+                    packet: map(sid, f.packet),
+                    dst: f.dst.0,
+                    is_head: f.is_head,
+                    is_tail: f.is_tail,
+                    ready: f.ready,
+                });
+            }
+            let in_port = idx / vcs;
+            if in_port > 0 {
+                if let Some(last) = queue.last() {
+                    if last.ready == now + 1 + dwell {
+                        // Latency-1 bypass push from the last simulated
+                        // cycle: canonically still on the link.
+                        let mut ev = queue.pop().expect("nonempty");
+                        ev.ready = 0;
+                        let lid = st.in_links[in_port - 1].index() as u32;
+                        stripped.push((
+                            lid,
+                            EventImage {
+                                arrive: now,
+                                vc: (idx % vcs) as u8,
+                                flit: ev,
+                            },
+                        ));
+                    }
+                }
+            }
+            slots.push(SlotImage {
+                tag: meta::tag(m) as u8,
+                out_port: meta::out_port(m) as u8,
+                out_vc: meta::out_vc(m) as u8,
+                active_pid: if meta::tag(m) == meta::ACTIVE {
+                    map(sid, s.active_pid[slot])
+                } else {
+                    u32::MAX
+                },
+                queue,
+            });
+        }
+        nodes.push(NodeImage {
+            slots,
+            src_queue: st.src_queue.iter().map(|&p| map(sid, p)).collect(),
+            emitting: st.emitting.map(|em| EmissionImage {
+                packet: map(sid, em.packet),
+                emitted: em.emitted,
+                total: em.total,
+                vc: em.vc,
+                dst: em.dst.0,
+                inject_cycle: em.inject_cycle,
+            }),
+            outstanding: s.outstanding[local],
+            va_rr: (0..out_ports).map(|p| u16::from(s.va_rr[pb + p])).collect(),
+            sa_rr: (0..out_ports).map(|p| u16::from(s.sa_rr[pb + p])).collect(),
+        });
+    }
+
+    // --- in-flight link events (wheel contents + stripped bypasses) ---
+    let mut links: Vec<Vec<EventImage>> = vec![Vec::new(); plan.topo.links().len()];
+    for (sid, s) in shards.iter().enumerate() {
+        for (bucket, evs) in s.wheel.iter().enumerate() {
+            if evs.is_empty() {
+                continue;
+            }
+            // Arrivals live in [now, now + wheel_len); the bucket index
+            // recovers the absolute cycle.
+            let arrive = now
+                + ((bucket as u64 + s.wheel.len() as u64 - (now & s.wheel_mask)) & s.wheel_mask);
+            for &(lid, vc, f) in evs {
+                links[lid as usize].push(EventImage {
+                    arrive,
+                    vc,
+                    flit: FlitImage {
+                        packet: map(sid, f.packet),
+                        dst: f.dst.0,
+                        is_head: f.is_head,
+                        is_tail: f.is_tail,
+                        ready: 0,
+                    },
+                });
+            }
+        }
+    }
+    for (lid, ev) in stripped {
+        links[lid as usize].push(ev);
+    }
+    for evs in &mut links {
+        evs.sort_by_key(|e| e.arrive);
+        debug_assert!(
+            evs.windows(2).all(|w| w[0].arrive < w[1].arrive),
+            "two flits on one link with the same arrival cycle"
+        );
+    }
+
+    GlobalState {
+        now,
+        next_event: cursor.next_event,
+        rng: cursor.rng,
+        accept_from: shards[0].accept_from,
+        accept_until: shards[0].accept_until,
+        origin_packets: shards.iter().map(|s| s.origin_packets).sum(),
+        completed_packets: shards.iter().map(|s| s.completed_packets).sum(),
+        vcs: vcs as u32,
+        stats: merge_stats(plan, shards, now),
+        packets,
+        nodes,
+        links,
+    }
+}
+
+/// Serializes the state of a (possibly mid-run) sharded simulation under
+/// the plan's fingerprint and the given workload fingerprint.
+pub(crate) fn snapshot_shards(
+    plan: &EnginePlan<'_>,
+    shards: &[ShardState],
+    cursor: &RunCursor,
+    workload_hash: u64,
+) -> Snapshot {
+    let gs = export_shards(plan, shards, cursor);
+    let plan_hash =
+        crate::snapshot::plan_fingerprint(plan.topo, plan.routes, &plan.cfg, plan.baseline);
+    Snapshot::encode(&gs, plan_hash, workload_hash)
+}
+
+/// Lazy per-(shard, global packet) handle minting during import. Each
+/// shard that holds any piece of a packet gets exactly one local handle;
+/// the handles are chained through `import_of` (in minting order) so a
+/// later re-export resolves them back to one global packet.
+struct Minter {
+    /// `local_of[shard][gpid]`: the minted local pid, `u32::MAX` if none.
+    local_of: Vec<Vec<u32>>,
+    /// Chain tail per global packet (`u16::MAX` = no handle yet).
+    last: Vec<(u16, u32)>,
+    /// Shard owning each packet's destination node — the one handle that
+    /// carries the ejection count (counting it anywhere else would
+    /// double-count on re-export).
+    dst_shard: Vec<u16>,
+}
+
+impl Minter {
+    fn mint(&mut self, s: &mut ShardState, gs: &GlobalState, gpid: u32) -> u32 {
+        let g = gpid as usize;
+        let have = self.local_of[s.id][g];
+        if have != u32::MAX {
+            return have;
+        }
+        let img = &gs.packets[g];
+        let pid = s.packets.len() as u32;
+        s.packets.push(PacketInfo {
+            src: NodeId(img.src),
+            dst: NodeId(img.dst),
+            inject_cycle: img.inject_cycle,
+            flits: img.flits,
+            ejected: if usize::from(self.dst_shard[g]) == s.id {
+                img.ejected
+            } else {
+                0
+            },
+        });
+        s.class_of.push(class_from_u8(img.class));
+        s.import_of.push(self.last[g]);
+        self.last[g] = (s.id as u16, pid);
+        self.local_of[s.id][g] = pid;
+        pid
+    }
+}
+
+/// Rebuilds per-shard engine state from a decoded snapshot under `plan`
+/// — whose partition may differ from the one the snapshot was taken
+/// with. Returns the shards plus the run cursor to resume from.
+///
+/// Derived state (arbitration masks, work/src bitsets, the RC dirty
+/// list, credit counters) is reconstructed from the logical image; see
+/// `docs/SNAPSHOT_FORMAT.md` for why each reconstruction is
+/// behaviorally identical to the live state it replaces.
+pub(crate) fn import_shards(
+    plan: &EnginePlan<'_>,
+    gs: &GlobalState,
+) -> Result<(Vec<ShardState>, RunCursor), SnapshotError> {
+    let vcs = plan.cfg.vcs;
+    let depth = plan.cfg.buffer_depth;
+    if gs.vcs as usize != vcs
+        || gs.nodes.len() != plan.topo.num_nodes()
+        || gs.links.len() != plan.topo.links().len()
+    {
+        return Err(SnapshotError::Corrupt);
+    }
+    let nshards = plan.partition.num_shards();
+    let mut shards: Vec<ShardState> = (0..nshards).map(|id| ShardState::new(plan, id)).collect();
+    let mut minter = Minter {
+        local_of: vec![vec![u32::MAX; gs.packets.len()]; nshards],
+        last: vec![(u16::MAX, 0); gs.packets.len()],
+        dst_shard: gs
+            .packets
+            .iter()
+            .map(|p| plan.partition.shard_of_node[usize::from(p.dst)])
+            .collect(),
+    };
+
+    // --- per-node state ---
+    for (g, n) in gs.nodes.iter().enumerate() {
+        let sid = usize::from(plan.partition.shard_of_node[g]);
+        let s = &mut shards[sid];
+        let local = plan.partition.local_of_node[g] as usize;
+        let in_ports = s.nodes[local].in_ports();
+        let out_ports = s.nodes[local].out_ports();
+        if n.slots.len() != in_ports * vcs
+            || n.va_rr.len() != out_ports
+            || n.sa_rr.len() != out_ports
+        {
+            return Err(SnapshotError::Corrupt);
+        }
+        let base = s.ctl[local].vc_base as usize;
+        let pb = s.ctl[local].port_base as usize;
+        let mut buffered = 0u32;
+        for (idx, img) in n.slots.iter().enumerate() {
+            let slot = base + idx;
+            let len = img.queue.len();
+            if len > depth {
+                return Err(SnapshotError::Corrupt);
+            }
+            // Invariants the arbitration stages rely on: a non-empty idle
+            // or routed VC holds its packet's head flit at the front.
+            if u32::from(img.tag) != meta::ACTIVE && len > 0 && !img.queue[0].is_head {
+                return Err(SnapshotError::Corrupt);
+            }
+            if u32::from(img.tag) == meta::ROUTED && len == 0 {
+                return Err(SnapshotError::Corrupt);
+            }
+            for (k, f) in img.queue.iter().enumerate() {
+                let pid = minter.mint(s, gs, f.packet);
+                s.flit_buf[slot * s.ring + k] = Flit {
+                    packet: pid,
+                    dst: NodeId(f.dst),
+                    is_head: f.is_head,
+                    is_tail: f.is_tail,
+                    ready: f.ready,
+                };
+            }
+            // Ring cursor normalized to head = 0.
+            s.slot_meta[slot] = u32::from(img.tag)
+                | (u32::from(img.out_port) << meta::PORT_SHIFT)
+                | (u32::from(img.out_vc) << meta::OVC_SHIFT)
+                | ((len as u32) * meta::LEN_ONE);
+            buffered += len as u32;
+            match u32::from(img.tag) {
+                meta::ROUTED => {
+                    let p = usize::from(img.out_port);
+                    s.routed_mask[pb + p] |= 1 << idx;
+                    s.ctl[local].routed_ports |= 1 << p;
+                    s.ctl[local].routed_count += 1;
+                }
+                meta::ACTIVE => {
+                    let p = usize::from(img.out_port);
+                    s.active_mask[pb + p] |= 1 << idx;
+                    s.ctl[local].active_ports |= 1 << p;
+                    s.holder_mask[pb + p] |= 1 << img.out_vc;
+                    let pid = minter.mint(s, gs, img.active_pid);
+                    s.active_pid[slot] = pid;
+                }
+                _ => {
+                    if len > 0 {
+                        // Head awaiting route computation. The live
+                        // dirty-list order is irrelevant: RC handles each
+                        // slot independently.
+                        s.rc_dirty.push(slot as u32);
+                    }
+                }
+            }
+        }
+        s.ctl[local].buffered = buffered;
+        if buffered > 0 {
+            s.set_work(local);
+        }
+        for p in 0..out_ports {
+            if usize::from(n.va_rr[p]) >= in_ports * vcs
+                || usize::from(n.sa_rr[p]) >= in_ports * vcs
+            {
+                return Err(SnapshotError::Corrupt);
+            }
+            s.va_rr[pb + p] = n.va_rr[p] as u8;
+            s.sa_rr[pb + p] = n.sa_rr[p] as u8;
+        }
+        for &gpid in &n.src_queue {
+            let pid = minter.mint(s, gs, gpid);
+            s.nodes[local].src_queue.push_back(pid);
+        }
+        s.pending_sources += n.src_queue.len() as u64;
+        if let Some(em) = &n.emitting {
+            let pid = minter.mint(s, gs, em.packet);
+            s.nodes[local].emitting = Some(Emission {
+                packet: pid,
+                emitted: em.emitted,
+                total: em.total,
+                vc: em.vc,
+                dst: NodeId(em.dst),
+                inject_cycle: em.inject_cycle,
+            });
+            s.pending_sources += 1;
+        }
+        if s.nodes[local].emitting.is_some() || !s.nodes[local].src_queue.is_empty() {
+            // May re-arm a source the live engine had parked; the extra
+            // emission visit is a no-op that re-parks it (nothing that
+            // would let it push can have happened since it parked).
+            s.set_src(local);
+        }
+        s.outstanding[local] = n.outstanding;
+        s.active_flits += i64::from(buffered);
+    }
+
+    // --- in-flight flits → calendar wheels ---
+    for (lid, evs) in gs.links.iter().enumerate() {
+        let sid = usize::from(plan.partition.link_dst_shard[lid]);
+        let s = &mut shards[sid];
+        for ev in evs {
+            if ev.arrive - gs.now >= plan.wheel_len as u64 {
+                return Err(SnapshotError::Corrupt);
+            }
+            let pid = minter.mint(s, gs, ev.flit.packet);
+            s.wheel_push(
+                ev.arrive,
+                (
+                    lid as u32,
+                    ev.vc,
+                    Flit {
+                        packet: pid,
+                        dst: NodeId(ev.flit.dst),
+                        is_head: ev.flit.is_head,
+                        is_tail: ev.flit.is_tail,
+                        ready: 0,
+                    },
+                ),
+            );
+            s.active_flits += 1;
+        }
+    }
+
+    // --- wormhole remap seeding ---
+    // A slot mid-transmission (output VC granted, head already departed,
+    // tail not yet) has flits of its packet still to cross its output
+    // link. If that link is a shard cut under the *new* partition, the
+    // receiving shard must already hold the remap entry the in-network
+    // head would have minted on ingest.
+    for (g, n) in gs.nodes.iter().enumerate() {
+        let owner = usize::from(plan.partition.shard_of_node[g]);
+        for img in &n.slots {
+            if u32::from(img.tag) != meta::ACTIVE || img.out_port == 0 {
+                continue;
+            }
+            let head_departed = match img.queue.first() {
+                Some(f) => !f.is_head,
+                None => true,
+            };
+            if !head_departed {
+                continue;
+            }
+            let p = usize::from(img.out_port);
+            let local = plan.partition.local_of_node[g] as usize;
+            let lid = shards[owner].nodes[local].out_links[p - 1].index();
+            let dst_shard = usize::from(plan.partition.link_dst_shard[lid]);
+            if dst_shard == owner {
+                continue; // intra-shard sends never consult the remap
+            }
+            let s = &mut shards[dst_shard];
+            let pid = minter.mint(s, gs, img.active_pid);
+            s.remap[lid * vcs + usize::from(img.out_vc)] = pid;
+        }
+    }
+
+    // --- derived credit state ---
+    // Spendable credits are fully determined by downstream occupancy:
+    // depth − (in flight on the link) − (buffered in the destination
+    // VC). A freshly-stamped cell (stamp 0, empty pending half) behaves
+    // identically to the live cell from cycle `now` on: any access folds
+    // the live cell's pending credits in (they were freed strictly
+    // before `now`), landing on this same spendable count.
+    for lid in 0..plan.topo.links().len() {
+        let link = plan.topo.link(LinkId(lid as u32));
+        let dst_node = &gs.nodes[link.dst.index()];
+        let in_port = usize::from(plan.in_port_of_link[lid]);
+        for v in 0..vcs {
+            let on_link = gs.links[lid]
+                .iter()
+                .filter(|e| usize::from(e.vc) == v)
+                .count();
+            let occupied = on_link + dst_node.slots[in_port * vcs + v].queue.len();
+            if occupied > depth {
+                return Err(SnapshotError::Corrupt);
+            }
+            let cell = CreditCell {
+                stamp: 0,
+                avail: (depth - occupied) as u16,
+                pending: 0,
+            };
+            for s in &mut shards {
+                s.credits[lid * vcs + v] = cell;
+            }
+        }
+    }
+
+    // --- global counters, statistics, acceptance window ---
+    // The merged history lands on shard 0; per-shard contributions from
+    // here on re-merge to the continued-run totals (sums stay sums, peak
+    // maxima stay maxima — a node's peaks accrue in exactly one shard).
+    shards[0].stats = gs.stats.clone();
+    shards[0].origin_packets = gs.origin_packets;
+    shards[0].completed_packets = gs.completed_packets;
+    for s in &mut shards {
+        s.accept_from = gs.accept_from;
+        s.accept_until = gs.accept_until;
+    }
+    Ok((
+        shards,
+        RunCursor {
+            now: gs.now,
+            next_event: gs.next_event,
+            rng: gs.rng,
+        },
+    ))
 }
 
 // ---- public sharded simulator ------------------------------------------
@@ -2262,6 +2971,158 @@ impl<'a> ShardedSimulator<'a> {
             },
             false,
         )
+    }
+
+    // ---- checkpoint / restore -------------------------------------------
+
+    /// Serializes the engine state at the cycle boundary `now`. The
+    /// snapshot is partition-independent: all P shards' state is merged
+    /// into one global image, so it restores at any shard count
+    /// (including P=1 via [`crate::Simulator::restore`]). Pins no
+    /// workload; bounded runs ([`run_trace_until`](Self::run_trace_until))
+    /// produce their own snapshots instead.
+    pub fn snapshot(&self, now: u64) -> Snapshot {
+        let cursor = RunCursor {
+            now,
+            next_event: 0,
+            rng: StdRng::seed_from_u64(0).state(),
+        };
+        snapshot_shards(&self.plan, &self.shards, &cursor, 0)
+    }
+
+    /// Rebuilds this simulator's state from a snapshot, re-partitioning
+    /// it across this simulator's shard grid — the snapshot may have
+    /// been taken at any other shard count. Must match this simulator's
+    /// topology, routing, and configuration (fingerprint-checked).
+    pub fn restore(self, snap: &Snapshot) -> Result<Self, SimError> {
+        let ShardedSimulator { plan, threads, .. } = self;
+        let (shards, _) = restore_shards(&plan, snap, 0)?;
+        Ok(ShardedSimulator {
+            plan,
+            shards,
+            threads,
+        })
+    }
+
+    /// Runs a trace, pausing at the cycle boundary `stop_at` if the
+    /// workload hasn't drained by then; bit-for-bit semantics of
+    /// [`crate::Simulator::run_trace_until`].
+    pub fn run_trace_until(self, trace: &Trace, stop_at: u64) -> Result<RunOutcome, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let threads = self.effective_threads();
+        let workload = Workload::Trace(trace);
+        let start = RunCursor::fresh(&workload);
+        finish_or_pause(
+            &self.plan,
+            self.shards,
+            threads,
+            workload,
+            start,
+            stop_at,
+            || crate::snapshot::trace_fingerprint(trace),
+        )
+    }
+
+    /// Resumes a paused trace run from `snap`, itself pausing again at
+    /// `stop_at` if the trace hasn't drained (pass `u64::MAX` to run to
+    /// completion). The snapshot may come from any engine at any shard
+    /// count.
+    pub fn resume_trace_until(
+        self,
+        snap: &Snapshot,
+        trace: &Trace,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let threads = self.effective_threads();
+        let (shards, mut cursor) =
+            restore_shards(&self.plan, snap, crate::snapshot::trace_fingerprint(trace))?;
+        if snap.workload_hash() == 0 {
+            cursor.next_event = rescan_trace_cursor(trace, cursor.now);
+        }
+        finish_or_pause(
+            &self.plan,
+            shards,
+            threads,
+            Workload::Trace(trace),
+            cursor,
+            stop_at,
+            || crate::snapshot::trace_fingerprint(trace),
+        )
+    }
+
+    /// Resumes a paused trace run to completion.
+    pub fn resume_trace(self, snap: &Snapshot, trace: &Trace) -> Result<SimStats, SimError> {
+        Ok(self
+            .resume_trace_until(snap, trace, u64::MAX)?
+            .expect_finished())
+    }
+
+    /// Runs synthetic traffic, pausing at the cycle boundary `stop_at`
+    /// if the run hasn't drained by then.
+    pub fn run_synthetic_until(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let threads = self.effective_threads();
+        let tables = InjectTables::new(self.plan.topo, matrix);
+        let workload = Workload::Synthetic {
+            tables: &tables,
+            warmup,
+            measure,
+            seed,
+        };
+        let start = RunCursor::fresh(&workload);
+        finish_or_pause(
+            &self.plan,
+            self.shards,
+            threads,
+            workload,
+            start,
+            stop_at,
+            || crate::snapshot::synthetic_fingerprint(warmup, measure, seed),
+        )
+    }
+
+    /// Resumes a paused synthetic run to completion; same workload-
+    /// fingerprint rules as [`crate::Simulator::resume_synthetic`] (the
+    /// traffic matrix is deliberately not pinned, enabling warm-start
+    /// rate sweeps).
+    pub fn resume_synthetic(
+        self,
+        snap: &Snapshot,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        let threads = self.effective_threads();
+        let tables = InjectTables::new(self.plan.topo, matrix);
+        let (shards, cursor) = restore_shards(
+            &self.plan,
+            snap,
+            crate::snapshot::synthetic_fingerprint(warmup, measure, seed),
+        )?;
+        let workload = Workload::Synthetic {
+            tables: &tables,
+            warmup,
+            measure,
+            seed,
+        };
+        Ok(finish_or_pause(
+            &self.plan,
+            shards,
+            threads,
+            workload,
+            cursor,
+            u64::MAX,
+            || 0,
+        )?
+        .expect_finished())
     }
 
     fn effective_threads(&self) -> usize {

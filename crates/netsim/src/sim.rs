@@ -17,10 +17,17 @@
 //! `tests/shard_parity.rs` pins the sharded engine against this one.
 
 use crate::config::SimConfig;
-use crate::shard::{run_sharded, EnginePlan, InjectTables, ShardState, Workload};
+use crate::shard::{
+    import_shards, merge_stats, run_sharded, run_sharded_until, snapshot_shards, EnginePlan,
+    InjectTables, RunCursor, RunEnd, ShardState, Workload,
+};
+use crate::snapshot::{
+    plan_fingerprint, synthetic_fingerprint, trace_fingerprint, Snapshot, SnapshotError,
+};
 use crate::stats::SimStats;
 use hyppi_topology::{NodeId, Partition, RoutingTable, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
+use rand::{rngs::StdRng, SeedableRng};
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +38,8 @@ pub enum SimError {
         /// Packets still incomplete at the limit.
         stuck_packets: u64,
     },
+    /// A snapshot could not be restored (see [`SnapshotError`]).
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for SimError {
@@ -39,11 +48,92 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimit { stuck_packets } => {
                 write!(f, "cycle limit hit with {stuck_packets} packets in flight")
             }
+            SimError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<SnapshotError> for SimError {
+    fn from(e: SnapshotError) -> Self {
+        SimError::Snapshot(e)
+    }
+}
+
+/// Result of a bounded run ([`Simulator::run_trace_until`] and friends):
+/// either the workload drained before the stop cycle, or the run paused
+/// at the stop boundary and handed back a [`Snapshot`] to resume from.
+// One RunOutcome exists per bounded run, so the variant-size asymmetry
+// (inline SimStats vs a Vec-backed Snapshot) costs nothing worth boxing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run completed; here are its statistics.
+    Finished(SimStats),
+    /// The run paused at the requested cycle boundary; resume with the
+    /// matching `resume_*` entry point (or persist the snapshot first —
+    /// the byte format is stable, see `docs/SNAPSHOT_FORMAT.md`).
+    Paused(Snapshot),
+}
+
+impl RunOutcome {
+    /// Unwraps the completed-run statistics; panics on [`Paused`]
+    /// (convenience for `stop_at = u64::MAX` call sites).
+    ///
+    /// [`Paused`]: RunOutcome::Paused
+    pub fn expect_finished(self) -> SimStats {
+        match self {
+            RunOutcome::Finished(stats) => stats,
+            RunOutcome::Paused(_) => panic!("run paused before completing"),
+        }
+    }
+
+    /// Unwraps the pause snapshot; panics on [`Finished`] (convenience
+    /// for call sites that know the workload outlives the stop cycle).
+    ///
+    /// [`Finished`]: RunOutcome::Finished
+    pub fn expect_paused(self) -> Snapshot {
+        match self {
+            RunOutcome::Finished(_) => panic!("run finished before the stop cycle"),
+            RunOutcome::Paused(snap) => snap,
+        }
+    }
+}
+
+/// Decodes `snap` against `plan`, checks the workload fingerprint, and
+/// rebuilds shard state. `workload_hash` = 0 skips the workload check
+/// (manual-stepping snapshots don't pin one); a snapshot taken with
+/// hash 0 likewise resumes under any workload, with the trace cursor
+/// rebuilt by scanning for the first event at or after the snapshot
+/// cycle.
+pub(crate) fn restore_shards(
+    plan: &EnginePlan<'_>,
+    snap: &Snapshot,
+    workload_hash: u64,
+) -> Result<(Vec<ShardState>, RunCursor), SimError> {
+    let gs = snap.decode_for(plan_fingerprint(
+        plan.topo,
+        plan.routes,
+        &plan.cfg,
+        plan.baseline,
+    ))?;
+    let stored = snap.workload_hash();
+    if stored != 0 && workload_hash != 0 && stored != workload_hash {
+        return Err(SimError::Snapshot(SnapshotError::WorkloadMismatch));
+    }
+    Ok(import_shards(plan, &gs)?)
+}
+
+/// Trace-event cursor for a snapshot that didn't pin this trace: the
+/// first event not yet admitted at the snapshot boundary.
+pub(crate) fn rescan_trace_cursor(trace: &Trace, now: u64) -> u64 {
+    trace
+        .events
+        .iter()
+        .position(|e| e.cycle >= now)
+        .unwrap_or(trace.events.len()) as u64
+}
 
 /// The simulator. Construct once per (topology, routing) pair and run a
 /// trace or a synthetic load.
@@ -182,6 +272,161 @@ impl<'a> Simulator<'a> {
             false,
         )
     }
+
+    // ---- checkpoint / restore -------------------------------------------
+
+    /// Serializes the engine state at the cycle boundary `now` (cycles
+    /// `0..now` simulated, `now` not yet). For use with the manual
+    /// stepping API — the caller owns the clock, so it supplies the
+    /// boundary; the snapshot pins no workload (any `resume_*` accepts
+    /// it, rebuilding the trace cursor by scanning). Bounded runs
+    /// ([`run_trace_until`](Self::run_trace_until)) produce their own
+    /// snapshots instead.
+    pub fn snapshot(&self, now: u64) -> Snapshot {
+        let cursor = RunCursor {
+            now,
+            next_event: 0,
+            rng: StdRng::seed_from_u64(0).state(),
+        };
+        snapshot_shards(&self.plan, std::slice::from_ref(&self.shard), &cursor, 0)
+    }
+
+    /// Rebuilds a simulator from a snapshot, replacing this one's
+    /// (necessarily fresh) state. The snapshot may have been taken by
+    /// any engine at any shard count — the format is
+    /// partition-independent — but must match this simulator's topology,
+    /// routing, and configuration (fingerprint-checked). Continue with
+    /// the manual stepping API from cycle [`Snapshot::now`], or use a
+    /// `resume_*` entry point to rejoin a paused run.
+    pub fn restore(self, snap: &Snapshot) -> Result<Self, SimError> {
+        let Simulator { plan, .. } = self;
+        let (mut shards, _) = restore_shards(&plan, snap, 0)?;
+        let shard = shards.pop().expect("single partition has one shard");
+        debug_assert!(shards.is_empty());
+        Ok(Simulator { plan, shard })
+    }
+
+    /// Runs a trace, pausing at the cycle boundary `stop_at` if the
+    /// workload hasn't drained by then. Pausing at `c` and resuming
+    /// yields statistics bit-for-bit identical to the uninterrupted run
+    /// — `tests/snapshot_parity.rs` pins this.
+    pub fn run_trace_until(self, trace: &Trace, stop_at: u64) -> Result<RunOutcome, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let Simulator { plan, shard } = self;
+        let workload = Workload::Trace(trace);
+        let start = RunCursor::fresh(&workload);
+        finish_or_pause(&plan, vec![shard], 1, workload, start, stop_at, || {
+            trace_fingerprint(trace)
+        })
+    }
+
+    /// Resumes a paused trace run from `snap`, itself pausing again at
+    /// `stop_at` if the trace hasn't drained (pass `u64::MAX` to run to
+    /// completion). The snapshot must carry this trace's fingerprint, or
+    /// none (manual snapshots).
+    pub fn resume_trace_until(
+        self,
+        snap: &Snapshot,
+        trace: &Trace,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let Simulator { plan, .. } = self;
+        let (shards, mut cursor) = restore_shards(&plan, snap, trace_fingerprint(trace))?;
+        if snap.workload_hash() == 0 {
+            cursor.next_event = rescan_trace_cursor(trace, cursor.now);
+        }
+        finish_or_pause(
+            &plan,
+            shards,
+            1,
+            Workload::Trace(trace),
+            cursor,
+            stop_at,
+            || trace_fingerprint(trace),
+        )
+    }
+
+    /// Resumes a paused trace run to completion.
+    pub fn resume_trace(self, snap: &Snapshot, trace: &Trace) -> Result<SimStats, SimError> {
+        Ok(self
+            .resume_trace_until(snap, trace, u64::MAX)?
+            .expect_finished())
+    }
+
+    /// Runs synthetic traffic, pausing at the cycle boundary `stop_at`
+    /// if the run hasn't drained by then. Pausing at the end of warmup
+    /// and resuming per load point is what makes warm-start sweeps cheap
+    /// (see [`crate::SweepConfig::cold`]).
+    pub fn run_synthetic_until(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let Simulator { plan, shard } = self;
+        let tables = InjectTables::new(plan.topo, matrix);
+        let workload = Workload::Synthetic {
+            tables: &tables,
+            warmup,
+            measure,
+            seed,
+        };
+        let start = RunCursor::fresh(&workload);
+        finish_or_pause(&plan, vec![shard], 1, workload, start, stop_at, || {
+            synthetic_fingerprint(warmup, measure, seed)
+        })
+    }
+
+    /// Resumes a paused synthetic run to completion. The snapshot must
+    /// match `(warmup, measure, seed)` — the traffic matrix is
+    /// deliberately *not* fingerprinted, so a post-warmup snapshot can
+    /// be resumed at each rate-grid point (the matrix only shapes
+    /// injections after the snapshot boundary; the RNG stream resumes
+    /// from the cursor either way).
+    pub fn resume_synthetic(
+        self,
+        snap: &Snapshot,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        let Simulator { plan, .. } = self;
+        let tables = InjectTables::new(plan.topo, matrix);
+        let (shards, cursor) =
+            restore_shards(&plan, snap, synthetic_fingerprint(warmup, measure, seed))?;
+        let workload = Workload::Synthetic {
+            tables: &tables,
+            warmup,
+            measure,
+            seed,
+        };
+        Ok(finish_or_pause(&plan, shards, 1, workload, cursor, u64::MAX, || 0)?.expect_finished())
+    }
+}
+
+/// Shared tail of every bounded run: drive the engine, then either merge
+/// final statistics or serialize the pause snapshot (fingerprinting the
+/// workload via `workload_hash`, evaluated only on pause).
+pub(crate) fn finish_or_pause(
+    plan: &EnginePlan<'_>,
+    mut shards: Vec<ShardState>,
+    threads: usize,
+    workload: Workload<'_>,
+    start: RunCursor,
+    stop_at: u64,
+    workload_hash: impl FnOnce() -> u64,
+) -> Result<RunOutcome, SimError> {
+    let end = run_sharded_until(plan, &mut shards, threads, workload, false, start, stop_at)?;
+    Ok(match end {
+        RunEnd::Done(cycles) => RunOutcome::Finished(merge_stats(plan, &shards, cycles)),
+        RunEnd::Stopped(cursor) => {
+            RunOutcome::Paused(snapshot_shards(plan, &shards, &cursor, workload_hash()))
+        }
+    })
 }
 
 #[cfg(test)]

@@ -21,18 +21,40 @@
 //! --shards P`, the large-mesh accepted-load curves. Results are
 //! bit-for-bit independent of either knob's wall-clock effect.
 //!
+//! ## Warm-start sweeps
+//!
+//! By default the runner pays the warm-up phase **once per (pattern,
+//! seed)** instead of once per rate-grid point: it runs the anchor
+//! matrix (the pattern at [`SweepConfig::zero_load_rate`]) up to the
+//! warm-up boundary, snapshots the engine there
+//! ([`Simulator::run_synthetic_until`]), and resumes that [`Snapshot`]
+//! for every probed rate — the measurement window then runs under the
+//! point's own matrix (the snapshot workload fingerprint deliberately
+//! excludes the matrix to permit exactly this rate switch). Anchors are
+//! cached per pattern inside the runner, so a grid and the saturation
+//! bisection that follows share them. [`SweepConfig::cold`] restores
+//! the one-warm-up-per-point protocol; [`SweepRunner::run_point`] is
+//! always cold so single-point probes (e.g. the public zero-load
+//! latency) never depend on cache state. At the anchor rate itself a
+//! warm point is bit-for-bit identical to a cold one (resuming a run's
+//! own pause is exact); at other rates the two protocols differ only in
+//! the pre-measurement traffic history, identically across engines and
+//! shard counts.
+//!
 //! Every run is deterministic given its seed, so sweep results — including
 //! the bisection trajectory — are bit-for-bit reproducible.
 
 use crate::config::SimConfig;
 use crate::shard::ShardedSimulator;
-use crate::sim::{SimError, Simulator};
+use crate::sim::{RunOutcome, SimError, Simulator};
+use crate::snapshot::Snapshot;
 use crate::stats::{LatencyStats, SimStats};
-use hyppi_topology::{FaultSpec, RoutingTable, ShardSpec, Topology};
+use hyppi_topology::{FaultSpec, NodeId, RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Applies `f` to every item on a pool of scoped worker threads, returning
 /// outputs in input order.
@@ -127,6 +149,13 @@ pub struct SweepConfig {
     /// charging `SimStats::rerouted_hops` against the healthy baseline.
     /// `None` (default) sweeps the topology as given.
     pub faults: Option<FaultSpec>,
+    /// `true` re-runs the warm-up phase for every rate-grid point (the
+    /// pre-snapshot protocol); `false` (default) warm-starts each point
+    /// from a cached post-warm-up [`Snapshot`] of the pattern's anchor
+    /// run, paying warm-up once per seed instead of once per point (see
+    /// the module docs). Warm runs stay fully deterministic and
+    /// engine/shard-count independent.
+    pub cold: bool,
 }
 
 impl SweepConfig {
@@ -146,6 +175,7 @@ impl SweepConfig {
             max_outstanding: 0,
             accept_epsilon: 0.05,
             faults: None,
+            cold: false,
         }
     }
 
@@ -171,6 +201,13 @@ impl SweepConfig {
     /// in that case.
     pub fn faults(mut self, spec: FaultSpec) -> Self {
         self.faults = Some(spec);
+        self
+    }
+
+    /// Disables warm-start: every rate-grid point re-runs its own
+    /// warm-up phase (see [`SweepConfig::cold`]).
+    pub fn cold(mut self) -> Self {
+        self.cold = true;
         self
     }
 
@@ -278,6 +315,31 @@ pub struct SweepRunner<'a> {
     faulted: Option<(Topology, RoutingTable)>,
     sim: SimConfig,
     cfg: SweepConfig,
+    /// Post-warm-up anchor snapshots, one per seed, keyed by the anchor
+    /// matrix's content hash — one entry per traffic pattern swept
+    /// through this runner, shared between `run_grid` and the
+    /// saturation bisection (see the module docs on warm-start).
+    anchors: Mutex<HashMap<u64, Arc<Vec<Snapshot>>>>,
+}
+
+/// FNV-1a over a matrix's shape and rate bit patterns: the anchor-cache
+/// key that distinguishes traffic patterns swept through one runner.
+fn matrix_key(m: &TrafficMatrix) -> u64 {
+    fn eat(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+    let n = m.num_nodes();
+    let mut h = eat(0xcbf2_9ce4_8422_2325, n as u64);
+    for s in 0..n {
+        for d in 0..n {
+            h = eat(h, m.rate(NodeId(s as u16), NodeId(d as u16)).to_bits());
+        }
+    }
+    h
 }
 
 impl<'a> SweepRunner<'a> {
@@ -317,6 +379,7 @@ impl<'a> SweepRunner<'a> {
             faulted,
             sim,
             cfg,
+            anchors: Mutex::new(HashMap::new()),
         }
     }
 
@@ -350,6 +413,128 @@ impl<'a> SweepRunner<'a> {
                 sim = sim.with_baseline(bt, br);
             }
             sim.run_synthetic(matrix, self.cfg.warmup, self.cfg.measure, seed)
+        }
+    }
+
+    /// Like [`run_one`](Self::run_one) but pausing at the cycle
+    /// boundary `stop_at` — the anchor-producing run of a warm sweep.
+    fn run_one_until(
+        &self,
+        matrix: &TrafficMatrix,
+        seed: u64,
+        stop_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let (topo, routes, baseline) = match &self.faulted {
+            Some((t, r)) => (t, r, Some((self.topo, self.routes))),
+            None => (self.topo, self.routes, None),
+        };
+        let (warmup, measure) = (self.cfg.warmup, self.cfg.measure);
+        if self.cfg.shards > 1 {
+            let mut sim = ShardedSimulator::new(
+                topo,
+                routes,
+                self.sim,
+                ShardSpec::for_count(self.cfg.shards),
+            )
+            .with_threads(self.cfg.threads);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic_until(matrix, warmup, measure, seed, stop_at)
+        } else {
+            let mut sim = Simulator::new(topo, routes, self.sim);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic_until(matrix, warmup, measure, seed, stop_at)
+        }
+    }
+
+    /// Resumes one seed's anchor snapshot under `matrix` — the
+    /// measurement leg of a warm sweep point.
+    fn resume_one(
+        &self,
+        snap: &Snapshot,
+        matrix: &TrafficMatrix,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        let (topo, routes, baseline) = match &self.faulted {
+            Some((t, r)) => (t, r, Some((self.topo, self.routes))),
+            None => (self.topo, self.routes, None),
+        };
+        let (warmup, measure) = (self.cfg.warmup, self.cfg.measure);
+        if self.cfg.shards > 1 {
+            let mut sim = ShardedSimulator::new(
+                topo,
+                routes,
+                self.sim,
+                ShardSpec::for_count(self.cfg.shards),
+            )
+            .with_threads(self.cfg.threads);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.resume_synthetic(snap, matrix, warmup, measure, seed)
+        } else {
+            let mut sim = Simulator::new(topo, routes, self.sim);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.resume_synthetic(snap, matrix, warmup, measure, seed)
+        }
+    }
+
+    /// Returns the pattern's per-seed anchor snapshots (building and
+    /// caching them on first use), or `None` when the sweep must run
+    /// cold: [`SweepConfig::cold`] is set, there is no warm-up phase to
+    /// amortize, or an anchor run ended before the warm-up boundary
+    /// (a cycle cap below `warmup`).
+    fn warm_anchors<G>(&self, gen: &G) -> Option<Arc<Vec<Snapshot>>>
+    where
+        G: Fn(f64) -> TrafficMatrix + Sync,
+    {
+        if self.cfg.cold || self.cfg.warmup == 0 {
+            return None;
+        }
+        let anchor = gen(self.cfg.zero_load_rate);
+        let key = matrix_key(&anchor);
+        if let Some(a) = self
+            .anchors
+            .lock()
+            .expect("anchor cache not poisoned")
+            .get(&key)
+        {
+            return Some(Arc::clone(a));
+        }
+        let outcomes = parallel_map(self.cfg.seeds.clone(), |seed| {
+            self.run_one_until(&anchor, seed, self.cfg.warmup)
+        });
+        let mut snaps = Vec::with_capacity(outcomes.len());
+        for out in outcomes {
+            match out {
+                Ok(RunOutcome::Paused(s)) => snaps.push(s),
+                _ => return None,
+            }
+        }
+        let arc = Arc::new(snaps);
+        self.anchors
+            .lock()
+            .expect("anchor cache not poisoned")
+            .insert(key, Arc::clone(&arc));
+        Some(arc)
+    }
+
+    /// One merged point, warm when anchors are available.
+    fn probe_point(&self, anchors: Option<&[Snapshot]>, matrix: &TrafficMatrix) -> LoadPoint {
+        match anchors {
+            Some(a) => {
+                let offered = matrix.mean_injection();
+                let jobs: Vec<(usize, u64)> = self.cfg.seeds.iter().copied().enumerate().collect();
+                let outcomes =
+                    parallel_map(jobs, |(si, seed)| self.resume_one(&a[si], matrix, seed));
+                self.reduce(offered, outcomes)
+            }
+            None => self.run_point(matrix),
         }
     }
 
@@ -396,6 +581,10 @@ impl<'a> SweepRunner<'a> {
     }
 
     /// Runs every seed of one traffic matrix in parallel and merges them.
+    ///
+    /// Always cold (its own full warm-up), regardless of
+    /// [`SweepConfig::cold`]: a single probed point never depends on
+    /// anchor-cache state.
     pub fn run_point(&self, matrix: &TrafficMatrix) -> LoadPoint {
         let offered = matrix.mean_injection();
         let outcomes = parallel_map(self.cfg.seeds.clone(), |seed| self.run_one(matrix, seed));
@@ -404,19 +593,28 @@ impl<'a> SweepRunner<'a> {
 
     /// Sweeps a rate grid: all (rate × seed) runs fan out across threads
     /// at once, then each rate's seeds are merged. Points come back in
-    /// `rates` order.
+    /// `rates` order. Warm by default — each run resumes the seed's
+    /// cached post-warm-up anchor instead of re-running warm-up (see the
+    /// module docs and [`SweepConfig::cold`]).
     pub fn run_grid<G>(&self, gen: &G, rates: &[f64]) -> Vec<LoadPoint>
     where
         G: Fn(f64) -> TrafficMatrix + Sync,
     {
         let matrices: Vec<TrafficMatrix> = rates.iter().map(|&r| gen(r)).collect();
+        let anchors = self.warm_anchors(gen);
         let mut jobs = Vec::with_capacity(rates.len() * self.cfg.seeds.len());
         for i in 0..rates.len() {
-            for &seed in &self.cfg.seeds {
-                jobs.push((i, seed));
+            for (si, &seed) in self.cfg.seeds.iter().enumerate() {
+                jobs.push((i, si, seed));
             }
         }
-        let outs = parallel_map(jobs, |(i, seed)| (i, self.run_one(&matrices[i], seed)));
+        let outs = parallel_map(jobs, |(i, si, seed)| {
+            let out = match &anchors {
+                Some(a) => self.resume_one(&a[si], &matrices[i], seed),
+                None => self.run_one(&matrices[i], seed),
+            };
+            (i, out)
+        });
         let mut per_rate: Vec<Vec<Result<SimStats, SimError>>> =
             (0..rates.len()).map(|_| Vec::new()).collect();
         for (i, out) in outs {
@@ -465,7 +663,12 @@ impl<'a> SweepRunner<'a> {
             "degenerate search range"
         );
         let seeds = self.cfg.seeds.len() as u32;
-        let zero_load_latency = self.zero_load_latency(gen);
+        // Warm probes share the pattern's anchors with `run_grid`. The
+        // zero-load probe is exact either way: it probes the anchor rate
+        // itself, where warm and cold runs coincide bit-for-bit.
+        let anchors = self.warm_anchors(gen);
+        let probe = |m: &TrafficMatrix| self.probe_point(anchors.as_deref().map(Vec::as_slice), m);
+        let zero_load_latency = probe(&gen(self.cfg.zero_load_rate)).mean_latency();
         let threshold = self.cfg.sat_multiple * zero_load_latency;
         let closed = self.cfg.max_outstanding > 0;
         let accept_floor = 1.0 - self.cfg.accept_epsilon;
@@ -495,7 +698,7 @@ impl<'a> SweepRunner<'a> {
         let mut lo = self.cfg.zero_load_rate;
         let mut hi = max_rate;
         let mut runs = 2 * seeds; // zero-load probe + top-of-range probe
-        if !saturated(&self.run_point(&gen(hi))) {
+        if !saturated(&probe(&gen(hi))) {
             // The network never saturates within the searched range.
             return SaturationSearch {
                 zero_load_latency,
@@ -509,7 +712,7 @@ impl<'a> SweepRunner<'a> {
         while hi - lo > self.cfg.tolerance {
             let mid = 0.5 * (lo + hi);
             runs += seeds;
-            if saturated(&self.run_point(&gen(mid))) {
+            if saturated(&probe(&gen(mid))) {
                 hi = mid;
             } else {
                 lo = mid;
@@ -615,7 +818,7 @@ mod tests {
         let routes = RoutingTable::compute_xy(&topo);
         let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
         let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
-        let points = runner.run_grid(&gen, &[0.02, 0.30]);
+        let points = runner.run_grid(&gen, &[0.02, 0.50]);
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| p.stable && p.latency.count > 0));
         assert!(points[1].mean_latency() > points[0].mean_latency());
@@ -740,6 +943,87 @@ mod tests {
         // left the offered-load diagonal.
         let past = runner.run_point(&gen((a.saturation_load * 1.5).min(1.0)));
         assert!(past.accepted < past.offered * (1.0 - runner.config().accept_epsilon));
+    }
+
+    // -- warm-start ------------------------------------------------------
+
+    #[test]
+    fn warm_grid_matches_cold_at_anchor_rate() {
+        // At the anchor rate a warm point resumes its own anchor run's
+        // pause, so it must be bit-for-bit identical to the cold point.
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let warm = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let cold = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::quick().cold(),
+        );
+        let rate = SweepConfig::quick().zero_load_rate;
+        let w = warm.run_grid(&gen, &[rate]);
+        let c = cold.run_grid(&gen, &[rate]);
+        assert_eq!(w, c);
+    }
+
+    #[test]
+    fn warm_grid_is_deterministic_and_engine_independent() {
+        let topo = small_mesh(6, 6);
+        let routes = RoutingTable::compute_xy(&topo);
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let single = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let sharded = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::quick().with_shards(4),
+        );
+        let rates = [0.02, 0.45];
+        let a = single.run_grid(&gen, &rates);
+        // Repeat on the same runner: anchors now come from the cache.
+        let b = single.run_grid(&gen, &rates);
+        assert_eq!(a, b);
+        // Warm resume is partition-independent like everything else.
+        let c = sharded.run_grid(&gen, &rates);
+        assert_eq!(a, c);
+        // The physics survives the protocol change.
+        assert!(a.iter().all(|p| p.stable && p.latency.count > 0));
+        assert!(a[1].mean_latency() > a[0].mean_latency());
+    }
+
+    #[test]
+    fn warm_saturation_search_is_deterministic() {
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::quick());
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let a = runner.find_saturation(&gen, 1.0);
+        assert!(a.saturated_in_range);
+        assert!(a.saturation_load > a.last_stable_load);
+        let b = runner.find_saturation(&gen, 1.0);
+        assert_eq!(a, b);
+        // The zero-load probe is at the anchor rate: exactly the cold value.
+        assert_eq!(a.zero_load_latency, runner.zero_load_latency(&gen));
+    }
+
+    #[test]
+    fn warm_faulted_sweep_still_reroutes() {
+        // Warm anchors carry the faulted plan's fingerprint; the
+        // resilience counters survive the warm protocol.
+        let topo = small_mesh(4, 4);
+        let routes = RoutingTable::compute_xy(&topo);
+        let gen = |r: f64| SyntheticPattern::Uniform.matrix(&topo, r);
+        let spec = FaultSpec::none().dead_link(NodeId(5), NodeId(6));
+        let runner = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::quick().faults(spec),
+        );
+        let points = runner.run_grid(&gen, &[0.10]);
+        assert!(points[0].stable);
+        assert!(points[0].rerouted_hops > 0);
     }
 
     #[test]

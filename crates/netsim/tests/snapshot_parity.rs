@@ -1,0 +1,662 @@
+//! Checkpoint/restore parity: running `N` cycles must equal running to
+//! cycle `c`, snapshotting, restoring, and running the remainder —
+//! **bit-for-bit** in `SimStats` (latency histograms included) — on
+//! `Simulator`, `ShardedSimulator`, and `ReferenceSimulator`, across
+//! open/closed-loop, express, faulted, and shard-cut cells, including
+//! re-partitioned restores (P=4 snapshot resumed at P=1 and back).
+//!
+//! Because all three engines are already pinned bit-for-bit against each
+//! other (`tests/parity.rs`, `tests/shard_parity.rs`), these fixtures
+//! make snapshot equality transitive: any divergence in what the
+//! snapshot captures — arbitration pointers, credit state, wormhole
+//! remaps, RNG position — shows up as a statistics diff.
+//!
+//! The property block at the bottom additionally splices random cells at
+//! random cycles and audits per-cycle flit conservation across the
+//! splice (injected = delivered + in-network, every cycle) on a
+//! manually-stepped restored engine.
+
+use hyppi_netsim::reference::ReferenceSimulator;
+use hyppi_netsim::snapshot::{Snapshot, SnapshotError};
+use hyppi_netsim::{RunOutcome, ShardedSimulator, SimConfig, SimError, SimStats, Simulator};
+use hyppi_phys::LinkTechnology;
+use hyppi_topology::{
+    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+};
+use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+use proptest::prelude::*;
+
+fn small_mesh(w: u16, h: u16) -> Topology {
+    mesh(MeshSpec {
+        width: w,
+        height: h,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: hyppi_phys::Gbps::new(50.0),
+    })
+}
+
+fn express8(span: u16) -> Topology {
+    express_mesh(
+        MeshSpec {
+            width: 8,
+            height: 8,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: hyppi_phys::Gbps::new(50.0),
+        },
+        ExpressSpec {
+            span,
+            tech: LinkTechnology::Hyppi,
+        },
+    )
+}
+
+/// Deterministic pseudo-random trace (SplitMix64), the same family the
+/// other parity suites use: mixed 1-/32-flit packets, bursts, idle gaps.
+fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
+    let n = topo.num_nodes() as u64;
+    let mut z = seed;
+    let mut next = move || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut events = Vec::with_capacity(packets);
+    let mut cycle = 0u64;
+    for _ in 0..packets {
+        cycle += match next() % 10 {
+            0 => 300 + next() % 1000,
+            1..=4 => 0,
+            _ => next() % 4,
+        };
+        let src = next() % n;
+        let mut dst = next() % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        events.push(TraceEvent {
+            cycle,
+            src: NodeId(src as u16),
+            dst: NodeId(dst as u16),
+            flits: if next() % 3 == 0 { 32 } else { 1 },
+        });
+    }
+    Trace::new("snapshot fixture", topo.num_nodes() as u16, 0.0, events)
+}
+
+fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
+    let n = topo.num_nodes();
+    let mut m = TrafficMatrix::zero(n);
+    let per_pair = rate / (n - 1) as f64;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d {
+                m.set(s, d, per_pair);
+            }
+        }
+    }
+    m
+}
+
+/// Split cycles every fixture is spliced at: mid-warmup, dense traffic,
+/// and deep into the run (possibly inside an idle fast-forward gap).
+const SPLITS: [u64; 4] = [1, 57, 300, 2048];
+
+/// P=1 splice: whole run == run-until + resume, for every split.
+fn assert_trace_splice(topo: &Topology, cfg: SimConfig, trace: &Trace, label: &str) -> SimStats {
+    let routes = RoutingTable::compute_xy(topo);
+    let whole = Simulator::new(topo, &routes, cfg)
+        .run_trace(trace)
+        .expect("whole run completes");
+    for split in SPLITS {
+        let spliced = match Simulator::new(topo, &routes, cfg)
+            .run_trace_until(trace, split)
+            .expect("bounded run completes")
+        {
+            RunOutcome::Finished(stats) => stats,
+            RunOutcome::Paused(snap) => {
+                assert_eq!(snap.now(), split, "{label}: pause boundary");
+                Simulator::new(topo, &routes, cfg)
+                    .resume_trace(&snap, trace)
+                    .expect("resumed run completes")
+            }
+        };
+        assert_eq!(spliced, whole, "{label}: split at {split}");
+    }
+    whole
+}
+
+fn assert_synthetic_splice(
+    topo: &Topology,
+    cfg: SimConfig,
+    rate: f64,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    label: &str,
+) -> SimStats {
+    let routes = RoutingTable::compute_xy(topo);
+    let m = uniform_matrix(topo, rate);
+    let whole = Simulator::new(topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, seed)
+        .expect("whole run completes");
+    for split in SPLITS {
+        let spliced = match Simulator::new(topo, &routes, cfg)
+            .run_synthetic_until(&m, warmup, measure, seed, split)
+            .expect("bounded run completes")
+        {
+            RunOutcome::Finished(stats) => stats,
+            RunOutcome::Paused(snap) => Simulator::new(topo, &routes, cfg)
+                .resume_synthetic(&snap, &m, warmup, measure, seed)
+                .expect("resumed run completes"),
+        };
+        assert_eq!(spliced, whole, "{label}: split at {split}");
+    }
+    whole
+}
+
+#[test]
+fn trace_splice_plain_8x8() {
+    let topo = small_mesh(8, 8);
+    for seed in [1u64, 42] {
+        let trace = fixture_trace(&topo, seed, 400);
+        assert_trace_splice(
+            &topo,
+            SimConfig::paper(),
+            &trace,
+            &format!("plain 8x8, seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn trace_splice_express_span3() {
+    // Dateline VC classes mid-flight at the split: restored packets must
+    // keep their (pre/post)-dateline class or VC allocation diverges.
+    let topo = express8(3);
+    let trace = fixture_trace(&topo, 7, 400);
+    assert_trace_splice(&topo, SimConfig::paper(), &trace, "express x3 8x8");
+}
+
+#[test]
+fn trace_splice_closed_loop() {
+    // Closed-loop window state (outstanding counts, parked sources)
+    // across the splice.
+    let topo = small_mesh(8, 8);
+    let trace = fixture_trace(&topo, 99, 400);
+    assert_trace_splice(
+        &topo,
+        SimConfig::paper_closed_loop(2),
+        &trace,
+        "closed-loop 8x8, window 2",
+    );
+}
+
+#[test]
+fn trace_splice_faulted() {
+    // Faults + baseline: the plan fingerprint covers the faulted
+    // topology and routes, and `rerouted_hops` accounting must survive
+    // the splice.
+    let healthy = small_mesh(8, 8);
+    let healthy_routes = RoutingTable::compute_xy(&healthy);
+    let spec = FaultSpec::none()
+        .dead_link(NodeId(3 * 8 + 3), NodeId(3 * 8 + 4))
+        .degraded_span(NodeId(5 * 8 + 3), NodeId(5 * 8 + 4))
+        .dead_router(NodeId(6 * 8 + 1));
+    let topo = spec.apply(&healthy);
+    let routes = RoutingTable::compute_xy_avoiding(&topo).expect("routable");
+    let cfg = SimConfig::paper();
+    let trace = fixture_trace(&healthy, 17, 400);
+    let whole = Simulator::new(&topo, &routes, cfg)
+        .with_baseline(&healthy, &healthy_routes)
+        .run_trace(&trace)
+        .expect("whole run completes");
+    assert!(whole.rerouted_hops > 0, "faults never forced a detour");
+    for split in SPLITS {
+        let spliced = match Simulator::new(&topo, &routes, cfg)
+            .with_baseline(&healthy, &healthy_routes)
+            .run_trace_until(&trace, split)
+            .expect("bounded run completes")
+        {
+            RunOutcome::Finished(stats) => stats,
+            RunOutcome::Paused(snap) => Simulator::new(&topo, &routes, cfg)
+                .with_baseline(&healthy, &healthy_routes)
+                .resume_trace(&snap, &trace)
+                .expect("resumed run completes"),
+        };
+        assert_eq!(spliced, whole, "faulted splice at {split}");
+    }
+}
+
+#[test]
+fn synthetic_splice_open_and_closed_loop() {
+    let topo = small_mesh(8, 8);
+    assert_synthetic_splice(
+        &topo,
+        SimConfig::paper(),
+        0.10,
+        150,
+        500,
+        5,
+        "open-loop 8x8",
+    );
+    assert_synthetic_splice(
+        &topo,
+        SimConfig::paper_closed_loop(4),
+        0.25,
+        150,
+        500,
+        13,
+        "closed-loop 8x8, window 4",
+    );
+}
+
+/// Sharded splice matrix: snapshot under one shard grid, restore under
+/// another (including P=1 both ways), sequential and threaded.
+#[test]
+fn sharded_repartition_splice() {
+    let topo = small_mesh(8, 8);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let trace = fixture_trace(&topo, 4242, 500);
+    let whole = Simulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("whole run completes");
+    let grids = [
+        ShardSpec { sx: 2, sy: 1 },
+        ShardSpec { sx: 2, sy: 2 },
+        ShardSpec { sx: 4, sy: 2 },
+    ];
+    for split in [57u64, 300] {
+        // Snapshots taken at P=1 and at each grid…
+        let mut snaps: Vec<(String, Snapshot)> = Vec::new();
+        snaps.push((
+            "P=1".into(),
+            Simulator::new(&topo, &routes, cfg)
+                .run_trace_until(&trace, split)
+                .expect("bounded run completes")
+                .expect_paused(),
+        ));
+        for grid in grids {
+            for threads in [1usize, 0] {
+                let snap = ShardedSimulator::new(&topo, &routes, cfg, grid)
+                    .with_threads(threads)
+                    .run_trace_until(&trace, split)
+                    .expect("bounded run completes")
+                    .expect_paused();
+                snaps.push((format!("{}x{} t{threads}", grid.sx, grid.sy), snap));
+            }
+        }
+        // …must all be byte-identical (the format is partition-
+        // independent and the engines are lockstep)…
+        for (label, snap) in &snaps[1..] {
+            assert_eq!(
+                snap.bytes(),
+                snaps[0].1.bytes(),
+                "snapshot bytes diverge at split {split}: {label} vs P=1"
+            );
+        }
+        // …and resume to the whole-run statistics under every engine.
+        let (_, snap) = &snaps[0];
+        let resumed = Simulator::new(&topo, &routes, cfg)
+            .resume_trace(snap, &trace)
+            .expect("P=1 resume completes");
+        assert_eq!(resumed, whole, "P=1 resume at {split}");
+        for grid in grids {
+            for threads in [1usize, 0] {
+                let resumed = ShardedSimulator::new(&topo, &routes, cfg, grid)
+                    .with_threads(threads)
+                    .resume_trace(snap, &trace)
+                    .expect("sharded resume completes");
+                assert_eq!(
+                    resumed, whole,
+                    "grid {}x{} t{threads} resume at {split}",
+                    grid.sx, grid.sy
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria cell spelled out: a P=4 (quadrants) snapshot
+/// restored and finished at P=1, and a P=1 snapshot finished at P=4, on
+/// a closed-loop synthetic workload crossing every shard cut.
+#[test]
+fn p4_snapshot_restores_at_p1_and_back() {
+    let topo = small_mesh(8, 8);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper_closed_loop(4);
+    let m = uniform_matrix(&topo, 0.25);
+    let (warmup, measure, seed) = (150u64, 500u64, 23u64);
+    let whole = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, seed)
+        .expect("whole run completes");
+    let split = 200u64;
+    let p4 = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .run_synthetic_until(&m, warmup, measure, seed, split)
+        .expect("bounded run completes")
+        .expect_paused();
+    let at_p1 = Simulator::new(&topo, &routes, cfg)
+        .resume_synthetic(&p4, &m, warmup, measure, seed)
+        .expect("P=1 resume completes");
+    assert_eq!(at_p1, whole, "P=4 snapshot resumed at P=1");
+    let p1 = Simulator::new(&topo, &routes, cfg)
+        .run_synthetic_until(&m, warmup, measure, seed, split)
+        .expect("bounded run completes")
+        .expect_paused();
+    let at_p4 = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .resume_synthetic(&p1, &m, warmup, measure, seed)
+        .expect("P=4 resume completes");
+    assert_eq!(at_p4, whole, "P=1 snapshot resumed at P=4");
+}
+
+/// Reference-engine splice: the frozen oracle carries the mirror
+/// implementation, and its snapshots interchange with the production
+/// engines' (logical content equality — the oracle proves the format
+/// captures engine-independent state).
+#[test]
+fn reference_splice_and_cross_engine_restore() {
+    let topo = small_mesh(8, 8);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let trace = fixture_trace(&topo, 77, 400);
+    let whole = ReferenceSimulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("whole run completes");
+    for split in SPLITS {
+        let spliced = match ReferenceSimulator::new(&topo, &routes, cfg)
+            .run_trace_until(&trace, split)
+            .expect("bounded run completes")
+        {
+            RunOutcome::Finished(stats) => stats,
+            RunOutcome::Paused(snap) => {
+                // Cross-engine: the oracle's snapshot resumes on the
+                // production engine, and vice versa, to the same stats.
+                let on_fast = Simulator::new(&topo, &routes, cfg)
+                    .resume_trace(&snap, &trace)
+                    .expect("production resume completes");
+                assert_eq!(on_fast, whole, "reference snapshot on Simulator at {split}");
+                let fast_snap = Simulator::new(&topo, &routes, cfg)
+                    .run_trace_until(&trace, split)
+                    .expect("bounded run completes")
+                    .expect_paused();
+                let on_ref = ReferenceSimulator::new(&topo, &routes, cfg)
+                    .resume_trace(&fast_snap, &trace)
+                    .expect("reference resume completes");
+                assert_eq!(on_ref, whole, "Simulator snapshot on reference at {split}");
+                ReferenceSimulator::new(&topo, &routes, cfg)
+                    .resume_trace(&snap, &trace)
+                    .expect("reference resume completes")
+            }
+        };
+        assert_eq!(spliced, whole, "reference splice at {split}");
+    }
+}
+
+#[test]
+fn reference_synthetic_splice_closed_loop_express() {
+    let topo = express8(3);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper_closed_loop(4);
+    let m = uniform_matrix(&topo, 0.20);
+    let (warmup, measure, seed) = (150u64, 400u64, 31u64);
+    let whole = ReferenceSimulator::new(&topo, &routes, cfg)
+        .run_synthetic(&m, warmup, measure, seed)
+        .expect("whole run completes");
+    for split in [57u64, 300] {
+        let snap = ReferenceSimulator::new(&topo, &routes, cfg)
+            .run_synthetic_until(&m, warmup, measure, seed, split)
+            .expect("bounded run completes")
+            .expect_paused();
+        let spliced = ReferenceSimulator::new(&topo, &routes, cfg)
+            .resume_synthetic(&snap, &m, warmup, measure, seed)
+            .expect("resumed run completes");
+        assert_eq!(spliced, whole, "reference synthetic splice at {split}");
+        let cross = Simulator::new(&topo, &routes, cfg)
+            .resume_synthetic(&snap, &m, warmup, measure, seed)
+            .expect("cross resume completes");
+        assert_eq!(cross, whole, "cross-engine synthetic splice at {split}");
+    }
+}
+
+// ---- error handling -----------------------------------------------------
+
+#[test]
+fn restore_rejects_mismatches() {
+    let topo = small_mesh(8, 8);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let trace = fixture_trace(&topo, 1, 300);
+    let snap = Simulator::new(&topo, &routes, cfg)
+        .run_trace_until(&trace, 57)
+        .expect("bounded run completes")
+        .expect_paused();
+
+    // Wrong configuration → plan fingerprint mismatch.
+    let other_cfg = SimConfig {
+        vcs: 2,
+        ..SimConfig::paper()
+    };
+    let err = Simulator::new(&topo, &routes, other_cfg)
+        .resume_trace(&snap, &trace)
+        .expect_err("vcs=2 plan must reject");
+    assert_eq!(err, SimError::Snapshot(SnapshotError::PlanMismatch));
+
+    // Wrong topology → plan fingerprint mismatch.
+    let other_topo = small_mesh(4, 4);
+    let other_routes = RoutingTable::compute_xy(&other_topo);
+    let err = Simulator::new(&other_topo, &other_routes, cfg)
+        .resume_trace(&snap, &fixture_trace(&other_topo, 1, 50))
+        .expect_err("4x4 plan must reject");
+    assert_eq!(err, SimError::Snapshot(SnapshotError::PlanMismatch));
+
+    // Different trace → workload fingerprint mismatch.
+    let other_trace = fixture_trace(&topo, 2, 300);
+    let err = Simulator::new(&topo, &routes, cfg)
+        .resume_trace(&snap, &other_trace)
+        .expect_err("different trace must reject");
+    assert_eq!(err, SimError::Snapshot(SnapshotError::WorkloadMismatch));
+
+    // Truncated body: the header parses, decode rejects.
+    let bytes = snap.bytes();
+    let cut = Snapshot::from_bytes(bytes[..bytes.len() - 3].to_vec())
+        .expect("header is intact, construction succeeds");
+    let err = Simulator::new(&topo, &routes, cfg)
+        .resume_trace(&cut, &trace)
+        .expect_err("truncated snapshot must reject");
+    assert_eq!(err, SimError::Snapshot(SnapshotError::Truncated));
+
+    // Damaged magic is rejected at construction.
+    let mut bad = bytes.to_vec();
+    bad[0] ^= 0xFF;
+    let err = Snapshot::from_bytes(bad).expect_err("bad magic must reject");
+    assert_eq!(err, SnapshotError::BadMagic);
+
+    // Unknown version is rejected at construction.
+    let mut newer = bytes.to_vec();
+    newer[8] = 0xFE;
+    let err = Snapshot::from_bytes(newer).expect_err("future version must reject");
+    assert_eq!(err, SnapshotError::BadVersion { found: 0xFE });
+}
+
+/// A manual-stepping snapshot (no workload pinned) resumes under any
+/// workload: the trace cursor is rebuilt by scanning.
+#[test]
+fn manual_snapshot_resumes_into_trace_run() {
+    let topo = small_mesh(4, 4);
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    // Whole run: two packets admitted at cycle 0, two more at cycle 40.
+    let mk_events = || {
+        vec![
+            TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(15),
+                flits: 32,
+            },
+            TraceEvent {
+                cycle: 0,
+                src: NodeId(5),
+                dst: NodeId(10),
+                flits: 1,
+            },
+            TraceEvent {
+                cycle: 40,
+                src: NodeId(15),
+                dst: NodeId(0),
+                flits: 32,
+            },
+            TraceEvent {
+                cycle: 40,
+                src: NodeId(3),
+                dst: NodeId(12),
+                flits: 1,
+            },
+        ]
+    };
+    let trace = Trace::new("manual", 16, 0.0, mk_events());
+    let whole = Simulator::new(&topo, &routes, cfg)
+        .run_trace(&trace)
+        .expect("whole run completes");
+    // Manually step through the first 20 cycles (admitting as the run
+    // loop would), snapshot, then hand off to `resume_trace`.
+    let mut sim = Simulator::new(&topo, &routes, cfg);
+    let mut events = mk_events();
+    events.retain(|e| {
+        if e.cycle < 20 {
+            sim.admit(e.src, e.dst, e.flits, e.cycle);
+        }
+        e.cycle >= 20
+    });
+    for now in 0..20 {
+        sim.step(now);
+    }
+    let snap = sim.snapshot(20);
+    assert_eq!(snap.now(), 20);
+    let resumed = Simulator::new(&topo, &routes, cfg)
+        .resume_trace(&snap, &trace)
+        .expect("resumed run completes");
+    assert_eq!(resumed, whole);
+}
+
+// ---- property: random cells, random splits, flit conservation -----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (topology, pattern, window, faults, split): splice parity
+    /// on all three engines plus a per-cycle flit-conservation audit of
+    /// the restored state (injected = delivered + in-network at every
+    /// cycle boundary after the splice).
+    #[test]
+    fn random_cell_splices_cleanly(
+        (w, h) in prop_oneof![Just((6u16, 6u16)), Just((8, 4)), Just((8, 8))],
+        express_span in prop_oneof![Just(0u16), Just(3)],
+        window in prop_oneof![Just(0usize), Just(2), Just(8)],
+        faulted in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1000,
+        split in 1u64..900,
+    ) {
+        let healthy = if express_span > 0 {
+            express_mesh(
+                MeshSpec {
+                    width: w,
+                    height: h,
+                    core_spacing_mm: 1.0,
+                    base_tech: LinkTechnology::Electronic,
+                    capacity: hyppi_phys::Gbps::new(50.0),
+                },
+                ExpressSpec { span: express_span, tech: LinkTechnology::Hyppi },
+            )
+        } else {
+            small_mesh(w, h)
+        };
+        let topo = if faulted {
+            FaultSpec::none()
+                .dead_link(NodeId(1), NodeId(2))
+                .degraded_span(NodeId(w), NodeId(w + 1))
+                .apply(&healthy)
+        } else {
+            healthy.clone()
+        };
+        let routes = if faulted {
+            RoutingTable::compute_xy_avoiding(&topo).expect("routable")
+        } else {
+            RoutingTable::compute_xy(&topo)
+        };
+        let cfg = if window == 0 {
+            SimConfig::paper()
+        } else {
+            SimConfig::paper_closed_loop(window)
+        };
+        let trace = fixture_trace(&topo, seed, 250);
+
+        let whole = Simulator::new(&topo, &routes, cfg)
+            .run_trace(&trace)
+            .expect("whole run completes");
+
+        // Production splice.
+        let outcome = Simulator::new(&topo, &routes, cfg)
+            .run_trace_until(&trace, split)
+            .expect("bounded run completes");
+        let snap = match outcome {
+            RunOutcome::Finished(stats) => {
+                prop_assert_eq!(stats, whole);
+                return Ok(());
+            }
+            RunOutcome::Paused(snap) => snap,
+        };
+        let resumed = Simulator::new(&topo, &routes, cfg)
+            .resume_trace(&snap, &trace)
+            .expect("resumed run completes");
+        prop_assert_eq!(&resumed, &whole);
+
+        // Sharded restore of the same snapshot.
+        let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec { sx: 2, sy: 1 })
+            .resume_trace(&snap, &trace)
+            .expect("sharded resume completes");
+        prop_assert_eq!(&sharded, &whole);
+
+        // Reference-engine restore of the same snapshot.
+        let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+            .resume_trace(&snap, &trace)
+            .expect("reference resume completes");
+        prop_assert_eq!(&reference, &whole);
+
+        // Conservation audit across the splice: restore into a manually
+        // stepped engine and check the flit ledger every cycle while
+        // feeding it the trace's remaining events.
+        let mut sim = Simulator::new(&topo, &routes, cfg)
+            .restore(&snap)
+            .expect("manual restore");
+        let mut pending: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.cycle >= split)
+            .cloned()
+            .collect();
+        let audit_until = split + 400;
+        let mut next = 0usize;
+        for now in split..audit_until {
+            while next < pending.len() && pending[next].cycle <= now {
+                let e = pending[next];
+                sim.admit(e.src, e.dst, e.flits, now);
+                next += 1;
+            }
+            sim.step(now);
+            let s = sim.stats();
+            prop_assert!(
+                s.flits_injected == s.flits_delivered + sim.in_network_flits(),
+                "conservation broke at cycle {now}: injected {} != delivered {} + in-network {}",
+                s.flits_injected,
+                s.flits_delivered,
+                sim.in_network_flits()
+            );
+        }
+        pending.clear();
+    }
+}
