@@ -10,6 +10,7 @@
 //! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --save cg.snap
 //! cargo run --release -p hyppi-bench --bin repro npb32 -- --kernel CG --resume cg.snap
 //! cargo run --release -p hyppi-bench --bin repro fault_sweep -- --json faults.json
+//! cargo run --release -p hyppi-bench --bin repro load_sweep -- --metrics m.jsonl --trace t.json
 //! cargo run --release -p hyppi-bench --bin repro sweep-span # ablation
 //! ```
 
@@ -41,6 +42,30 @@ fn maybe_write_json_str(args: &[String], json: &str) {
 /// given.
 fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResult) {
     maybe_write_json_str(args, &result.to_json());
+}
+
+/// Parsed `--metrics PATH` / `--trace PATH` flight-recorder options.
+fn telemetry_opts(args: &[String]) -> TelemetryOpts {
+    TelemetryOpts {
+        metrics: flag_value(args, "--metrics"),
+        trace: flag_value(args, "--trace"),
+    }
+}
+
+/// Unwraps a `*_recorded` driver result and reports its artifacts.
+fn report_recorded<T>(result: std::io::Result<(T, Vec<String>)>) -> T {
+    match result {
+        Ok((value, written)) => {
+            for path in &written {
+                println!("wrote {path}");
+            }
+            value
+        }
+        Err(e) => {
+            eprintln!("could not write telemetry artifact: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -124,7 +149,10 @@ fn main() {
         ran = true;
         let cold = args.iter().any(|a| a == "--cold");
         println!("## Load sweep — latency-throughput curves + saturation loads");
-        let r = hyppi::experiments::load_sweep(cold);
+        let r = report_recorded(hyppi::experiments::load_sweep_recorded(
+            cold,
+            &telemetry_opts(&args),
+        ));
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
@@ -160,7 +188,12 @@ fn main() {
             None => println!("## Load sweep 32x32 — sharded engine, {shards} shards"),
         }
         let cold = args.iter().any(|a| a == "--cold");
-        let r = hyppi::experiments::load_sweep32(shards, closed_loop, cold);
+        let r = report_recorded(hyppi::experiments::load_sweep32_recorded(
+            shards,
+            closed_loop,
+            cold,
+            &telemetry_opts(&args),
+        ));
         println!("{}", r.render());
         maybe_write_json(&args, &r);
     }
@@ -236,7 +269,12 @@ fn main() {
                     cell.cycles
                 );
             } else {
-                println!("{}", hyppi::experiments::npb32(kernel, shards).render());
+                let cell = report_recorded(hyppi::experiments::npb32_recorded(
+                    kernel,
+                    shards,
+                    &telemetry_opts(&args),
+                ));
+                println!("{}", cell.render());
             }
         }
     }
@@ -255,7 +293,11 @@ fn main() {
             .unwrap_or(4);
         let cold = args.iter().any(|a| a == "--cold");
         println!("## Fault sweep — saturation + tails vs. fault count ({shards} shards on 32x32)");
-        let r = hyppi::experiments::fault_sweep(shards, cold);
+        let r = report_recorded(hyppi::experiments::fault_sweep_recorded(
+            shards,
+            cold,
+            &telemetry_opts(&args),
+        ));
         println!("{}", r.render());
         maybe_write_json_str(&args, &r.to_json());
     }
@@ -291,7 +333,9 @@ fn main() {
              --json PATH; load_sweep32/npb32/fault_sweep accept --shards N; load_sweep32 \
              accepts --closed-loop WINDOW; sweeps accept --cold to disable warm-start \
              anchoring; npb32 accepts --kernel FT|CG|MG|LU|all and \
-             --save/--resume PATH checkpointing)"
+             --save/--resume PATH checkpointing; load_sweep/load_sweep32/npb32/fault_sweep \
+             accept --metrics PATH and --trace PATH flight-recorder output — .jsonl for \
+             JSONL, anything else for Chrome trace_event JSON)"
         );
         std::process::exit(2);
     }

@@ -24,11 +24,12 @@
 //! [`fault_sweep`] runs the paper's 16×16 mesh plus the 32×32 scale-up
 //! (sharded engine, same methodology as [`super::load_sweep::load_sweep32`]);
 //! `repro fault_sweep` regenerates it and `--json PATH` exports the
-//! dataset through [`FaultSweepResult::to_json`] (hand-rolled writer —
-//! the vendored `serde` derives are no-ops).
+//! dataset through [`FaultSweepResult::to_json`] (shared
+//! `hyppi_netsim::json` writer — the vendored `serde` derives are
+//! no-ops).
 
 use crate::table::TextTable;
-use hyppi_netsim::{SimConfig, SweepConfig, SweepRunner};
+use hyppi_netsim::{SimConfig, SweepConfig, SweepRunner, TelemetryOpts};
 use hyppi_phys::LinkTechnology;
 use hyppi_topology::{mesh, FaultSpec, MeshSpec, RoutingTable, Topology};
 use hyppi_traffic::SyntheticPattern;
@@ -69,6 +70,8 @@ pub struct FaultSweepCell {
     pub mean_latency: f64,
     /// p99 latency at the probe rate, cycles.
     pub p99: u64,
+    /// p99.9 latency at the probe rate, cycles.
+    pub p999: u64,
     /// Extra hops vs. the healthy baseline at the probe rate (summed over
     /// seeds).
     pub rerouted_hops: u64,
@@ -128,6 +131,7 @@ impl FaultSweepResult {
             "saturation",
             "mean",
             "p99",
+            "p99.9",
             "rerouted",
             "unreachable",
         ]);
@@ -145,6 +149,7 @@ impl FaultSweepResult {
                 sat,
                 format!("{:.2}", c.mean_latency),
                 format!("{}", c.p99),
+                format!("{}", c.p999),
                 format!("{}", c.rerouted_hops),
                 format!("{}", c.unreachable_pairs),
             ]);
@@ -190,62 +195,64 @@ impl FaultSweepResult {
 
     /// Serializes the dataset as plot-ready JSON: one object per curve
     /// with its sampled cells plus the flattened saturation-vs-fault-count
-    /// summary. Hand-rolled writer, same pattern as
-    /// [`super::load_sweep::LoadSweepResult::to_json`].
+    /// summary. Built on the shared [`hyppi_netsim::json`] writer, same
+    /// pattern as [`super::load_sweep::LoadSweepResult::to_json`].
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        let mut j = String::from("{\n  \"curves\": [\n");
-        for (ci, c) in self.curves.iter().enumerate() {
-            let _ = writeln!(
-                j,
-                "    {{ \"label\": \"{}\", \"probe_rate\": {:.4},",
-                esc(&c.label),
-                c.probe_rate
-            );
-            j.push_str("      \"cells\": [\n");
-            for (xi, x) in c.cells.iter().enumerate() {
-                let _ = write!(
-                    j,
-                    "        {{ \"fault_count\": {}, \"seed\": {}, \"resamples\": {}, \"dead_links\": {}, \"degraded_spans\": {}, \"saturation_load\": {:.4}, \"saturated_in_range\": {}, \"mean_latency\": {:.4}, \"p99\": {}, \"rerouted_hops\": {}, \"unreachable_pairs\": {} }}",
-                    x.fault_count,
-                    x.seed,
-                    x.resamples,
-                    x.dead_links,
-                    x.degraded_spans,
-                    x.saturation_load,
-                    x.saturated_in_range,
-                    x.mean_latency,
-                    x.p99,
-                    x.rerouted_hops,
-                    x.unreachable_pairs
-                );
-                j.push_str(if xi + 1 == c.cells.len() { "\n" } else { ",\n" });
-            }
-            j.push_str("      ]\n    }");
-            j.push_str(if ci + 1 == self.curves.len() {
-                "\n"
-            } else {
-                ",\n"
-            });
-        }
-        j.push_str("  ],\n  \"summary\": [\n");
-        let mut rows: Vec<String> = Vec::new();
+        use hyppi_netsim::json::{Json, Obj};
+        let curves = self
+            .curves
+            .iter()
+            .map(|c| {
+                Obj::new()
+                    .field("label", c.label.as_str())
+                    .field("probe_rate", Json::fixed(c.probe_rate, 4))
+                    .field(
+                        "cells",
+                        c.cells
+                            .iter()
+                            .map(|x| {
+                                Obj::new()
+                                    .field("fault_count", x.fault_count)
+                                    .field("seed", x.seed)
+                                    .field("resamples", x.resamples)
+                                    .field("dead_links", x.dead_links)
+                                    .field("degraded_spans", x.degraded_spans)
+                                    .field("saturation_load", Json::fixed(x.saturation_load, 4))
+                                    .field("saturated_in_range", x.saturated_in_range)
+                                    .field("mean_latency", Json::fixed(x.mean_latency, 4))
+                                    .field("p99", x.p99)
+                                    .field("p999", x.p999)
+                                    .field("rerouted_hops", x.rerouted_hops)
+                                    .field("unreachable_pairs", x.unreachable_pairs)
+                                    .build()
+                            })
+                            .collect::<Vec<Json>>(),
+                    )
+                    .build()
+            })
+            .collect::<Vec<Json>>();
+        let mut summary = Vec::new();
         for c in &self.curves {
             let mut counts: Vec<usize> = c.cells.iter().map(|x| x.fault_count).collect();
             counts.dedup();
             for fc in counts {
-                rows.push(format!(
-                    "    {{ \"curve\": \"{}\", \"fault_count\": {}, \"mean_saturation_load\": {:.4} }}",
-                    esc(&c.label),
-                    fc,
-                    c.mean_saturation(fc)
-                ));
+                summary.push(
+                    Obj::new()
+                        .field("curve", c.label.as_str())
+                        .field("fault_count", fc)
+                        .field(
+                            "mean_saturation_load",
+                            Json::fixed(c.mean_saturation(fc), 4),
+                        )
+                        .build(),
+                );
             }
         }
-        j.push_str(&rows.join(",\n"));
-        j.push_str("\n  ]\n}\n");
-        j
+        Obj::new()
+            .field("curves", curves)
+            .field("summary", summary)
+            .build()
+            .render()
     }
 }
 
@@ -310,6 +317,7 @@ pub fn fault_curve(
                 saturated_in_range: sat.saturated_in_range,
                 mean_latency: probe.mean_latency(),
                 p99: probe.latency.p99(),
+                p999: probe.latency.p999(),
                 rerouted_hops: probe.rerouted_hops,
                 unreachable_pairs: probe.unreachable_pairs,
             });
@@ -396,6 +404,36 @@ pub fn fault_sweep(shards: usize, cold: bool) -> FaultSweepResult {
         &cfg32.clone().closed_loop(CLOSED_LOOP_WINDOW),
     ));
     FaultSweepResult { curves }
+}
+
+/// [`fault_sweep`] plus flight-recorder output: when `telemetry`
+/// requests `--metrics`/`--trace` artifacts, one representative cell —
+/// a 2-fault 16×16 sample at the probe rate, re-routed around the
+/// faults — re-runs with the probes attached
+/// ([`SweepRunner::record_point`]; probes never perturb statistics) and
+/// the recordings are written to the requested paths. Returns the
+/// dataset plus the written paths.
+pub fn fault_sweep_recorded(
+    shards: usize,
+    cold: bool,
+    telemetry: &TelemetryOpts,
+) -> std::io::Result<(FaultSweepResult, Vec<String>)> {
+    let result = fault_sweep(shards, cold);
+    let mut written = Vec::new();
+    if telemetry.enabled() {
+        let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let routes = RoutingTable::compute_xy(&topo);
+        let (spec, _, _) = sample_connected(&topo, 2, 0xFA17_0000 + 2 * 101);
+        let cfg = SweepConfig::paper().faults(spec);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), cfg);
+        let mut rec = telemetry.recorder();
+        let _ = runner.record_point(
+            &SyntheticPattern::Uniform.matrix(&topo, FAULT_PROBE_RATE),
+            &mut rec,
+        );
+        written = telemetry.write(&rec)?;
+    }
+    Ok((result, written))
 }
 
 #[cfg(test)]

@@ -5,19 +5,20 @@
 //! mesh for the synthetic patterns (uniform, Soteriou, transpose), the
 //! spatial shape of every NPB kernel, and the express-mesh topology
 //! variants (spans 3, 5 and 15 — the full Fig. 2b family). Each curve
-//! reports mean latency plus p50/p95/p99 tails from the simulator's
-//! log-linear histograms, accepted throughput, and the bisection-searched
-//! saturation load (mean latency crossing `sat_multiple ×` the zero-load
-//! latency — see `hyppi_netsim::sweep`).
+//! reports mean latency plus p50/p95/p99/p99.9 tails from the
+//! simulator's log-linear histograms, accepted throughput, and the
+//! bisection-searched saturation load (mean latency crossing
+//! `sat_multiple ×` the zero-load latency — see `hyppi_netsim::sweep`).
 //!
 //! [`load_sweep32`] scales the methodology to a 32×32 mesh by routing
 //! every run through the sharded engine
 //! (`hyppi_netsim::ShardedSimulator`), and [`LoadSweepResult::to_json`]
 //! emits the whole dataset — curves and saturation table — as plot-ready
-//! JSON (hand-rolled writer; the vendored `serde` derives are no-ops).
+//! JSON via the shared `hyppi_netsim::json` writer (the vendored `serde`
+//! derives are no-ops).
 
 use crate::table::TextTable;
-use hyppi_netsim::{LoadCurve, SimConfig, SweepConfig, SweepRunner};
+use hyppi_netsim::{LoadCurve, SimConfig, SweepConfig, SweepRunner, TelemetryOpts};
 use hyppi_phys::LinkTechnology;
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
 use hyppi_traffic::{NpbKernel, SyntheticPattern};
@@ -89,7 +90,7 @@ impl LoadSweepResult {
     /// throughput, which tracks offered load whenever runs complete.
     pub fn curve_table(curve: &LoadCurve) -> TextTable {
         let mut t = TextTable::new(vec![
-            "offered", "accepted", "measured", "mean", "p50", "p95", "p99", "max", "state",
+            "offered", "accepted", "measured", "mean", "p50", "p95", "p99", "p99.9", "max", "state",
         ]);
         for p in &curve.points {
             t.row(vec![
@@ -100,6 +101,7 @@ impl LoadSweepResult {
                 format!("{}", p.latency.p50()),
                 format!("{}", p.latency.p95()),
                 format!("{}", p.latency.p99()),
+                format!("{}", p.latency.p999()),
                 format!("{}", p.latency.max),
                 if p.stable { "ok" } else { "overload" }.to_string(),
             ]);
@@ -123,81 +125,84 @@ impl LoadSweepResult {
     /// Serializes the dataset as plot-ready JSON: one object per curve
     /// with its grid points (offered/accepted load, mean and tail
     /// latencies, stability) and the saturation-search outcome, plus the
-    /// flattened saturation table. Hand-rolled writer, same pattern as
-    /// `perfcheck` — the vendored `serde` is a no-op stand-in.
+    /// flattened saturation table. Built on the shared
+    /// [`hyppi_netsim::json`] writer (the vendored `serde` is a no-op
+    /// stand-in).
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        let mut j = String::from("{\n  \"curves\": [\n");
-        for (ci, c) in self.curves.iter().enumerate() {
-            let _ = writeln!(j, "    {{ \"label\": \"{}\",", esc(&c.label));
-            let s = &c.saturation;
-            let _ = writeln!(
-                j,
-                "      \"saturation\": {{ \"zero_load_latency\": {:.4}, \"threshold\": {:.4}, \"saturation_load\": {:.4}, \"last_stable_load\": {:.4}, \"saturated_in_range\": {}, \"runs\": {} }},",
-                s.zero_load_latency,
-                s.threshold,
-                s.saturation_load,
-                s.last_stable_load,
-                s.saturated_in_range,
-                s.runs
-            );
-            j.push_str("      \"points\": [\n");
-            for (pi, p) in c.points.iter().enumerate() {
-                let _ = write!(
-                    j,
-                    "        {{ \"offered\": {:.4}, \"accepted\": {:.4}, \"measured_throughput\": {:.4}, \"mean_latency\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"packets\": {}, \"cycles\": {}, \"completed_runs\": {}, \"stable\": {} }}",
-                    p.offered,
-                    p.accepted,
-                    p.throughput,
-                    p.mean_latency(),
-                    p.latency.p50(),
-                    p.latency.p95(),
-                    p.latency.p99(),
-                    p.latency.max,
-                    p.latency.count,
-                    p.cycles,
-                    p.completed_runs,
-                    p.stable
-                );
-                j.push_str(if pi + 1 == c.points.len() {
-                    "\n"
-                } else {
-                    ",\n"
-                });
-            }
-            j.push_str("      ]\n    }");
-            j.push_str(if ci + 1 == self.curves.len() {
-                "\n"
-            } else {
-                ",\n"
-            });
-        }
-        j.push_str("  ],\n  \"saturation_table\": [\n");
-        for (ci, c) in self.curves.iter().enumerate() {
-            let sustained = c
-                .points
-                .iter()
-                .filter(|p| p.stable && p.mean_latency() <= c.saturation.threshold)
-                .map(|p| p.accepted)
-                .fold(0.0f64, f64::max);
-            let _ = write!(
-                j,
-                "    {{ \"curve\": \"{}\", \"zero_load_latency\": {:.4}, \"saturation_load\": {:.4}, \"saturated_in_range\": {}, \"sustained_accepted\": {:.4} }}",
-                esc(&c.label),
-                c.saturation.zero_load_latency,
-                c.saturation.saturation_load,
-                c.saturation.saturated_in_range,
-                sustained
-            );
-            j.push_str(if ci + 1 == self.curves.len() {
-                "\n"
-            } else {
-                ",\n"
-            });
-        }
-        j.push_str("  ]\n}\n");
-        j
+        use hyppi_netsim::json::{Json, Obj};
+        let curves = self
+            .curves
+            .iter()
+            .map(|c| {
+                let s = &c.saturation;
+                Obj::new()
+                    .field("label", c.label.as_str())
+                    .field(
+                        "saturation",
+                        Obj::new()
+                            .field("zero_load_latency", Json::fixed(s.zero_load_latency, 4))
+                            .field("threshold", Json::fixed(s.threshold, 4))
+                            .field("saturation_load", Json::fixed(s.saturation_load, 4))
+                            .field("last_stable_load", Json::fixed(s.last_stable_load, 4))
+                            .field("saturated_in_range", s.saturated_in_range)
+                            .field("runs", s.runs),
+                    )
+                    .field(
+                        "points",
+                        c.points
+                            .iter()
+                            .map(|p| {
+                                Obj::new()
+                                    .field("offered", Json::fixed(p.offered, 4))
+                                    .field("accepted", Json::fixed(p.accepted, 4))
+                                    .field("measured_throughput", Json::fixed(p.throughput, 4))
+                                    .field("mean_latency", Json::fixed(p.mean_latency(), 4))
+                                    .field("p50", p.latency.p50())
+                                    .field("p95", p.latency.p95())
+                                    .field("p99", p.latency.p99())
+                                    .field("p999", p.latency.p999())
+                                    .field("max", p.latency.max)
+                                    .field("packets", p.latency.count)
+                                    .field("cycles", p.cycles)
+                                    .field("completed_runs", p.completed_runs)
+                                    .field("stable", p.stable)
+                                    .build()
+                            })
+                            .collect::<Vec<Json>>(),
+                    )
+                    .build()
+            })
+            .collect::<Vec<Json>>();
+        let table = self
+            .curves
+            .iter()
+            .map(|c| {
+                let sustained = c
+                    .points
+                    .iter()
+                    .filter(|p| p.stable && p.mean_latency() <= c.saturation.threshold)
+                    .map(|p| p.accepted)
+                    .fold(0.0f64, f64::max);
+                Obj::new()
+                    .field("curve", c.label.as_str())
+                    .field(
+                        "zero_load_latency",
+                        Json::fixed(c.saturation.zero_load_latency, 4),
+                    )
+                    .field(
+                        "saturation_load",
+                        Json::fixed(c.saturation.saturation_load, 4),
+                    )
+                    .field("saturated_in_range", c.saturation.saturated_in_range)
+                    .field("sustained_accepted", Json::fixed(sustained, 4))
+                    .build()
+            })
+            .collect::<Vec<Json>>();
+        Obj::new()
+            .field("curves", curves)
+            .field("saturation_table", table)
+            .build()
+            .render()
     }
 }
 
@@ -285,6 +290,33 @@ pub fn load_sweep(cold: bool) -> LoadSweepResult {
     LoadSweepResult { curves }
 }
 
+/// [`load_sweep`] plus flight-recorder output: when `telemetry` requests
+/// `--metrics`/`--trace` artifacts, one representative cell — uniform
+/// traffic on the paper's 16×16 mesh at the mid-grid rate — re-runs with
+/// the probes attached ([`SweepRunner::record_point`]; probes never
+/// perturb the statistics) and the recordings are written to the
+/// requested paths. Returns the dataset plus the written paths.
+pub fn load_sweep_recorded(
+    cold: bool,
+    telemetry: &TelemetryOpts,
+) -> std::io::Result<(LoadSweepResult, Vec<String>)> {
+    let result = load_sweep(cold);
+    let mut written = Vec::new();
+    if telemetry.enabled() {
+        let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::paper());
+        let mut rec = telemetry.recorder();
+        let probe_rate = SWEEP_RATES[SWEEP_RATES.len() / 2];
+        let _ = runner.record_point(
+            &SyntheticPattern::Uniform.matrix(&topo, probe_rate),
+            &mut rec,
+        );
+        written = telemetry.write(&rec)?;
+    }
+    Ok((result, written))
+}
+
 /// The 32×32 scale-up: uniform and transpose latency-throughput curves
 /// plus two *real-kernel* shapes — the rescaled 1024-rank CG and LU
 /// programs (`hyppi_traffic::ScaledNpbSpec` via
@@ -345,6 +377,44 @@ pub fn load_sweep32(shards: usize, closed_loop: Option<usize>, cold: bool) -> Lo
         SWEEP_MAX_RATE,
     );
     LoadSweepResult { curves }
+}
+
+/// [`load_sweep32`] plus flight-recorder output, mirroring
+/// [`load_sweep_recorded`]: the representative probed cell is uniform
+/// traffic on the 1024-node mesh at the mid-grid rate, run through the
+/// sharded engine (a probed run is single-worker — statistics are still
+/// bit-for-bit those of the plain run).
+pub fn load_sweep32_recorded(
+    shards: usize,
+    closed_loop: Option<usize>,
+    cold: bool,
+    telemetry: &TelemetryOpts,
+) -> std::io::Result<(LoadSweepResult, Vec<String>)> {
+    let result = load_sweep32(shards, closed_loop, cold);
+    let mut written = Vec::new();
+    if telemetry.enabled() {
+        let mut cfg = SweepConfig {
+            warmup: 400,
+            measure: 1500,
+            threads: 1,
+            ..SweepConfig::paper()
+        }
+        .with_shards(shards);
+        if let Some(window) = closed_loop {
+            cfg = cfg.closed_loop(window);
+        }
+        let topo = super::npb::mesh32();
+        let routes = RoutingTable::compute_xy(&topo);
+        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), cfg);
+        let mut rec = telemetry.recorder();
+        let probe_rate = SWEEP_RATES[SWEEP_RATES.len() / 2];
+        let _ = runner.record_point(
+            &SyntheticPattern::Uniform.matrix(&topo, probe_rate),
+            &mut rec,
+        );
+        written = telemetry.write(&rec)?;
+    }
+    Ok((result, written))
 }
 
 #[cfg(test)]
@@ -417,6 +487,7 @@ mod tests {
             "\"points\"",
             "\"offered\"",
             "\"p95\"",
+            "\"p999\"",
             "\"saturation_table\"",
             "\"sustained_accepted\"",
         ] {

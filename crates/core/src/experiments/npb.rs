@@ -9,7 +9,8 @@
 use crate::table::TextTable;
 use hyppi_analytic::{dynamic_energy_joules, parallel_map, NocModel};
 use hyppi_netsim::{
-    EnergyCounts, RunOutcome, ShardedSimulator, SimConfig, SimError, Simulator, Snapshot,
+    EnergyCounts, NoopProbe, Probe, RunOutcome, ShardedSimulator, SimConfig, SimError, Simulator,
+    Snapshot, TelemetryOpts,
 };
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
@@ -174,6 +175,18 @@ pub(crate) fn mesh32() -> Topology {
 /// tests can pin the machinery on a slice without paying for the full
 /// default window.
 pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell {
+    npb32_cell_probed(kernel, shards, trace, &mut NoopProbe)
+}
+
+/// [`npb32_cell`] with a telemetry probe attached to the *sharded* leg —
+/// the parity assertion against the plain P=1 run doubles as proof that
+/// the probes did not perturb the simulation.
+pub fn npb32_cell_probed<P: Probe>(
+    kernel: NpbKernel,
+    shards: usize,
+    trace: &Trace,
+    probe: &mut P,
+) -> Npb32Cell {
     assert!(shards >= 1, "at least one shard required");
     let topo = mesh32();
     assert_eq!(usize::from(trace.num_nodes), topo.num_nodes());
@@ -183,7 +196,7 @@ pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell 
         .run_trace(trace)
         .expect("P=1 engine completes the scaled NPB window");
     let sharded = ShardedSimulator::with_shard_count(&topo, &routes, cfg, shards)
-        .run_trace(trace)
+        .run_trace_probed(trace, probe)
         .expect("sharded engine completes the scaled NPB window");
     assert_eq!(sharded, single, "{kernel} 32x32: shard parity violated");
     Npb32Cell {
@@ -204,6 +217,26 @@ pub fn npb32_cell(kernel: NpbKernel, shards: usize, trace: &Trace) -> Npb32Cell 
 pub fn npb32(kernel: NpbKernel, shards: usize) -> Npb32Cell {
     let trace = ScaledNpbSpec::mesh32(kernel).default_window();
     npb32_cell(kernel, shards, &trace)
+}
+
+/// [`npb32`] plus flight-recorder output: the sharded leg runs with the
+/// requested probes attached (single-worker; the in-built parity assert
+/// against the plain P=1 run proves the probes perturbed nothing) and
+/// the recordings are written to the requested paths. Returns the cell
+/// plus the written paths.
+pub fn npb32_recorded(
+    kernel: NpbKernel,
+    shards: usize,
+    telemetry: &TelemetryOpts,
+) -> std::io::Result<(Npb32Cell, Vec<String>)> {
+    let trace = ScaledNpbSpec::mesh32(kernel).default_window();
+    if !telemetry.enabled() {
+        return Ok((npb32_cell(kernel, shards, &trace), Vec::new()));
+    }
+    let mut rec = telemetry.recorder();
+    let cell = npb32_cell_probed(kernel, shards, &trace, &mut rec);
+    let written = telemetry.write(&rec)?;
+    Ok((cell, written))
 }
 
 /// The engine plan every `npb32` leg runs under (shared so the save and

@@ -68,9 +68,9 @@ pub mod prelude {
         ElectricalLinkModel, OpticalLinkModel, RouterConfig, RouterModel, TechNode,
     };
     pub use hyppi_netsim::{
-        EnergyCounts, LatencyStats, LoadCurve, LoadPoint, ReferenceSimulator, RunOutcome,
-        SaturationSearch, ShardedSimulator, SimConfig, SimError, SimStats, Simulator, Snapshot,
-        SnapshotError, SweepConfig, SweepRunner,
+        EnergyCounts, FlightRecorder, LatencyStats, LoadCurve, LoadPoint, NoopProbe, Probe,
+        ReferenceSimulator, RunOutcome, SaturationSearch, ShardedSimulator, SimConfig, SimError,
+        SimStats, Simulator, Snapshot, SnapshotError, SweepConfig, SweepRunner, TelemetryOpts,
     };
     pub use hyppi_optical::{
         all_optical_projection, AllOpticalDesign, OpticalRouterModel, PortKind, RadarPoint,

@@ -22,7 +22,17 @@
 //! router, faults on the quadrant cuts) with bit-for-bit parity asserted
 //! across all three engines, then records compact
 //! saturation-vs-fault-count curves on the 16×16 and 32×32 meshes
-//! (seeded fault samples, up*/down* detour routes). Results are
+//! (seeded fault samples, up*/down* detour routes); and a telemetry
+//! section pins the flight-recorder overhead contract: the probed
+//! engine with `NoopProbe` must stay within 1.05× of the plain engine
+//! on the sharded 32×32 cell (interleaved best-of-3), a full
+//! `FlightRecorder` run is parity-asserted and its sample/event counts
+//! recorded, and `run_synthetic_profiled` supplies the per-superstep
+//! phase breakdown (step vs exchange vs barrier wall time). Pass
+//! `--metrics PATH` / `--trace PATH` to also export that recorder run's
+//! metrics JSONL and packet trace (`.jsonl` suffix for JSONL events,
+//! anything else for Chrome `trace_event` JSON — see
+//! `docs/OBSERVABILITY.md`). Results are
 //! written to `BENCH_netsim.json` (in the current directory) so future
 //! PRs can track the perf trajectory; the `engine` field names the
 //! optimization round that produced the record (see the README's field
@@ -39,17 +49,20 @@
 //! cargo run --release -p hyppi-netsim --example perfcheck -- --quick   # CI smoke:
 //! #   one small NPB cell + one sweep point + one sharded 32x32 cell,
 //! #   parity asserted on all three
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --quick \
+//!     --metrics metrics.jsonl --trace trace.json   # export recorder artifacts
 //! ```
 
+use hyppi_netsim::json::{Json, Obj};
 use hyppi_netsim::{
-    ReferenceSimulator, ShardedSimulator, SimConfig, SimStats, Simulator, SweepConfig, SweepRunner,
+    EngineProfile, FlightRecorder, NoopProbe, ReferenceSimulator, ShardedSimulator, SimConfig,
+    SimStats, Simulator, SweepConfig, SweepRunner, TelemetryOpts,
 };
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
     express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
 use hyppi_traffic::{NpbKernel, NpbTraceSpec, SyntheticPattern, Trace};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Cell {
@@ -150,6 +163,39 @@ impl ShardRecord {
 
     fn protocol_overhead(&self) -> f64 {
         self.sequential_secs / self.single_secs
+    }
+}
+
+/// Flight-recorder overhead and engine self-profiling on the sharded
+/// 32×32 uniform cell (see `docs/OBSERVABILITY.md`).
+struct TelemetryRecord {
+    mesh: &'static str,
+    rate: f64,
+    warmup: u64,
+    measure: u64,
+    shards: usize,
+    /// Best-of-3 sharded-sequential wall time, plain entry point.
+    plain_secs: f64,
+    /// Best-of-3 via the probed entry point with [`NoopProbe`] — the
+    /// hooks compiled in but disabled, so the ratio is the honest
+    /// probes-off cost. Asserted ≤ 1.05×.
+    probes_off_secs: f64,
+    /// One run with the full recorder (metrics sampler + packet tracer)
+    /// attached — the probes-on cost, recorded but not asserted.
+    recorder_secs: f64,
+    /// Metrics samples the recorder run produced.
+    samples: usize,
+    /// Packet lifecycle events retained in the trace ring.
+    events: usize,
+    /// Events evicted from the ring (0 unless the run outgrew it).
+    dropped_events: u64,
+    /// Per-superstep-phase wall time of the threaded sharded run.
+    profile: EngineProfile,
+}
+
+impl TelemetryRecord {
+    fn overhead_multiple(&self) -> f64 {
+        self.probes_off_secs / self.plain_secs
     }
 }
 
@@ -280,12 +326,22 @@ fn main() {
             })
         })
         .unwrap_or(4);
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let telemetry = TelemetryOpts {
+        metrics: flag_value("--metrics"),
+        trace: flag_value("--trace"),
+    };
+    const VALUE_FLAGS: [&str; 4] = ["--cells", "--shards", "--metrics", "--trace"];
     let positional: Option<String> = args
         .iter()
         .enumerate()
         .filter(|&(i, a)| {
-            !a.starts_with("--")
-                && (i == 0 || (args[i - 1] != "--cells" && args[i - 1] != "--shards"))
+            !a.starts_with("--") && (i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
         })
         .map(|(_, a)| a.clone())
         .next();
@@ -406,150 +462,217 @@ fn main() {
     let sweep = run_sweep_section(quick, fast);
     let closed = run_closed_loop_section(quick, fast);
     let shard = run_shard_section(quick, shards);
+    let telem = run_telemetry_section(quick, shards, &telemetry);
     let snapshot = run_snapshot_section(quick, fast);
     let fault = run_fault_section(quick, fast);
     let fault_sat = run_fault_saturation_section(quick, shards);
 
-    // Machine-readable record for the perf trajectory.
-    let mut json = String::new();
-    json.push_str(
-        "{\n  \"bench\": \"netsim perfcheck (NPB Fig. 6 grid + load sweep, paper defaults)\",\n",
-    );
-    json.push_str(
-        "  \"engine\": \"active-set + credit fusion, calendar batching, packed VC search\",\n",
-    );
+    // Machine-readable record for the perf trajectory, built on the
+    // shared `hyppi_netsim::json` writer.
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut top = Obj::new()
+        .field(
+            "bench",
+            "netsim perfcheck (NPB Fig. 6 grid + load sweep, paper defaults)",
+        )
+        .field(
+            "engine",
+            "active-set + credit fusion, calendar batching, packed VC search",
+        )
+        .field("host_threads", host_threads)
+        .field("measured_on_single_core", host_threads == 1);
     if quick {
-        json.push_str("  \"quick\": true,\n");
+        top = top.field("quick", true);
     }
-    let _ = writeln!(
-        json,
-        "  \"aggregate\": {{ \"new_engine_secs\": {new_total:.4}, \"seed_engine_secs\": {}, \"speedup\": {} }},",
-        ref_total.map_or("null".into(), |v| format!("{v:.4}")),
-        ref_total.map_or("null".into(), |v| format!("{:.4}", v / new_total)),
-    );
-    let _ = writeln!(
-        json,
-        "  \"sweep\": {{ \"pattern\": \"uniform\", \"mesh\": \"8x8\", \"points\": {}, \"seeds\": {}, \"runs\": {}, \"secs\": {:.4}, \"grid_secs\": {:.4}, \"runs_per_sec\": {:.2}, \"aggregate_cycles\": {}, \"cycles_per_sec\": {:.0}, \"saturation_load\": {}, \"zero_load_latency\": {:.4} }},",
-        sweep.points,
-        sweep.seeds,
-        sweep.runs,
-        sweep.secs,
-        sweep.grid_secs,
-        sweep.runs_per_sec(),
-        sweep.aggregate_cycles,
-        sweep.cycles_per_sec(),
-        if sweep.saturated_in_range {
-            format!("{:.4}", sweep.saturation_load)
-        } else {
-            "null".into()
-        },
-        sweep.zero_load_latency,
-    );
-    let _ = writeln!(
-        json,
-        "  \"closed_loop\": {{ \"mesh\": \"16x16\", \"pattern\": \"uniform\", \"rate\": {:.3}, \"window\": {}, \"warmup\": {}, \"measure\": {}, \"accepted_throughput\": {:.4}, \"mean_latency\": {:.4}, \"peak_backlog\": {}, \"secs\": {:.4} }},",
-        closed.rate,
-        closed.window,
-        closed.warmup,
-        closed.measure,
-        closed.accepted,
-        closed.mean_latency,
-        closed.peak_backlog,
-        closed.secs,
-    );
-    let _ = writeln!(
-        json,
-        "  \"shard_scaling\": {{ \"mesh\": \"{}\", \"rate\": {:.3}, \"warmup\": {}, \"measure\": {}, \"shards\": {}, \"host_threads\": {}, \"packets\": {}, \"cycles\": {}, \"single_shard_secs\": {:.4}, \"sharded_secs\": {:.4}, \"sequential_sharded_secs\": {:.4}, \"speedup\": {:.4}, \"protocol_overhead\": {:.4} }},",
-        shard.mesh,
-        shard.rate,
-        shard.warmup,
-        shard.measure,
-        shard.shards,
-        shard.host_threads,
-        shard.packets,
-        shard.cycles,
-        shard.single_secs,
-        shard.sharded_secs,
-        shard.sequential_secs,
-        shard.speedup(),
-        shard.protocol_overhead(),
-    );
-    let _ = writeln!(
-        json,
-        "  \"snapshot\": {{ \"mesh\": \"{}\", \"pattern\": \"uniform\", \"snapshot_bytes\": {}, \"bytes_per_node\": {:.1}, \"save_usecs\": {:.1}, \"restore_usecs\": {:.1}, \"grid_rates\": {}, \"seeds\": {}, \"warmup\": {}, \"measure\": {}, \"cold_grid_secs\": {:.4}, \"warm_grid_secs\": {:.4}, \"wall_speedup\": {:.4}, \"warm_start_multiple\": {:.4} }},",
-        snapshot.mesh,
-        snapshot.snapshot_bytes,
-        snapshot.bytes_per_node,
-        snapshot.save_us,
-        snapshot.restore_us,
-        snapshot.grid_rates,
-        snapshot.seeds,
-        snapshot.warmup,
-        snapshot.measure,
-        snapshot.cold_grid_secs,
-        snapshot.warm_grid_secs,
-        snapshot.wall_speedup(),
-        snapshot.work_multiple,
-    );
-    let _ = writeln!(
-        json,
-        "  \"fault\": {{ \"mesh\": \"16x16\", \"pattern\": \"uniform\", \"rate\": {:.3}, \"warmup\": {}, \"measure\": {}, \"dead_links\": {}, \"degraded_spans\": {}, \"dead_routers\": {}, \"rerouted_hops\": {}, \"unreachable_pairs\": {}, \"mean_latency\": {:.4}, \"secs\": {:.4} }},",
-        fault.rate,
-        fault.warmup,
-        fault.measure,
-        fault.dead_links,
-        fault.degraded_spans,
-        fault.dead_routers,
-        fault.rerouted_hops,
-        fault.unreachable_pairs,
-        fault.mean_latency,
-        fault.secs,
-    );
-    json.push_str("  \"fault_sweep\": [\n");
-    for (i, p) in fault_sat.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{ \"mesh\": \"{}\", \"fault_count\": {}, \"sample_seed\": {}, \"saturation_load\": {}, \"rerouted_hops\": {}, \"unreachable_pairs\": {} }}",
-            p.mesh,
-            p.fault_count,
-            p.sample_seed,
-            if p.saturated_in_range {
-                format!("{:.4}", p.saturation_load)
-            } else {
-                "null".into()
-            },
-            p.rerouted_hops,
-            p.unreachable_pairs,
-        );
-        json.push_str(if i + 1 == fault_sat.len() {
-            "\n"
-        } else {
-            ",\n"
-        });
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{ \"kernel\": \"{}\", \"span\": {}, \"latency_clks\": {:.4}, \"p50\": {}, \"p99\": {}, \"packets\": {}, \"cycles\": {}, \"flit_hops\": {}, \"new_engine_secs\": {:.4}, \"seed_engine_secs\": {}, \"speedup\": {}, \"mflit_hops_per_sec\": {:.2}, \"cycles_per_sec\": {:.0} }}",
-            c.kernel,
-            c.span,
-            c.latency_clks,
-            c.p50,
-            c.p99,
-            c.packets,
-            c.cycles,
-            c.flit_hops,
-            c.new_secs,
-            c.ref_secs.map_or("null".into(), |v| format!("{v:.4}")),
-            c.speedup().map_or("null".into(), |v| format!("{v:.4}")),
-            c.mflit_hops_per_sec(),
-            c.cycles_per_sec(),
-        );
-        json.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let json = top
+        .field(
+            "aggregate",
+            Obj::new()
+                .field("new_engine_secs", Json::fixed(new_total, 4))
+                .field("seed_engine_secs", ref_total.map(|v| Json::fixed(v, 4)))
+                .field("speedup", ref_total.map(|v| Json::fixed(v / new_total, 4))),
+        )
+        .field(
+            "sweep",
+            Obj::new()
+                .field("pattern", "uniform")
+                .field("mesh", "8x8")
+                .field("points", sweep.points)
+                .field("seeds", sweep.seeds)
+                .field("runs", sweep.runs)
+                .field("secs", Json::fixed(sweep.secs, 4))
+                .field("grid_secs", Json::fixed(sweep.grid_secs, 4))
+                .field("runs_per_sec", Json::fixed(sweep.runs_per_sec(), 2))
+                .field("aggregate_cycles", sweep.aggregate_cycles)
+                .field("cycles_per_sec", Json::fixed(sweep.cycles_per_sec(), 0))
+                .field(
+                    "saturation_load",
+                    sweep
+                        .saturated_in_range
+                        .then(|| Json::fixed(sweep.saturation_load, 4)),
+                )
+                .field("zero_load_latency", Json::fixed(sweep.zero_load_latency, 4)),
+        )
+        .field(
+            "closed_loop",
+            Obj::new()
+                .field("mesh", "16x16")
+                .field("pattern", "uniform")
+                .field("rate", Json::fixed(closed.rate, 3))
+                .field("window", closed.window)
+                .field("warmup", closed.warmup)
+                .field("measure", closed.measure)
+                .field("accepted_throughput", Json::fixed(closed.accepted, 4))
+                .field("mean_latency", Json::fixed(closed.mean_latency, 4))
+                .field("peak_backlog", closed.peak_backlog)
+                .field("secs", Json::fixed(closed.secs, 4)),
+        )
+        .field(
+            "shard_scaling",
+            Obj::new()
+                .field("mesh", shard.mesh)
+                .field("rate", Json::fixed(shard.rate, 3))
+                .field("warmup", shard.warmup)
+                .field("measure", shard.measure)
+                .field("shards", shard.shards)
+                .field("host_threads", shard.host_threads)
+                .field("packets", shard.packets)
+                .field("cycles", shard.cycles)
+                .field("single_shard_secs", Json::fixed(shard.single_secs, 4))
+                .field("sharded_secs", Json::fixed(shard.sharded_secs, 4))
+                .field(
+                    "sequential_sharded_secs",
+                    Json::fixed(shard.sequential_secs, 4),
+                )
+                .field("speedup", Json::fixed(shard.speedup(), 4))
+                .field(
+                    "protocol_overhead",
+                    Json::fixed(shard.protocol_overhead(), 4),
+                ),
+        )
+        .field(
+            "telemetry",
+            Obj::new()
+                .field("mesh", telem.mesh)
+                .field("pattern", "uniform")
+                .field("rate", Json::fixed(telem.rate, 3))
+                .field("warmup", telem.warmup)
+                .field("measure", telem.measure)
+                .field("shards", telem.shards)
+                .field("plain_secs", Json::fixed(telem.plain_secs, 4))
+                .field("probes_off_secs", Json::fixed(telem.probes_off_secs, 4))
+                .field(
+                    "probes_off_overhead_multiple",
+                    Json::fixed(telem.overhead_multiple(), 4),
+                )
+                .field("recorder_secs", Json::fixed(telem.recorder_secs, 4))
+                .field("metrics_samples", telem.samples)
+                .field("trace_events", telem.events)
+                .field("trace_events_dropped", telem.dropped_events)
+                .field(
+                    "profile",
+                    Obj::new()
+                        .field("step_ns", telem.profile.step_ns)
+                        .field("exchange_ns", telem.profile.exchange_ns)
+                        .field("barrier_ns", telem.profile.barrier_ns)
+                        .field(
+                            "step_fraction",
+                            Json::fixed(telem.profile.fraction(telem.profile.step_ns), 4),
+                        )
+                        .field(
+                            "exchange_fraction",
+                            Json::fixed(telem.profile.fraction(telem.profile.exchange_ns), 4),
+                        )
+                        .field(
+                            "barrier_fraction",
+                            Json::fixed(telem.profile.fraction(telem.profile.barrier_ns), 4),
+                        )
+                        .field("supersteps", telem.profile.supersteps)
+                        .field("workers", telem.profile.workers),
+                ),
+        )
+        .field(
+            "snapshot",
+            Obj::new()
+                .field("mesh", snapshot.mesh)
+                .field("pattern", "uniform")
+                .field("snapshot_bytes", snapshot.snapshot_bytes)
+                .field("bytes_per_node", Json::fixed(snapshot.bytes_per_node, 1))
+                .field("save_usecs", Json::fixed(snapshot.save_us, 1))
+                .field("restore_usecs", Json::fixed(snapshot.restore_us, 1))
+                .field("grid_rates", snapshot.grid_rates)
+                .field("seeds", snapshot.seeds)
+                .field("warmup", snapshot.warmup)
+                .field("measure", snapshot.measure)
+                .field("cold_grid_secs", Json::fixed(snapshot.cold_grid_secs, 4))
+                .field("warm_grid_secs", Json::fixed(snapshot.warm_grid_secs, 4))
+                .field("wall_speedup", Json::fixed(snapshot.wall_speedup(), 4))
+                .field(
+                    "warm_start_multiple",
+                    Json::fixed(snapshot.work_multiple, 4),
+                ),
+        )
+        .field(
+            "fault",
+            Obj::new()
+                .field("mesh", "16x16")
+                .field("pattern", "uniform")
+                .field("rate", Json::fixed(fault.rate, 3))
+                .field("warmup", fault.warmup)
+                .field("measure", fault.measure)
+                .field("dead_links", fault.dead_links)
+                .field("degraded_spans", fault.degraded_spans)
+                .field("dead_routers", fault.dead_routers)
+                .field("rerouted_hops", fault.rerouted_hops)
+                .field("unreachable_pairs", fault.unreachable_pairs)
+                .field("mean_latency", Json::fixed(fault.mean_latency, 4))
+                .field("secs", Json::fixed(fault.secs, 4)),
+        )
+        .field(
+            "fault_sweep",
+            fault_sat
+                .iter()
+                .map(|p| {
+                    Obj::new()
+                        .field("mesh", p.mesh)
+                        .field("fault_count", p.fault_count)
+                        .field("sample_seed", p.sample_seed)
+                        .field(
+                            "saturation_load",
+                            p.saturated_in_range
+                                .then(|| Json::fixed(p.saturation_load, 4)),
+                        )
+                        .field("rerouted_hops", p.rerouted_hops)
+                        .field("unreachable_pairs", p.unreachable_pairs)
+                        .build()
+                })
+                .collect::<Vec<Json>>(),
+        )
+        .field(
+            "cells",
+            cells
+                .iter()
+                .map(|c| {
+                    Obj::new()
+                        .field("kernel", c.kernel)
+                        .field("span", c.span)
+                        .field("latency_clks", Json::fixed(c.latency_clks, 4))
+                        .field("p50", c.p50)
+                        .field("p99", c.p99)
+                        .field("packets", c.packets)
+                        .field("cycles", c.cycles)
+                        .field("flit_hops", c.flit_hops)
+                        .field("new_engine_secs", Json::fixed(c.new_secs, 4))
+                        .field("seed_engine_secs", c.ref_secs.map(|v| Json::fixed(v, 4)))
+                        .field("speedup", c.speedup().map(|v| Json::fixed(v, 4)))
+                        .field("mflit_hops_per_sec", Json::fixed(c.mflit_hops_per_sec(), 2))
+                        .field("cycles_per_sec", Json::fixed(c.cycles_per_sec(), 0))
+                        .build()
+                })
+                .collect::<Vec<Json>>(),
+        )
+        .build()
+        .render();
     match std::fs::write("BENCH_netsim.json", &json) {
         Ok(()) => println!("wrote BENCH_netsim.json"),
         Err(e) => eprintln!("could not write BENCH_netsim.json: {e}"),
@@ -770,6 +893,125 @@ fn run_shard_section(quick: bool, shards: usize) -> ShardRecord {
         record.protocol_overhead(),
         record.packets,
         record.cycles,
+    );
+    record
+}
+
+/// The telemetry section, on the same 32×32 uniform cell as the shard
+/// section. Three measurements:
+///
+/// 1. **Probes-off overhead** — interleaved best-of-3 of the plain entry
+///    point vs the probed entry point with [`NoopProbe`]. Both
+///    monomorphize to hook-free code, so the asserted ≤1.05× multiple is
+///    the honest cost of carrying the probe plumbing.
+/// 2. **Engine self-profiling** — `run_synthetic_profiled` on the
+///    threaded sharded run, splitting superstep wall time into step,
+///    exchange and barrier phases.
+/// 3. **Recorder run** — one single-worker run with the full
+///    [`FlightRecorder`] (metrics sampler + packet tracer) attached;
+///    parity with the plain run is asserted, and `--metrics PATH` /
+///    `--trace PATH` export its recordings.
+fn run_telemetry_section(quick: bool, shards: usize, opts: &TelemetryOpts) -> TelemetryRecord {
+    let topo = mesh(MeshSpec {
+        width: 32,
+        height: 32,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    });
+    let routes = RoutingTable::compute_xy(&topo);
+    let cfg = SimConfig::paper();
+    let (rate, warmup, measure) = if quick {
+        (0.10, 100, 300)
+    } else {
+        (0.15, 400, 1600)
+    };
+    let m = SyntheticPattern::Uniform.matrix(&topo, rate);
+    let sequential =
+        || ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards)).with_threads(1);
+
+    // 1. Interleaved best-of-3, plain vs probes-off.
+    let mut plain_secs = f64::INFINITY;
+    let mut probes_off_secs = f64::INFINITY;
+    let mut expected = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let plain = sequential()
+            .run_synthetic(&m, warmup, measure, 42)
+            .expect("plain sequential run completes");
+        plain_secs = plain_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let off = sequential()
+            .run_synthetic_probed(&m, warmup, measure, 42, &mut NoopProbe)
+            .expect("probes-off run completes");
+        probes_off_secs = probes_off_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(off, plain, "probes-off telemetry parity violated");
+        expected = Some(plain);
+    }
+    let expected = expected.expect("three rounds ran");
+
+    // 2. Self-profiling on the threaded run.
+    let (profiled, profile) =
+        ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+            .run_synthetic_profiled(&m, warmup, measure, 42)
+            .expect("profiled run completes");
+    assert_eq!(profiled, expected, "profiled-run parity violated");
+
+    // 3. Fully recorded run (single-worker by construction).
+    let mut rec = FlightRecorder::new()
+        .with_metrics(FlightRecorder::DEFAULT_INTERVAL)
+        .with_trace(FlightRecorder::DEFAULT_TRACE_CAPACITY);
+    let t = Instant::now();
+    let recorded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+        .run_synthetic_probed(&m, warmup, measure, 42, &mut rec)
+        .expect("recorded run completes");
+    let recorder_secs = t.elapsed().as_secs_f64();
+    assert_eq!(recorded, expected, "recorded-run parity violated");
+    match opts.write(&rec) {
+        Ok(written) => {
+            for path in &written {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("could not write telemetry artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let record = TelemetryRecord {
+        mesh: "32x32",
+        rate,
+        warmup,
+        measure,
+        shards,
+        plain_secs,
+        probes_off_secs,
+        recorder_secs,
+        samples: rec.sampler.as_ref().map_or(0, |s| s.samples().len()),
+        events: rec.tracer.as_ref().map_or(0, |t| t.events().count()),
+        dropped_events: rec.tracer.as_ref().map_or(0, |t| t.dropped()),
+        profile,
+    };
+    assert!(
+        record.overhead_multiple() <= 1.05,
+        "probes-off overhead {:.3}x exceeds the 1.05x budget",
+        record.overhead_multiple()
+    );
+    assert!(record.samples > 0, "recorder run produced no samples");
+    assert!(record.events > 0, "recorder run produced no events");
+    println!(
+        "TELEMETRY {} uniform r={rate:.2}: probes-off {:.3}x (plain {plain_secs:.2}s, hooks {probes_off_secs:.2}s) | recorder {recorder_secs:.2}s ({} samples, {} events, {} dropped) | profile step {:.0}% exchange {:.0}% barrier {:.0}% over {} supersteps x {} workers | parity OK",
+        record.mesh,
+        record.overhead_multiple(),
+        record.samples,
+        record.events,
+        record.dropped_events,
+        100.0 * profile.fraction(profile.step_ns),
+        100.0 * profile.fraction(profile.exchange_ns),
+        100.0 * profile.fraction(profile.barrier_ns),
+        profile.supersteps,
+        profile.workers,
     );
     record
 }

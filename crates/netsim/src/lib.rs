@@ -147,10 +147,27 @@
 //! cells. The byte-level layout, the fingerprint mismatch rules, and
 //! the restore-equals-continue argument live in the workspace-root
 //! [`docs/SNAPSHOT_FORMAT.md`](../../../docs/SNAPSHOT_FORMAT.md).
+//!
+//! ## Telemetry — the flight recorder
+//!
+//! The [`telemetry`] module observes the active engine without
+//! perturbing it: the [`Probe`] trait is a compile-time hook threaded
+//! through both active engines (`run_*_probed`), whose sites vanish for
+//! the default [`NoopProbe`] (`ENABLED = false`). Instruments:
+//! [`MetricsSampler`] (per-interval time series — flits, link
+//! utilization, stall breakdown, VC/calendar occupancy, mailbox volume,
+//! closed-loop backpressure), [`PacketTracer`] (ring-buffered packet
+//! lifecycle events, JSONL or Chrome `trace_event` export), and
+//! [`EngineProfile`] (superstep step/exchange/barrier wall time from
+//! `run_*_profiled`). `reference.rs` carries no hooks;
+//! `tests/telemetry_parity.rs` pins probed == plain [`SimStats`]
+//! bit-for-bit. Schema and usage live in the workspace-root
+//! [`docs/OBSERVABILITY.md`](../../../docs/OBSERVABILITY.md).
 
 pub mod config;
 pub mod energy_counts;
 pub mod flit;
+pub mod json;
 pub mod reference;
 pub mod router;
 pub mod shard;
@@ -158,6 +175,7 @@ pub mod sim;
 pub mod snapshot;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use energy_counts::EnergyCounts;
@@ -167,3 +185,7 @@ pub use sim::{RunOutcome, SimError, Simulator};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{LatencyStats, SimStats};
 pub use sweep::{LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner};
+pub use telemetry::{
+    EngineProfile, FlightRecorder, MetricsSampler, NoopProbe, PacketTracer, Probe, ProfileSink,
+    StallCause, TelemetryOpts,
+};

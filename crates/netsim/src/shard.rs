@@ -116,6 +116,9 @@ use crate::snapshot::{
     SnapshotError,
 };
 use crate::stats::SimStats;
+use crate::telemetry::{
+    EngineProfile, EngineView, NoopProbe, PacketKey, Probe, ProfileSink, StallCause,
+};
 use hyppi_topology::{LinkId, NodeId, Partition, RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
 use rand::rngs::StdRng;
@@ -1073,6 +1076,16 @@ impl ShardState {
         }
     }
 
+    /// Buffered flits per VC index, summed over this shard's ports —
+    /// the per-VC occupancy gauge [`EngineView`] exposes to probes.
+    pub(crate) fn vc_occupancy(&self, vcs: usize) -> Vec<u64> {
+        let mut occ = vec![0u64; vcs];
+        for (slot, &m) in self.slot_meta.iter().enumerate() {
+            occ[usize::from(self.vc_of_slot[slot])] += meta::len(m) as u64;
+        }
+        occ
+    }
+
     /// Pops the head flit of a slot whose metadata word `m` the caller
     /// already holds (saves the reload on the traversal winner path).
     #[inline]
@@ -1153,10 +1166,17 @@ impl ShardState {
     /// [`CreditCell`]s fold freed credits in on their next access, which
     /// preserves next-cycle visibility exactly.
     pub(crate) fn step(&mut self, plan: &EnginePlan<'_>, now: u64) {
+        self.step_probed(plan, now, &mut NoopProbe);
+    }
+
+    /// [`Self::step`] with a telemetry probe attached. With
+    /// [`NoopProbe`] every hook site monomorphizes away, so the plain
+    /// `step` compiles to the pre-telemetry engine exactly.
+    pub(crate) fn step_probed<P: Probe>(&mut self, plan: &EnginePlan<'_>, now: u64, probe: &mut P) {
         self.deliver_link_arrivals(plan, now);
-        self.emit_from_sources(plan, now);
+        self.emit_from_sources(plan, now, probe);
         self.route_compute();
-        self.alloc_and_traverse(plan, now);
+        self.alloc_and_traverse(plan, now, probe);
     }
 
     /// Stage 1: drain this cycle's calendar bucket into input buffers.
@@ -1190,7 +1210,7 @@ impl ShardState {
     /// frees at this node (in-port-0 pop in switch traversal) or a new
     /// packet is admitted, so no cycle the seed engine would use for
     /// emission is missed.
-    fn emit_from_sources(&mut self, plan: &EnginePlan<'_>, now: u64) {
+    fn emit_from_sources<P: Probe>(&mut self, plan: &EnginePlan<'_>, now: u64, probe: &mut P) {
         let dwell = plan.cfg.pipeline_dwell();
         for w in 0..self.src_mask.len() {
             let mut bits = self.src_mask[w];
@@ -1204,6 +1224,9 @@ impl ShardState {
                     // ejection returns a source credit.
                     let window_open = window == 0 || (self.outstanding[node] as usize) < window;
                     if let Some(&pid) = self.nodes[node].src_queue.front() {
+                        if P::ENABLED && !window_open {
+                            probe.on_stall(StallCause::WindowClosed, now);
+                        }
                         if window_open {
                             // Pick an injection VC in the packet's class.
                             let info = self.packets[pid as usize];
@@ -1254,6 +1277,17 @@ impl ShardState {
                             ready: now + dwell,
                         };
                         self.push_flit(node, slot, flit);
+                        if P::ENABLED && flit.is_head {
+                            probe.on_inject(
+                                PacketKey {
+                                    src: NodeId(self.global_of_node[node]),
+                                    inject_cycle: em.inject_cycle,
+                                },
+                                em.dst,
+                                em.total,
+                                now,
+                            );
+                        }
                         pushed = true;
                         self.active_flits += 1;
                         self.stats.flits_injected += 1;
@@ -1311,7 +1345,7 @@ impl ShardState {
     /// cells, calendar buckets ≥ `now + 1`, mailbox outboxes) — and the
     /// node's state stays hot in cache across both stages. Within a
     /// node, arbitration order is identical to the seed engine's.
-    fn alloc_and_traverse(&mut self, plan: &EnginePlan<'_>, now: u64) {
+    fn alloc_and_traverse<P: Probe>(&mut self, plan: &EnginePlan<'_>, now: u64, probe: &mut P) {
         let vcs = plan.cfg.vcs;
         let dwell = plan.cfg.pipeline_dwell();
         for w in 0..self.work_mask.len() {
@@ -1359,6 +1393,18 @@ impl ShardState {
                             let free = !self.holder_mask[pb + p] & open;
                             if free != 0 {
                                 let ovc = free.trailing_zeros() as usize;
+                                if P::ENABLED {
+                                    let info = &self.packets[head_packet as usize];
+                                    probe.on_vc_alloc(
+                                        PacketKey {
+                                            src: info.src,
+                                            inject_cycle: info.inject_cycle,
+                                        },
+                                        NodeId(self.global_of_node[node]),
+                                        ovc as u8,
+                                        now,
+                                    );
+                                }
                                 self.holder_mask[pb + p] |= 1 << ovc;
                                 self.active_pid[base + idx] = head_packet;
                                 self.slot_meta[base + idx] = (m & meta::STATE_CLEAR)
@@ -1370,6 +1416,8 @@ impl ShardState {
                                 self.active_mask[pb + p] |= 1 << idx;
                                 self.ctl[node].active_ports |= 1 << p;
                                 self.va_rr[pb + p] = rr_next(idx, total_in_vcs);
+                            } else if P::ENABLED {
+                                probe.on_stall(StallCause::VaLoss, now);
                             }
                         }
                         if self.routed_mask[pb + p] == 0 {
@@ -1400,6 +1448,9 @@ impl ShardState {
                         debug_assert_eq!(meta::out_port(m), p);
                         let in_port = usize::from(self.in_port_of_slot[base + idx]);
                         if self.ctl[node].in_port_used & (1 << in_port) != 0 {
+                            if P::ENABLED {
+                                probe.on_stall(StallCause::SaLoss, now);
+                            }
                             continue;
                         }
                         if meta::len(m) == 0 {
@@ -1415,6 +1466,9 @@ impl ShardState {
                         if p > 0 {
                             let lid = opi.link as usize;
                             if self.credits[lid * vcs + out_vc].normalize(now) == 0 {
+                                if P::ENABLED {
+                                    probe.on_stall(StallCause::CreditStarved, now);
+                                }
                                 continue;
                             }
                         }
@@ -1465,6 +1519,16 @@ impl ShardState {
                         if self.packets[pid].is_complete() {
                             self.completed_packets += 1;
                             let info = self.packets[pid];
+                            if P::ENABLED {
+                                probe.on_eject(
+                                    PacketKey {
+                                        src: info.src,
+                                        inject_cycle: info.inject_cycle,
+                                    },
+                                    NodeId(self.global_of_node[node]),
+                                    now,
+                                );
+                            }
                             if info.inject_cycle != u64::MAX {
                                 self.stats
                                     .record_packet(info.flits, now + 1 - info.inject_cycle);
@@ -1488,6 +1552,17 @@ impl ShardState {
                         let lid = opi.link as usize;
                         self.credits[lid * vcs + usize::from(out_vc)].take(now);
                         let pid = flit.packet as usize;
+                        if P::ENABLED && flit.is_head {
+                            let info = &self.packets[pid];
+                            probe.on_hop(
+                                PacketKey {
+                                    src: info.src,
+                                    inject_cycle: info.inject_cycle,
+                                },
+                                opi.link,
+                                now,
+                            );
+                        }
                         if opi.express {
                             // Dateline: the packet is class B from here on.
                             self.class_of[pid] = VcClass::PostExpress;
@@ -1620,7 +1695,13 @@ impl ShardState {
     }
 
     /// Drains every mailbox addressed to this shard (the exchange phase).
-    fn collect_inboxes(&mut self, plan: &EnginePlan<'_>, shared: &Shared, now: u64) {
+    fn collect_inboxes<P: Probe>(
+        &mut self,
+        plan: &EnginePlan<'_>,
+        shared: &Shared,
+        now: u64,
+        probe: &mut P,
+    ) {
         for &from in &plan.inbox_sources[self.id] {
             let mut scratch = {
                 let mut cell = shared.mail[usize::from(from)][self.id]
@@ -1631,6 +1712,15 @@ impl ShardState {
                 }
                 std::mem::take(&mut *cell)
             };
+            if P::ENABLED {
+                probe.on_exchange(
+                    usize::from(from),
+                    self.id,
+                    scratch.flits.len(),
+                    scratch.credits.len(),
+                    now,
+                );
+            }
             self.ingest(plan, from, &mut scratch, now);
             // Return the drained allocation for the sender to reuse.
             let mut cell = shared.mail[usize::from(from)][self.id]
@@ -1983,12 +2073,56 @@ pub(crate) enum RunEnd {
     Stopped(RunCursor),
 }
 
+/// Worker-local phase-time accumulator that flushes into the shared
+/// [`ProfileSink`] on every exit path (pause, drain, cycle-limit error)
+/// via `Drop`.
+struct ProfFlush<'a> {
+    sink: Option<&'a ProfileSink>,
+    step_ns: u64,
+    exchange_ns: u64,
+    barrier_ns: u64,
+    supersteps: u64,
+}
+
+impl Drop for ProfFlush<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.add(
+                self.step_ns,
+                self.exchange_ns,
+                self.barrier_ns,
+                self.supersteps,
+            );
+        }
+    }
+}
+
+/// Nanoseconds since `*mark`, advancing the mark; 0 when unset
+/// (profiling off — no `Instant` is ever taken).
+#[inline]
+fn lap(mark: &mut Option<std::time::Instant>) -> u64 {
+    match mark {
+        Some(prev) => {
+            let t = std::time::Instant::now();
+            let d = t.duration_since(*prev).as_nanos() as u64;
+            *mark = Some(t);
+            d
+        }
+        None => 0,
+    }
+}
+
 /// Runs `my` (this worker's shards) from `start` until the workload
 /// drains or `stop_at` is reached, in lockstep with the other workers.
 /// Every control decision is derived from data identical across workers,
 /// so all workers step/jump/stop on the same cycles.
+///
+/// The probe observes this worker's shards only; probed runs are
+/// single-worker (see [`run_sharded_until_probed`]) so one probe sees
+/// everything. `prof`, when set, receives this worker's superstep phase
+/// times (step / exchange / barrier) on exit.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+fn worker_loop<P: Probe>(
     plan: &EnginePlan<'_>,
     shared: &Shared,
     my: &mut [ShardState],
@@ -1997,7 +2131,16 @@ fn worker_loop(
     worker_index: usize,
     start: RunCursor,
     stop_at: u64,
+    probe: &mut P,
+    prof: Option<&ProfileSink>,
 ) -> Result<RunEnd, SimError> {
+    let mut acc = ProfFlush {
+        sink: prof,
+        step_ns: 0,
+        exchange_ns: 0,
+        barrier_ns: 0,
+        supersteps: 0,
+    };
     // Shard-id → index into `my` (MAX = not mine).
     let mut mine = vec![usize::MAX; plan.partition.num_shards()];
     for (i, s) in my.iter().enumerate() {
@@ -2029,6 +2172,9 @@ fn worker_loop(
                     if !plan.routes.reachable(e.src, e.dst) {
                         if mine[shard] != usize::MAX {
                             my[mine[shard]].stats.unreachable_pairs += 1;
+                            if P::ENABLED {
+                                probe.on_stall(StallCause::NoRoute, now);
+                            }
                         }
                         continue;
                     }
@@ -2058,6 +2204,9 @@ fn worker_loop(
                         // every worker; dropping here keeps the sequence.
                         if !plan.routes.reachable(src, dst) {
                             my[mine[shard]].stats.unreachable_pairs += 1;
+                            if P::ENABLED {
+                                probe.on_stall(StallCause::NoRoute, now);
+                            }
                             return;
                         }
                         my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
@@ -2115,17 +2264,21 @@ fn worker_loop(
         }
 
         // --- superstep: step phase ---
+        let mut mark = acc.sink.map(|_| std::time::Instant::now());
         for s in my.iter_mut() {
-            s.step(plan, now);
+            s.step_probed(plan, now, probe);
         }
+        acc.step_ns += lap(&mut mark);
         if plan.partition.num_shards() > 1 {
             for s in my.iter_mut() {
                 s.post_outboxes(shared);
             }
+            acc.exchange_ns += lap(&mut mark);
             shared.barrier.wait();
+            acc.barrier_ns += lap(&mut mark);
             // --- superstep: exchange phase ---
             for s in my.iter_mut() {
-                s.collect_inboxes(plan, shared, now);
+                s.collect_inboxes(plan, shared, now, probe);
             }
         }
         // Publish post-step activity for next cycle's lockstep decision.
@@ -2143,9 +2296,17 @@ fn worker_loop(
                 .next_arrival
                 .store(arr, Ordering::Release);
         }
+        if P::ENABLED {
+            for s in my.iter() {
+                probe.on_cycle_end(EngineView { state: s, plan }, now);
+            }
+        }
+        acc.exchange_ns += lap(&mut mark);
         if plan.partition.num_shards() > 1 {
             shared.barrier.wait();
+            acc.barrier_ns += lap(&mut mark);
         }
+        acc.supersteps += 1;
 
         now += 1;
         if now > plan.cfg.max_cycles {
@@ -2191,8 +2352,43 @@ pub(crate) fn run_sharded_until(
     start: RunCursor,
     stop_at: u64,
 ) -> Result<RunEnd, SimError> {
+    run_sharded_until_probed(
+        plan,
+        shards,
+        threads,
+        workload,
+        dump_on_stall,
+        start,
+        stop_at,
+        &mut NoopProbe,
+        None,
+    )
+}
+
+/// [`run_sharded_until`] with telemetry attached. A run with a real
+/// probe (`P::ENABLED`) is forced single-worker so one probe instance
+/// observes every shard of every cycle — statistics are bit-for-bit
+/// independent of the worker count, so this only affects wall clock.
+/// `prof`, when set, collects superstep phase times from all workers
+/// (profiling uses atomics, so it composes with threading).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded_until_probed<P: Probe>(
+    plan: &EnginePlan<'_>,
+    shards: &mut [ShardState],
+    threads: usize,
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+    start: RunCursor,
+    stop_at: u64,
+    probe: &mut P,
+    prof: Option<&ProfileSink>,
+) -> Result<RunEnd, SimError> {
     let nshards = shards.len();
-    let workers = threads.clamp(1, nshards);
+    let workers = if P::ENABLED {
+        1
+    } else {
+        threads.clamp(1, nshards)
+    };
     // Acceptance window for `SimStats::accepted_flits`: the measurement
     // window of a synthetic run, the whole run for traces.
     let (accept_from, accept_until) = match workload {
@@ -2244,8 +2440,11 @@ pub(crate) fn run_sharded_until(
             0,
             start,
             stop_at,
+            probe,
+            prof,
         )
     } else {
+        debug_assert!(!P::ENABLED, "a probed run is single-worker");
         let shared_ref = &shared;
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
@@ -2262,6 +2461,8 @@ pub(crate) fn run_sharded_until(
                             w,
                             start,
                             stop_at,
+                            &mut NoopProbe,
+                            prof,
                         )
                     })
                 })
@@ -2293,13 +2494,35 @@ pub(crate) fn merge_stats(plan: &EnginePlan<'_>, shards: &[ShardState], cycles: 
 /// statistics (the unbounded wrapper around [`run_sharded_until`]).
 pub(crate) fn run_sharded(
     plan: &EnginePlan<'_>,
-    mut shards: Vec<ShardState>,
+    shards: Vec<ShardState>,
     threads: usize,
     workload: Workload<'_>,
     dump_on_stall: bool,
 ) -> Result<SimStats, SimError> {
+    run_sharded_probed(
+        plan,
+        shards,
+        threads,
+        workload,
+        dump_on_stall,
+        &mut NoopProbe,
+        None,
+    )
+}
+
+/// [`run_sharded`] with telemetry attached — see
+/// [`run_sharded_until_probed`] for the probe and profiling contract.
+pub(crate) fn run_sharded_probed<P: Probe>(
+    plan: &EnginePlan<'_>,
+    mut shards: Vec<ShardState>,
+    threads: usize,
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+    probe: &mut P,
+    prof: Option<&ProfileSink>,
+) -> Result<SimStats, SimError> {
     let start = RunCursor::fresh(&workload);
-    let end = run_sharded_until(
+    let end = run_sharded_until_probed(
         plan,
         &mut shards,
         threads,
@@ -2307,6 +2530,8 @@ pub(crate) fn run_sharded(
         dump_on_stall,
         start,
         u64::MAX,
+        probe,
+        prof,
     )?;
     let RunEnd::Done(cycles) = end else {
         unreachable!("an unbounded run cannot pause");
@@ -2971,6 +3196,109 @@ impl<'a> ShardedSimulator<'a> {
             },
             false,
         )
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// [`Self::run_trace`] with a telemetry probe attached (see
+    /// [`crate::telemetry`]). Probed runs are single-worker so one probe
+    /// instance observes every shard; the statistics are bit-for-bit
+    /// those of the plain run (`tests/telemetry_parity.rs` pins this).
+    pub fn run_trace_probed<P: Probe>(
+        self,
+        trace: &Trace,
+        probe: &mut P,
+    ) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let threads = self.effective_threads();
+        run_sharded_probed(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Trace(trace),
+            false,
+            probe,
+            None,
+        )
+    }
+
+    /// [`Self::run_synthetic`] with a telemetry probe attached — same
+    /// contract as [`Self::run_trace_probed`].
+    pub fn run_synthetic_probed<P: Probe>(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        probe: &mut P,
+    ) -> Result<SimStats, SimError> {
+        let tables = InjectTables::new(self.plan.topo, matrix);
+        let threads = self.effective_threads();
+        run_sharded_probed(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Synthetic {
+                tables: &tables,
+                warmup,
+                measure,
+                seed,
+            },
+            false,
+            probe,
+            None,
+        )
+    }
+
+    /// [`Self::run_trace`] with engine self-profiling: returns the
+    /// statistics plus the superstep phase-time breakdown (step vs.
+    /// exchange vs. barrier wait). Profiling composes with
+    /// multi-threaded runs (atomics, flushed per worker on exit).
+    pub fn run_trace_profiled(self, trace: &Trace) -> Result<(SimStats, EngineProfile), SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let threads = self.effective_threads();
+        let workers = threads.clamp(1, self.shards.len());
+        let sink = ProfileSink::new();
+        let stats = run_sharded_probed(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Trace(trace),
+            false,
+            &mut NoopProbe,
+            Some(&sink),
+        )?;
+        Ok((stats, sink.profile(workers)))
+    }
+
+    /// [`Self::run_synthetic`] with engine self-profiling — same
+    /// contract as [`Self::run_trace_profiled`].
+    pub fn run_synthetic_profiled(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+    ) -> Result<(SimStats, EngineProfile), SimError> {
+        let tables = InjectTables::new(self.plan.topo, matrix);
+        let threads = self.effective_threads();
+        let workers = threads.clamp(1, self.shards.len());
+        let sink = ProfileSink::new();
+        let stats = run_sharded_probed(
+            &self.plan,
+            self.shards,
+            threads,
+            Workload::Synthetic {
+                tables: &tables,
+                warmup,
+                measure,
+                seed,
+            },
+            false,
+            &mut NoopProbe,
+            Some(&sink),
+        )?;
+        Ok((stats, sink.profile(workers)))
     }
 
     // ---- checkpoint / restore -------------------------------------------

@@ -18,13 +18,14 @@
 
 use crate::config::SimConfig;
 use crate::shard::{
-    import_shards, merge_stats, run_sharded, run_sharded_until, snapshot_shards, EnginePlan,
-    InjectTables, RunCursor, RunEnd, ShardState, Workload,
+    import_shards, merge_stats, run_sharded, run_sharded_probed, run_sharded_until,
+    snapshot_shards, EnginePlan, InjectTables, RunCursor, RunEnd, ShardState, Workload,
 };
 use crate::snapshot::{
     plan_fingerprint, synthetic_fingerprint, trace_fingerprint, Snapshot, SnapshotError,
 };
 use crate::stats::SimStats;
+use crate::telemetry::Probe;
 use hyppi_topology::{NodeId, Partition, RoutingTable, Topology};
 use hyppi_traffic::{Trace, TrafficMatrix};
 use rand::{rngs::StdRng, SeedableRng};
@@ -270,6 +271,58 @@ impl<'a> Simulator<'a> {
                 seed,
             },
             false,
+        )
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// [`Self::run_trace`] with a telemetry probe attached (see
+    /// [`crate::telemetry`]). The statistics are bit-for-bit those of
+    /// the plain run — probes observe, they never perturb
+    /// (`tests/telemetry_parity.rs` pins this).
+    pub fn run_trace_probed<P: Probe>(
+        self,
+        trace: &Trace,
+        probe: &mut P,
+    ) -> Result<SimStats, SimError> {
+        assert_eq!(usize::from(trace.num_nodes), self.plan.topo.num_nodes());
+        let Simulator { plan, shard } = self;
+        run_sharded_probed(
+            &plan,
+            vec![shard],
+            1,
+            Workload::Trace(trace),
+            false,
+            probe,
+            None,
+        )
+    }
+
+    /// [`Self::run_synthetic`] with a telemetry probe attached — same
+    /// contract as [`Self::run_trace_probed`].
+    pub fn run_synthetic_probed<P: Probe>(
+        self,
+        matrix: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        seed: u64,
+        probe: &mut P,
+    ) -> Result<SimStats, SimError> {
+        let Simulator { plan, shard } = self;
+        let tables = InjectTables::new(plan.topo, matrix);
+        run_sharded_probed(
+            &plan,
+            vec![shard],
+            1,
+            Workload::Synthetic {
+                tables: &tables,
+                warmup,
+                measure,
+                seed,
+            },
+            false,
+            probe,
+            None,
         )
     }
 

@@ -143,6 +143,13 @@ impl LatencyStats {
         self.percentile(0.99)
     }
 
+    /// 99.9th-percentile latency estimate, cycles — the bursty-tail
+    /// metric the sweep tables report alongside p99. Below 1000 samples
+    /// the 99.9 rank rounds up to the last sample, so `p999() == max`.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.count += other.count;
@@ -492,6 +499,31 @@ mod tests {
         }
         assert_eq!(one.p50(), 37);
         assert_eq!(one.p99(), 37);
+        assert_eq!(one.p999(), 37);
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        // Below 1000 samples the 99.9 rank rounds up to the last sample.
+        let mut small = LatencyStats::default();
+        for v in [5u64, 6, 7, 500] {
+            small.record(v);
+        }
+        assert_eq!(small.p999(), 500);
+        assert!(small.p999() >= small.p99());
+        // 10_000 samples with a just-over-1-per-mille straggler
+        // population (rank 9990 of 10_000 must fall *inside* the
+        // stragglers): p99 stays in the bulk, p999 reaches them.
+        let mut l = LatencyStats::default();
+        for _ in 0..9989 {
+            l.record(10);
+        }
+        for _ in 0..11 {
+            l.record(5000);
+        }
+        assert_eq!(l.p99(), 10);
+        assert_eq!(l.p999(), 5000);
+        assert!(l.p999() <= l.max);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use crate::shard::ShardedSimulator;
 use crate::sim::{RunOutcome, SimError, Simulator};
 use crate::snapshot::Snapshot;
 use crate::stats::{LatencyStats, SimStats};
+use crate::telemetry::Probe;
 use hyppi_topology::{FaultSpec, NodeId, RoutingTable, ShardSpec, Topology};
 use hyppi_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
@@ -589,6 +590,56 @@ impl<'a> SweepRunner<'a> {
         let offered = matrix.mean_injection();
         let outcomes = parallel_map(self.cfg.seeds.clone(), |seed| self.run_one(matrix, seed));
         self.reduce(offered, outcomes)
+    }
+
+    /// Like [`Self::run_point`], but with a telemetry probe attached to
+    /// the first seed's run (the remaining seeds run plain, in
+    /// parallel). Always cold — the probed run executes its own warm-up
+    /// so the probe observes inject events from cycle 0; a warm-start
+    /// resume would skip them. The returned point is identical to what
+    /// [`Self::run_point`] computes from cold runs: probes never
+    /// perturb statistics.
+    pub fn record_point<P: Probe>(&self, matrix: &TrafficMatrix, probe: &mut P) -> LoadPoint {
+        let offered = matrix.mean_injection();
+        let (&first, rest) = self.cfg.seeds.split_first().expect("at least one seed");
+        let mut outcomes = vec![self.run_one_probed(matrix, first, probe)];
+        outcomes.extend(parallel_map(rest.to_vec(), |seed| {
+            self.run_one(matrix, seed)
+        }));
+        self.reduce(offered, outcomes)
+    }
+
+    /// [`Self::run_one`] with a probe attached (single-worker — see
+    /// [`crate::telemetry`]).
+    fn run_one_probed<P: Probe>(
+        &self,
+        matrix: &TrafficMatrix,
+        seed: u64,
+        probe: &mut P,
+    ) -> Result<SimStats, SimError> {
+        let (topo, routes, baseline) = match &self.faulted {
+            Some((t, r)) => (t, r, Some((self.topo, self.routes))),
+            None => (self.topo, self.routes, None),
+        };
+        if self.cfg.shards > 1 {
+            let mut sim = ShardedSimulator::new(
+                topo,
+                routes,
+                self.sim,
+                ShardSpec::for_count(self.cfg.shards),
+            )
+            .with_threads(self.cfg.threads);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic_probed(matrix, self.cfg.warmup, self.cfg.measure, seed, probe)
+        } else {
+            let mut sim = Simulator::new(topo, routes, self.sim);
+            if let Some((bt, br)) = baseline {
+                sim = sim.with_baseline(bt, br);
+            }
+            sim.run_synthetic_probed(matrix, self.cfg.warmup, self.cfg.measure, seed, probe)
+        }
     }
 
     /// Sweeps a rate grid: all (rate × seed) runs fan out across threads
