@@ -44,11 +44,20 @@ fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResul
     maybe_write_json_str(args, &result.to_json());
 }
 
-/// Parsed `--metrics PATH` / `--trace PATH` flight-recorder options.
+/// Parsed `--metrics PATH` / `--trace PATH` / `--trace-cap N`
+/// flight-recorder options.
 fn telemetry_opts(args: &[String]) -> TelemetryOpts {
     TelemetryOpts {
         metrics: flag_value(args, "--metrics"),
         trace: flag_value(args, "--trace"),
+        trace_cap: flag_value(args, "--trace-cap")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --trace-cap value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0),
     }
 }
 
@@ -335,7 +344,8 @@ fn main() {
              anchoring; npb32 accepts --kernel FT|CG|MG|LU|all and \
              --save/--resume PATH checkpointing; load_sweep/load_sweep32/npb32/fault_sweep \
              accept --metrics PATH and --trace PATH flight-recorder output — .jsonl for \
-             JSONL, anything else for Chrome trace_event JSON)"
+             JSONL, anything else for Chrome trace_event JSON — and --trace-cap N to size \
+             the packet-trace ring; an overflowing ring warns with its drop ratio)"
         );
         std::process::exit(2);
     }

@@ -13,7 +13,12 @@
 //! all three engines, accepted throughput recorded); and a
 //! shard-scaling section times a 32×32 uniform cell on the sharded
 //! engine (P=1 vs `--shards N`, parity asserted, host parallelism
-//! recorded so single-core CI numbers read honestly); a snapshot
+//! recorded so single-core CI numbers read honestly); a
+//! conservative-lookahead section (skipped under `--quick` unless
+//! `--lookahead` is given) records the 1/2/4/8-shard scaling curve on
+//! all-HyPPI 16×16/32×32/64×64 meshes — every cut windows at W=2 —
+//! with each cell parity-asserted against P=1 and the barrier share of
+//! superstep time profiled per-cycle vs windowed; a snapshot
 //! section pins the checkpoint/restore splice (pause + resume ==
 //! uninterrupted, restored on all three engines) and records snapshot
 //! bytes/node, save/restore µs, and the warm-start sweep multiple on
@@ -51,6 +56,10 @@
 //! #   parity asserted on all three
 //! cargo run --release -p hyppi-netsim --example perfcheck -- --quick \
 //!     --metrics metrics.jsonl --trace trace.json   # export recorder artifacts
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --quick \
+//!     --shards 4 --lookahead          # CI perf-smoke incl. the scaling curve
+//! cargo run --release -p hyppi-netsim --example perfcheck -- --trace-cap 16000000 \
+//!     --trace trace.jsonl             # size the packet-trace ring to the run
 //! ```
 
 use hyppi_netsim::json::{Json, Obj};
@@ -62,7 +71,7 @@ use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
     express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
-use hyppi_traffic::{NpbKernel, NpbTraceSpec, SyntheticPattern, Trace};
+use hyppi_traffic::{NpbKernel, NpbTraceSpec, ScaledNpbSpec, SyntheticPattern, Trace};
 use std::time::Instant;
 
 struct Cell {
@@ -332,11 +341,21 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let trace_cap: usize = flag_value("--trace-cap")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --trace-cap value '{s}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
     let telemetry = TelemetryOpts {
         metrics: flag_value("--metrics"),
         trace: flag_value("--trace"),
+        trace_cap,
     };
-    const VALUE_FLAGS: [&str; 4] = ["--cells", "--shards", "--metrics", "--trace"];
+    let lookahead_requested = args.iter().any(|a| a == "--lookahead");
+    const VALUE_FLAGS: [&str; 5] = ["--cells", "--shards", "--metrics", "--trace", "--trace-cap"];
     let positional: Option<String> = args
         .iter()
         .enumerate()
@@ -462,6 +481,11 @@ fn main() {
     let sweep = run_sweep_section(quick, fast);
     let closed = run_closed_loop_section(quick, fast);
     let shard = run_shard_section(quick, shards);
+    // The lookahead curve is the heavyweight section (three mesh sizes,
+    // four shard counts each); --quick runs it only on request so the
+    // default CI smoke stays cheap, but `--quick --lookahead` still
+    // shrinks the per-cell workload.
+    let lookahead = (!quick || lookahead_requested).then(|| run_lookahead_section(quick, shards));
     let telem = run_telemetry_section(quick, shards, &telemetry);
     let snapshot = run_snapshot_section(quick, fast);
     let fault = run_fault_section(quick, fast);
@@ -477,7 +501,7 @@ fn main() {
         )
         .field(
             "engine",
-            "active-set + credit fusion, calendar batching, packed VC search",
+            "active-set + credit fusion, calendar batching, packed VC search, conservative-lookahead windows",
         )
         .field("host_threads", host_threads)
         .field("measured_on_single_core", host_threads == 1);
@@ -548,7 +572,53 @@ fn main() {
                 .field(
                     "protocol_overhead",
                     Json::fixed(shard.protocol_overhead(), 4),
-                ),
+                )
+                .field("measured_on_single_core", shard.host_threads == 1),
+        )
+        .field(
+            "lookahead_scaling",
+            lookahead.map(|records| {
+                records
+                    .iter()
+                    .map(|r| {
+                        Obj::new()
+                            .field("mesh", r.mesh)
+                            .field("kernel", r.kernel)
+                            .field("window", r.window)
+                            .field("packets", r.packets)
+                            .field("cycles", r.cycles)
+                            .field("host_threads", r.host_threads)
+                            .field("measured_on_single_core", r.host_threads == 1)
+                            .field(
+                                "barrier_fraction_per_cycle",
+                                Json::fixed(r.barrier_fraction_per_cycle, 4),
+                            )
+                            .field(
+                                "barrier_fraction_windowed",
+                                Json::fixed(r.barrier_fraction_windowed, 4),
+                            )
+                            .field("supersteps_per_cycle", r.supersteps_per_cycle)
+                            .field("supersteps_windowed", r.supersteps_windowed)
+                            .field(
+                                "curve",
+                                r.points
+                                    .iter()
+                                    .map(|p| {
+                                        Obj::new()
+                                            .field("shards", p.shards)
+                                            .field("secs", Json::fixed(p.secs, 4))
+                                            .field(
+                                                "speedup",
+                                                Json::fixed(r.single_secs / p.secs, 4),
+                                            )
+                                            .build()
+                                    })
+                                    .collect::<Vec<Json>>(),
+                            )
+                            .build()
+                    })
+                    .collect::<Vec<Json>>()
+            }),
         )
         .field(
             "telemetry",
@@ -894,7 +964,185 @@ fn run_shard_section(quick: bool, shards: usize) -> ShardRecord {
         record.packets,
         record.cycles,
     );
+    // A speedup below 1 on a single-core host is physics, not a
+    // regression — only a multi-core host can fail this gate. The JSON
+    // cell carries `measured_on_single_core` so the record reads
+    // honestly either way.
+    if host_threads > 1 {
+        assert!(
+            record.speedup() > 1.0,
+            "sharded engine slower than P=1 ({:.2}x) on a {host_threads}-thread host",
+            record.speedup()
+        );
+    } else {
+        println!("SHARD: single-core host, speedup column not asserted");
+    }
     record
+}
+
+/// One shard count of a conservative-lookahead scaling curve.
+struct LookaheadPoint {
+    shards: usize,
+    /// Wall time of the windowed sharded engine, one worker per shard
+    /// (the P=1 point is the plain engine and defines speedup = 1).
+    secs: f64,
+}
+
+/// The conservative-lookahead scaling record for one mesh size: an NPB
+/// trace on an all-HyPPI mesh (every link 2 cycles, so every cut
+/// windows at W=2) timed at 1/2/4/8 shards, with the barrier share of
+/// superstep wall time profiled per-cycle vs windowed.
+struct LookaheadRecord {
+    mesh: &'static str,
+    kernel: &'static str,
+    /// The derived exchange window (min boundary-link latency over the
+    /// cuts) — 2 on these meshes by construction.
+    window: u64,
+    packets: u64,
+    cycles: u64,
+    /// Wall time of the P=1 engine (the shards=1 curve point).
+    single_secs: f64,
+    points: Vec<LookaheadPoint>,
+    host_threads: usize,
+    /// Barrier share of superstep wall time with the window forced to 1
+    /// (the pre-lookahead protocol: two barriers every simulated cycle).
+    barrier_fraction_per_cycle: f64,
+    /// Barrier share with the derived W=2 window.
+    barrier_fraction_windowed: f64,
+    supersteps_per_cycle: u64,
+    supersteps_windowed: u64,
+}
+
+/// The ROADMAP's headline artifact: a 1/2/4/8-shard scaling curve per
+/// mesh size (16×16, 32×32, 64×64 via [`ScaledNpbSpec`]) on all-HyPPI
+/// meshes whose 2-cycle links let every cut run W=2 conservative
+/// windows. Every cell is parity-asserted bit-for-bit against the P=1
+/// engine (the same contract the unified cell harness pins in
+/// `tests/lookahead_parity.rs`), and the per-cycle vs windowed barrier
+/// fraction is profiled from the same `ProfileSink` the telemetry
+/// section uses. On a single-core host the speedup column is bounded
+/// near 1 — the record carries `host_threads` /
+/// `measured_on_single_core`, and the >1 gate only arms on multi-core.
+fn run_lookahead_section(quick: bool, shards: usize) -> Vec<LookaheadRecord> {
+    let kernel = NpbKernel::Cg;
+    // Decimation strides keep the trace volume roughly constant per
+    // mesh as the instance count grows with area.
+    let meshes: &[(u16, &'static str, u16)] =
+        &[(16, "16x16", 1), (32, "32x32", 2), (64, "64x64", 4)];
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut records = Vec::new();
+    for &(side, label, stride) in meshes {
+        let spec = ScaledNpbSpec::new(kernel, side, side);
+        let trace = if quick {
+            spec.trace_window_decimated(1, 0.25, stride * 4)
+        } else {
+            spec.trace_window_decimated(1, 0.25, stride)
+        };
+        let topo = mesh(MeshSpec {
+            width: side,
+            height: side,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Hyppi,
+            capacity: Gbps::new(50.0),
+        });
+        let routes = RoutingTable::compute_xy(&topo);
+        let mut cfg = SimConfig::paper();
+        cfg.max_cycles = 20_000_000;
+
+        let t0 = Instant::now();
+        let single = Simulator::new(&topo, &routes, cfg)
+            .run_trace(&trace)
+            .expect("P=1 engine completes");
+        let single_secs = t0.elapsed().as_secs_f64();
+
+        let mut window = 0;
+        let mut points = vec![LookaheadPoint {
+            shards: 1,
+            secs: single_secs,
+        }];
+        for p in [2usize, 4, 8] {
+            let sim = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(p));
+            let w = sim.lookahead();
+            assert!(
+                w >= 2,
+                "{label}: all-HyPPI cuts must window at W>=2, derived {w}"
+            );
+            window = w;
+            let t = Instant::now();
+            let stats = sim.run_trace(&trace).expect("windowed engine completes");
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(stats, single, "{label}: lookahead parity violated at P={p}");
+            println!(
+                "LOOKAHEAD {label} {} W={w}: P={p} {secs:.2}s ({:.2}x vs P=1 {single_secs:.2}s) | parity OK",
+                kernel.name(),
+                single_secs / secs,
+            );
+            points.push(LookaheadPoint { shards: p, secs });
+        }
+
+        // Barrier share per-cycle vs windowed, profiled at the CLI's
+        // --shards count on the threaded engine.
+        let (per_cycle_stats, per_cycle) =
+            ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+                .with_lookahead(1)
+                .run_trace_profiled(&trace)
+                .expect("per-cycle profiled run completes");
+        assert_eq!(
+            per_cycle_stats, single,
+            "{label}: per-cycle parity violated"
+        );
+        let (windowed_stats, windowed) =
+            ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
+                .run_trace_profiled(&trace)
+                .expect("windowed profiled run completes");
+        assert_eq!(windowed_stats, single, "{label}: windowed parity violated");
+        assert!(
+            windowed.supersteps < per_cycle.supersteps,
+            "{label}: W={window} windows must cut superstep count ({} vs {})",
+            windowed.supersteps,
+            per_cycle.supersteps,
+        );
+
+        let record = LookaheadRecord {
+            mesh: label,
+            kernel: kernel.name(),
+            window,
+            packets: single.all.count,
+            cycles: single.cycles,
+            single_secs,
+            points,
+            host_threads,
+            barrier_fraction_per_cycle: per_cycle.fraction(per_cycle.barrier_ns),
+            barrier_fraction_windowed: windowed.fraction(windowed.barrier_ns),
+            supersteps_per_cycle: per_cycle.supersteps,
+            supersteps_windowed: windowed.supersteps,
+        };
+        println!(
+            "LOOKAHEAD {label}: barrier share {:.1}% per-cycle -> {:.1}% windowed ({} -> {} supersteps) | {} pkts, {} cycles",
+            100.0 * record.barrier_fraction_per_cycle,
+            100.0 * record.barrier_fraction_windowed,
+            record.supersteps_per_cycle,
+            record.supersteps_windowed,
+            record.packets,
+            record.cycles,
+        );
+        if host_threads > 1 {
+            let best = record
+                .points
+                .iter()
+                .filter(|p| p.shards > 1)
+                .map(|p| single_secs / p.secs)
+                .fold(0.0f64, f64::max);
+            assert!(
+                best > 1.0,
+                "{label}: windowed engine shows no parallel speedup ({best:.2}x) on a {host_threads}-thread host"
+            );
+        } else {
+            println!("LOOKAHEAD: single-core host, speedup column not asserted");
+        }
+        records.push(record);
+    }
+    records
 }
 
 /// The telemetry section, on the same 32×32 uniform cell as the shard
@@ -957,10 +1205,17 @@ fn run_telemetry_section(quick: bool, shards: usize, opts: &TelemetryOpts) -> Te
             .expect("profiled run completes");
     assert_eq!(profiled, expected, "profiled-run parity violated");
 
-    // 3. Fully recorded run (single-worker by construction).
+    // 3. Fully recorded run (single-worker by construction). The trace
+    // ring takes `--trace-cap` so a long run can keep its whole event
+    // stream instead of silently shedding millions of events.
+    let trace_capacity = if opts.trace_cap > 0 {
+        opts.trace_cap
+    } else {
+        FlightRecorder::DEFAULT_TRACE_CAPACITY
+    };
     let mut rec = FlightRecorder::new()
         .with_metrics(FlightRecorder::DEFAULT_INTERVAL)
-        .with_trace(FlightRecorder::DEFAULT_TRACE_CAPACITY);
+        .with_trace(trace_capacity);
     let t = Instant::now();
     let recorded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::for_count(shards))
         .run_synthetic_probed(&m, warmup, measure, 42, &mut rec)
@@ -993,6 +1248,14 @@ fn run_telemetry_section(quick: bool, shards: usize, opts: &TelemetryOpts) -> Te
         dropped_events: rec.tracer.as_ref().map_or(0, |t| t.dropped()),
         profile,
     };
+    if record.dropped_events > 0 && opts.trace.is_none() {
+        // The export path (`TelemetryOpts::write`) warns for itself.
+        eprintln!(
+            "WARNING: packet trace ring overflowed: {} events dropped, {} kept. \
+             Raise the ring with --trace-cap N.",
+            record.dropped_events, record.events,
+        );
+    }
     assert!(
         record.overhead_multiple() <= 1.05,
         "probes-off overhead {:.3}x exceeds the 1.05x budget",

@@ -208,6 +208,16 @@ impl CreditCell {
             self.avail
         }
     }
+
+    /// Applies a ripened lookahead credit: one credit whose free cycle
+    /// is already in the past becomes spendable *at* `now` (not `now+1`
+    /// — the next-cycle delay was served while the credit waited in the
+    /// ripening buffer).
+    #[inline]
+    fn ripen(&mut self, now: u64) {
+        self.normalize(now);
+        self.avail += 1;
+    }
 }
 
 /// Hot per-node control state packed into one record (one cache line's
@@ -323,8 +333,17 @@ pub(crate) struct EnginePlan<'a> {
     express_on_path: Vec<Vec<bool>>,
     /// In-port index (at the link's dst node) fed by each link.
     pub in_port_of_link: Vec<u8>,
-    /// Calendar wheel length (power of two > max link latency).
+    /// Calendar wheel length (power of two > max link latency plus the
+    /// lookahead window, so mid-window ingests stay within one
+    /// revolution).
     pub wheel_len: usize,
+    /// Conservative-lookahead window W in cycles: shards may run W
+    /// cycles between mailbox exchanges because no boundary link can
+    /// deliver a flit in fewer (W = the partition's minimum boundary
+    /// latency). Forced to 1 — the classic cycle-per-superstep
+    /// protocol — for single-shard plans and closed-loop configs
+    /// (whose source credits need next-cycle global visibility).
+    pub lookahead: u64,
     /// For each shard, the sorted shards that may address mail to it
     /// (boundary-flit senders and boundary-credit returners).
     pub inbox_sources: Vec<Vec<u16>>,
@@ -405,7 +424,20 @@ impl<'a> EnginePlan<'a> {
             .map(|l| u64::from(l.latency_cycles))
             .max()
             .unwrap_or(1);
-        let wheel_len = (max_latency + 2).next_power_of_two() as usize;
+        // Safe superstep window: the minimum boundary-link latency. A
+        // closed-loop window degrades to the classic per-cycle protocol
+        // — its source credits (destination shard → origin shard, any
+        // pair) rely on next-cycle global visibility that a W-cycle
+        // window cannot provide conservatively.
+        let lookahead = if cfg.max_outstanding > 0 {
+            1
+        } else {
+            partition.min_boundary_latency.map_or(1, u64::from)
+        };
+        // A shard parked at a window start can hold ingested arrivals up
+        // to `lookahead - 1 + max_latency` cycles ahead, so the wheel
+        // must cover the window on top of the longest link.
+        let wheel_len = (max_latency + lookahead + 2).next_power_of_two() as usize;
         // Shard mail adjacency: s receives flits over links into it and
         // credits over links out of it. Closed-loop source credits flow
         // from a packet's destination shard back to its origin shard —
@@ -477,6 +509,7 @@ impl<'a> EnginePlan<'a> {
             express_on_path,
             in_port_of_link,
             wheel_len,
+            lookahead,
             inbox_sources: sources,
         }
     }
@@ -596,8 +629,11 @@ pub(crate) struct BoundaryFlit {
 pub(crate) struct OutBundle {
     /// Boundary link arrivals.
     pub flits: Vec<BoundaryFlit>,
-    /// Boundary credit returns, flattened `link * vcs + vc` indices.
-    pub credits: Vec<u32>,
+    /// Boundary credit returns: flattened `link * vcs + vc` index plus
+    /// the absolute cycle the credit was freed (always the exchanged
+    /// cycle under the classic protocol; any cycle of the window under
+    /// lookahead, where the receiver ripens it at `free cycle + 1`).
+    pub credits: Vec<(u32, u64)>,
     /// Closed-loop source credits: origin nodes (owned by the receiving
     /// shard) whose packet completed at a destination this shard owns.
     pub src_credits: Vec<u16>,
@@ -626,6 +662,16 @@ struct Shared {
     /// bundle allocations with zero steady-state allocation.
     mail: Vec<Vec<Mutex<OutBundle>>>,
     published: Vec<Published>,
+    /// Lookahead only: each shard's progress cycle (cycles `< progress`
+    /// executed), written before the exchange barrier of every round.
+    /// The minimum over all shards is the credit-visibility frontier —
+    /// every credit freed before it has been mailed and ingested.
+    progress: Vec<AtomicU64>,
+    /// Lookahead only: per-worker drained-and-exhausted marker
+    /// (`u64::MAX` = still live). A dead worker's value is the cycle
+    /// the per-cycle protocol would have rested at; all workers dead ⇒
+    /// the run ends at the maximum of these.
+    done_at: Vec<AtomicU64>,
     barrier: Barrier,
     /// Cycle-limit failure accumulators (error path only). Origins and
     /// completions are summed separately because a net-importer shard
@@ -651,6 +697,8 @@ impl Shared {
                     next_arrival: AtomicU64::new(u64::MAX),
                 })
                 .collect(),
+            progress: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            done_at: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
             barrier: Barrier::new(workers),
             stuck_origins: AtomicU64::new(0),
             stuck_completed: AtomicU64::new(0),
@@ -696,6 +744,16 @@ pub(crate) struct ShardState {
     /// freed during a cycle become spendable next cycle without a
     /// separate end-of-cycle application pass.
     credits: Vec<CreditCell>,
+    /// Credit cells of every outgoing boundary link (flattened
+    /// `link * vcs + vc`): the cells whose frees arrive by mail. The
+    /// lookahead pre-check scans these — a zero reading beyond the
+    /// visibility frontier may be stale, so the shard stops its round
+    /// there instead of risking a divergent credit stall.
+    cut_out_cells: Vec<u32>,
+    /// Lookahead ripening buffer: mailed boundary credits not yet
+    /// spendable, as `(spendable_from_cycle, cell index)`. Drained into
+    /// the credit cells as the shard's cycle reaches each entry.
+    ripen: Vec<(u64, u32)>,
     // --- flattened per-port router control state ---
     /// Routed-VC bitmask per (node, out-port) — bit = in-VC index.
     routed_mask: Vec<u32>,
@@ -922,6 +980,15 @@ impl ShardState {
         let mask_words = nodes.len().div_ceil(64).max(1);
         let n_local = nodes.len();
         let shards = plan.partition.num_shards();
+        let mut cut_out_cells = Vec::new();
+        for l in topo.links() {
+            let lid = l.id.index();
+            if usize::from(plan.partition.link_src_shard[lid]) == id
+                && usize::from(plan.partition.link_dst_shard[lid]) != id
+            {
+                cut_out_cells.extend((0..cfg.vcs).map(|vc| (lid * cfg.vcs + vc) as u32));
+            }
+        }
         ShardState {
             id,
             global_of_node,
@@ -944,6 +1011,8 @@ impl ShardState {
             src_shard_of_slot,
             nodes,
             credits: vec![CreditCell::new(cfg.buffer_depth as u16); topo.links().len() * cfg.vcs],
+            cut_out_cells,
+            ripen: Vec::new(),
             wheel: vec![Vec::new(); plan.wheel_len],
             wheel_mask: (plan.wheel_len - 1) as u64,
             wheel_occ: vec![0; plan.wheel_len.div_ceil(64)],
@@ -1499,7 +1568,7 @@ impl ShardState {
                         if owner == self.id {
                             self.credits[cred].free(now);
                         } else {
-                            self.outbox[owner].credits.push(cred as u32);
+                            self.outbox[owner].credits.push((cred as u32, now));
                         }
                     } else if self.nodes[node].emitting.is_some()
                         || !self.nodes[node].src_queue.is_empty()
@@ -1651,18 +1720,32 @@ impl ShardState {
     /// Ingests one incoming bundle: applies boundary credits and books
     /// boundary flits into the local calendar wheel, minting local packet
     /// handles for arriving heads (the exchange phase). `now` is the
-    /// superstep being exchanged: mailbox credits land in the pending
-    /// half of their [`CreditCell`] with this stamp, giving them the
-    /// same next-cycle visibility as locally freed credits.
+    /// shard's next unexecuted cycle. Under the classic protocol every
+    /// mailed credit was freed exactly at `now`, and lands in the
+    /// pending half of its [`CreditCell`] with that stamp — the same
+    /// next-cycle visibility as locally freed credits. Under lookahead
+    /// (`windowed`) the bundle spans a window: credits already due
+    /// (freed before `now`) are applied spendable-at-`now` directly,
+    /// later ones wait in the ripening buffer for their cycle.
     pub(crate) fn ingest(
         &mut self,
         plan: &EnginePlan<'_>,
         from: u16,
         bundle: &mut OutBundle,
         now: u64,
+        windowed: bool,
     ) {
-        for idx in bundle.credits.drain(..) {
-            self.credits[idx as usize].free(now);
+        for (idx, freed) in bundle.credits.drain(..) {
+            if windowed {
+                if freed < now {
+                    self.credits[idx as usize].ripen(now);
+                } else {
+                    self.ripen.push((freed + 1, idx));
+                }
+            } else {
+                debug_assert_eq!(freed, now, "classic exchange credit from another cycle");
+                self.credits[idx as usize].free(now);
+            }
         }
         for src in bundle.src_credits.drain(..) {
             self.apply_source_credit(plan, NodeId(src));
@@ -1694,12 +1777,46 @@ impl ShardState {
         }
     }
 
+    /// Applies every ripening-buffer credit due at or before `now`
+    /// (lookahead rounds call this at the top of each cycle, before the
+    /// staleness pre-check and arbitration read any cell).
+    fn apply_ripe_credits(&mut self, now: u64) {
+        if self.ripen.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.ripen.len() {
+            let (due, idx) = self.ripen[i];
+            if due <= now {
+                self.credits[idx as usize].ripen(now);
+                self.ripen.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether cycle `now` is safe to execute beyond the visibility
+    /// frontier: every outgoing-boundary credit cell reads non-zero.
+    /// (A non-zero cell can only be under-counted — missed remote frees
+    /// never invent credits — and switch allocation takes at most one
+    /// credit per cell per cycle, so any cell that starts the cycle
+    /// non-zero is consulted with the same zero/non-zero answer the
+    /// per-cycle protocol would see. A zero cell beyond the frontier
+    /// may be a stale zero, so the round must stop here.)
+    fn lookahead_safe(&self, now: u64) -> bool {
+        self.cut_out_cells
+            .iter()
+            .all(|&c| self.credits[c as usize].peek(now) > 0)
+    }
+
     /// Drains every mailbox addressed to this shard (the exchange phase).
     fn collect_inboxes<P: Probe>(
         &mut self,
         plan: &EnginePlan<'_>,
         shared: &Shared,
         now: u64,
+        windowed: bool,
         probe: &mut P,
     ) {
         for &from in &plan.inbox_sources[self.id] {
@@ -1721,7 +1838,7 @@ impl ShardState {
                     now,
                 );
             }
-            self.ingest(plan, from, &mut scratch, now);
+            self.ingest(plan, from, &mut scratch, now, windowed);
             // Return the drained allocation for the sender to reuse.
             let mut cell = shared.mail[usize::from(from)][self.id]
                 .lock()
@@ -2278,7 +2395,7 @@ fn worker_loop<P: Probe>(
             acc.barrier_ns += lap(&mut mark);
             // --- superstep: exchange phase ---
             for s in my.iter_mut() {
-                s.collect_inboxes(plan, shared, now, probe);
+                s.collect_inboxes(plan, shared, now, false, probe);
             }
         }
         // Publish post-step activity for next cycle's lockstep decision.
@@ -2335,6 +2452,331 @@ fn worker_loop<P: Probe>(
         }
     }
     Ok(RunEnd::Done(now))
+}
+
+/// [`worker_loop`] under conservative lookahead: supersteps cover
+/// windows of up to `plan.lookahead` (= W) cycles instead of one.
+///
+/// Soundness rests on three facts (see `docs/ARCHITECTURE.md`,
+/// "Conservative lookahead"):
+///
+/// * **Flits**: a boundary flit sent at any cycle of window `[T, T+W)`
+///   travels a link of latency ≥ W, so it arrives ≥ T+W — always
+///   bookable at the inter-round exchange before its receiver executes
+///   the next window.
+/// * **Credits**: arbitration only ever compares a boundary credit cell
+///   against zero, and takes at most one credit per cell per cycle.
+///   Missed remote frees under-count, never over-count, so a non-zero
+///   reading is exact. A *zero* reading beyond the visibility frontier
+///   (the minimum shard progress at the last exchange) may be stale —
+///   the shard stops its round there and retries after the next
+///   exchange, when ripened credits or a grown frontier resolve it.
+///   The minimum-progress shard is always at its own frontier, so every
+///   round advances the global state: worst case degrades to the
+///   per-cycle protocol, never past it.
+/// * **Consensus**: termination and idle fast-forward decisions move to
+///   window boundaries, where every worker sees barrier-fresh published
+///   state. Each worker tracks the cycle the per-cycle protocol would
+///   rest at (`candidate`: past every executed cycle, onto every real
+///   idle-jump target); a drained run ends at the maximum over workers
+///   — bit-equal to the classic `RunEnd::Done` cycle.
+///
+/// Closed-loop configs force `plan.lookahead == 1` (their source
+/// credits need next-cycle global visibility) and probed runs keep the
+/// per-cycle loop (probes observe every cycle in order), so this loop
+/// never runs for either.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop_windowed(
+    plan: &EnginePlan<'_>,
+    shared: &Shared,
+    my: &mut [ShardState],
+    workload: Workload<'_>,
+    dump_on_stall: bool,
+    worker_index: usize,
+    start: RunCursor,
+    stop_at: u64,
+    prof: Option<&ProfileSink>,
+) -> Result<RunEnd, SimError> {
+    let mut acc = ProfFlush {
+        sink: prof,
+        step_ns: 0,
+        exchange_ns: 0,
+        barrier_ns: 0,
+        supersteps: 0,
+    };
+    // Shard-id → index into `my` (MAX = not mine).
+    let mut mine = vec![usize::MAX; plan.partition.num_shards()];
+    for (i, s) in my.iter().enumerate() {
+        mine[s.id] = i;
+    }
+    let probe = &mut NoopProbe;
+    let window = plan.lookahead;
+    debug_assert!(window > 1, "windowed loop needs a lookahead window");
+    let mut next_event = start.next_event as usize; // full-trace cursor
+    let mut rng = StdRng::from_state(start.rng);
+    // Cycles before this force-step (and draw the per-cycle synthetic
+    // RNG); traces have no forced window.
+    let inject_end = match workload {
+        Workload::Synthetic {
+            warmup, measure, ..
+        } => warmup + measure,
+        Workload::Trace(_) => 0,
+    };
+    // The cycle the per-cycle protocol would rest at were everything
+    // else drained: bumped past every executed cycle and onto every
+    // real (not window-clamped) idle-jump target.
+    let mut candidate = start.now;
+    // Credit-visibility frontier: minimum shard progress at the last
+    // exchange. Cycles ≤ frontier see every remote free exactly.
+    let mut frontier = start.now;
+    let mut t = start.now; // current window start (identical across workers)
+    let mut u = start.now; // this worker's cycle within the window
+    let mut ran_window = false;
+    loop {
+        // ---- window boundary: every shard is at `t` and the last
+        // round's published state is barrier-fresh ----
+        let done = shared
+            .done_at
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(u64::MAX);
+        if done != u64::MAX {
+            // Every worker drained and exhausted its workload. All
+            // resting cycles are ≤ stop_at, so a resting point below it
+            // is a genuine drain; otherwise the per-cycle protocol
+            // would have paused at stop_at first.
+            if done < stop_at {
+                return Ok(RunEnd::Done(done));
+            }
+            return Ok(RunEnd::Stopped(RunCursor {
+                now: stop_at,
+                next_event: next_event as u64,
+                rng: rng.state(),
+            }));
+        }
+        if t >= stop_at {
+            return Ok(RunEnd::Stopped(RunCursor {
+                now: t,
+                next_event: next_event as u64,
+                rng: rng.state(),
+            }));
+        }
+        if ran_window && t > plan.cfg.max_cycles {
+            // Same error protocol as the per-cycle loop (which checks
+            // after every executed cycle; windows clamp at
+            // `max_cycles + 1`, so `t` lands exactly there).
+            if dump_on_stall {
+                for s in my.iter() {
+                    s.dump_blocked(plan, t);
+                }
+            }
+            let origins: u64 = my.iter().map(|s| s.origin_packets).sum();
+            let completed: u64 = my.iter().map(|s| s.completed_packets).sum();
+            shared.stuck_origins.fetch_add(origins, Ordering::SeqCst);
+            shared
+                .stuck_completed
+                .fetch_add(completed, Ordering::SeqCst);
+            shared.barrier.wait();
+            return Err(SimError::CycleLimit {
+                stuck_packets: shared.stuck_origins.load(Ordering::SeqCst)
+                    - shared.stuck_completed.load(Ordering::SeqCst),
+            });
+        }
+        // Global idle fast-forward: everyone quiescent — jump the whole
+        // window frame to the next booked arrival or admission. Every
+        // worker computes the same target from published data and its
+        // own (identical) admission cursor.
+        if shared
+            .published
+            .iter()
+            .all(|p| !p.active.load(Ordering::Acquire))
+        {
+            let next_arrival = shared
+                .published
+                .iter()
+                .map(|p| p.next_arrival.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u64::MAX);
+            let next_admission = match workload {
+                Workload::Trace(trace) => trace.events.get(next_event).map(|e| e.cycle),
+                Workload::Synthetic { .. } => (t < inject_end).then_some(t),
+            };
+            let target = match (next_arrival, next_admission) {
+                // Fully drained *and* exhausted is settled by the
+                // `done_at` consensus above once a round has published
+                // it; until then, run the (no-op) round below.
+                (u64::MAX, None) => None,
+                (u64::MAX, Some(c)) => Some(c),
+                (a, None) => Some(a),
+                (a, Some(c)) => Some(a.min(c)),
+            };
+            if let Some(target) = target {
+                let target = target.min(stop_at);
+                if target > t {
+                    // The skipped cycles are provably no-ops everywhere
+                    // (nothing buffered, booked, or admissible), so the
+                    // frontier rides along.
+                    candidate = target;
+                    t = target;
+                    u = target;
+                    frontier = target;
+                    continue;
+                }
+            }
+        }
+        // ---- one window: rounds of up-to-W cycles ----
+        let end = (t + window)
+            .min(stop_at)
+            .min((plan.cfg.max_cycles + 1).max(t + 1));
+        ran_window = true;
+        loop {
+            // -- run [u, end), as far as credit visibility allows --
+            let mut mark = acc.sink.map(|_| std::time::Instant::now());
+            'cycles: while u < end {
+                for s in my.iter_mut() {
+                    s.apply_ripe_credits(u);
+                }
+                // Staleness pre-check, before admission so a stopped
+                // round re-admits nothing (and re-draws no RNG) when it
+                // retries this cycle. Admission cannot make a flit
+                // consult a boundary credit in the same cycle (a fresh
+                // emission's ready stamp is beyond `u`), so checking
+                // first covers everything arbitration will read.
+                if u > frontier && !my.iter().all(|s| s.lookahead_safe(u)) {
+                    break 'cycles;
+                }
+                // Admission at `u` — the same global stream every
+                // worker replays, cycle for cycle.
+                let mut must_step = false;
+                match workload {
+                    Workload::Trace(trace) => {
+                        while next_event < trace.events.len() && trace.events[next_event].cycle <= u
+                        {
+                            let e = &trace.events[next_event];
+                            next_event += 1;
+                            let shard = usize::from(plan.partition.shard_of_node[e.src.index()]);
+                            if !plan.routes.reachable(e.src, e.dst) {
+                                if mine[shard] != usize::MAX {
+                                    my[mine[shard]].stats.unreachable_pairs += 1;
+                                }
+                                continue;
+                            }
+                            must_step = true;
+                            if mine[shard] != usize::MAX {
+                                my[mine[shard]].admit(plan, e.src, e.dst, e.flits, e.cycle);
+                            }
+                        }
+                    }
+                    Workload::Synthetic { tables, warmup, .. } => {
+                        if u < inject_end {
+                            must_step = true;
+                            tables.inject_cycle(&mut rng, u, warmup, |src, dst, inject_cycle| {
+                                let shard = usize::from(plan.partition.shard_of_node[src.index()]);
+                                if mine[shard] == usize::MAX {
+                                    return;
+                                }
+                                if !plan.routes.reachable(src, dst) {
+                                    my[mine[shard]].stats.unreachable_pairs += 1;
+                                    return;
+                                }
+                                my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
+                            });
+                        }
+                    }
+                }
+                // Local idle jump: cycles this worker provably no-ops
+                // through (no admission, no buffered work, no booked
+                // arrival) are skipped without consensus — foreign mail
+                // cannot land before the window ends.
+                if !must_step && my.iter().all(|s| s.quiescent()) {
+                    let own_arrival = my
+                        .iter()
+                        .filter_map(|s| s.next_arrival_cycle(u))
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    let next_evt = match workload {
+                        Workload::Trace(trace) => {
+                            trace.events.get(next_event).map_or(u64::MAX, |e| e.cycle)
+                        }
+                        Workload::Synthetic { .. } => u64::MAX, // injection over
+                    };
+                    let real = own_arrival.min(next_evt);
+                    if real > u {
+                        if real <= end {
+                            // A real timeline position the per-cycle
+                            // protocol would also land on; a clamp to
+                            // `end` is a window artifact and is not a
+                            // resting point.
+                            candidate = real;
+                        }
+                        u = real.min(end);
+                        continue 'cycles;
+                    }
+                }
+                for s in my.iter_mut() {
+                    s.step_probed(plan, u, probe);
+                }
+                u += 1;
+                candidate = u;
+            }
+            acc.step_ns += lap(&mut mark);
+            // -- exchange: post, sync, collect, publish --
+            for s in my.iter_mut() {
+                s.post_outboxes(shared);
+            }
+            for s in my.iter() {
+                shared.progress[s.id].store(u, Ordering::Release);
+            }
+            acc.exchange_ns += lap(&mut mark);
+            shared.barrier.wait();
+            acc.barrier_ns += lap(&mut mark);
+            for s in my.iter_mut() {
+                s.collect_inboxes(plan, shared, u, true, probe);
+            }
+            // Post-collect lockstep data. Deadness is evaluated after
+            // the mail landed, so any in-flight flit keeps some worker
+            // live and the drain consensus can never fire early.
+            let active = my.iter().any(|s| !s.quiescent());
+            shared.published[worker_index]
+                .active
+                .store(active, Ordering::Release);
+            let arr = my
+                .iter()
+                .filter_map(|s| s.next_arrival_cycle(u))
+                .min()
+                .unwrap_or(u64::MAX);
+            shared.published[worker_index]
+                .next_arrival
+                .store(arr, Ordering::Release);
+            let exhausted = match workload {
+                Workload::Trace(trace) => next_event >= trace.events.len(),
+                Workload::Synthetic { .. } => u >= inject_end,
+            };
+            let dead = !active && arr == u64::MAX && exhausted;
+            shared.done_at[worker_index]
+                .store(if dead { candidate } else { u64::MAX }, Ordering::Release);
+            // Frontier and window consensus from the published progress
+            // (stored before the exchange barrier, so the reads below
+            // are the same on every worker).
+            let minp = shared
+                .progress
+                .iter()
+                .map(|p| p.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u);
+            frontier = minp;
+            acc.exchange_ns += lap(&mut mark);
+            shared.barrier.wait();
+            acc.barrier_ns += lap(&mut mark);
+            acc.supersteps += 1;
+            if minp >= end {
+                break;
+            }
+        }
+        debug_assert_eq!(u, end, "window completed with a lagging shard");
+        t = end;
+    }
 }
 
 /// Runs a workload over `shards` from `start` until it drains or
@@ -2429,20 +2871,38 @@ pub(crate) fn run_sharded_until_probed<P: Probe>(
             .next_arrival
             .store(arr, Ordering::Release);
     }
+    // Windowed supersteps need a multi-cycle window and cycle-exact
+    // probes force the per-cycle loop (probes observe every cycle, in
+    // order, including the exchange timing the windows amortize away).
+    let windowed = plan.lookahead > 1 && nshards > 1 && !P::ENABLED;
     if workers == 1 {
         let chunk = chunks.pop().expect("one worker has one chunk");
-        worker_loop(
-            plan,
-            &shared,
-            chunk,
-            workload,
-            dump_on_stall,
-            0,
-            start,
-            stop_at,
-            probe,
-            prof,
-        )
+        if windowed {
+            worker_loop_windowed(
+                plan,
+                &shared,
+                chunk,
+                workload,
+                dump_on_stall,
+                0,
+                start,
+                stop_at,
+                prof,
+            )
+        } else {
+            worker_loop(
+                plan,
+                &shared,
+                chunk,
+                workload,
+                dump_on_stall,
+                0,
+                start,
+                stop_at,
+                probe,
+                prof,
+            )
+        }
     } else {
         debug_assert!(!P::ENABLED, "a probed run is single-worker");
         let shared_ref = &shared;
@@ -2452,18 +2912,32 @@ pub(crate) fn run_sharded_until_probed<P: Probe>(
                 .enumerate()
                 .map(|(w, chunk)| {
                     scope.spawn(move || {
-                        worker_loop(
-                            plan,
-                            shared_ref,
-                            chunk,
-                            workload,
-                            dump_on_stall,
-                            w,
-                            start,
-                            stop_at,
-                            &mut NoopProbe,
-                            prof,
-                        )
+                        if windowed {
+                            worker_loop_windowed(
+                                plan,
+                                shared_ref,
+                                chunk,
+                                workload,
+                                dump_on_stall,
+                                w,
+                                start,
+                                stop_at,
+                                prof,
+                            )
+                        } else {
+                            worker_loop(
+                                plan,
+                                shared_ref,
+                                chunk,
+                                workload,
+                                dump_on_stall,
+                                w,
+                                start,
+                                stop_at,
+                                &mut NoopProbe,
+                                prof,
+                            )
+                        }
                     })
                 })
                 .collect();
@@ -3144,6 +3618,25 @@ impl<'a> ShardedSimulator<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Caps the conservative-lookahead window. The plan derives the
+    /// window from the cut's minimum boundary-link latency (and
+    /// closed-loop configs pin it to 1); this can only *shrink* it — a
+    /// window wider than the cut latency would not be conservative.
+    /// `0` keeps the derived window; `1` forces per-cycle exchanges
+    /// (the before-lookahead engine, useful for A/B profiling).
+    pub fn with_lookahead(mut self, window: u64) -> Self {
+        if window > 0 {
+            self.plan.lookahead = self.plan.lookahead.min(window);
+        }
+        self
+    }
+
+    /// The conservative-lookahead window this simulator will use:
+    /// cycles per superstep exchange (1 = classic per-cycle protocol).
+    pub fn lookahead(&self) -> u64 {
+        self.plan.lookahead
     }
 
     /// Installs the healthy-mesh baseline (topology + routes the faults

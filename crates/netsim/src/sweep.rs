@@ -133,6 +133,12 @@ pub struct SweepConfig {
     /// shard; 1 keeps intra-run execution on the batch worker's thread
     /// (useful when the seed × rate fan-out already saturates the host).
     pub threads: usize,
+    /// Conservative-lookahead cap per sharded run: 0 (default) keeps
+    /// the window the partition derives from its minimum boundary-link
+    /// latency; 1 forces per-cycle exchanges (the pre-lookahead
+    /// engine); ≥ 2 caps the derived window. Results are bit-for-bit
+    /// identical at any setting — another wall-clock knob.
+    pub lookahead: u64,
     /// Closed-loop NIC window per run: 0 (default) is open-loop
     /// injection; > 0 caps each source at that many in-network packets
     /// (see [`crate::SimConfig::max_outstanding`]). Closed-loop sweeps
@@ -173,6 +179,7 @@ impl SweepConfig {
             run_max_cycles: 2_000_000,
             shards: 1,
             threads: 0,
+            lookahead: 0,
             max_outstanding: 0,
             accept_epsilon: 0.05,
             faults: None,
@@ -185,6 +192,13 @@ impl SweepConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "at least one shard required");
         self.shards = shards;
+        self
+    }
+
+    /// Caps the conservative-lookahead window of every sharded run
+    /// (see [`SweepConfig::lookahead`]).
+    pub fn with_lookahead(mut self, window: u64) -> Self {
+        self.lookahead = window;
         self
     }
 
@@ -403,7 +417,8 @@ impl<'a> SweepRunner<'a> {
                 self.sim,
                 ShardSpec::for_count(self.cfg.shards),
             )
-            .with_threads(self.cfg.threads);
+            .with_threads(self.cfg.threads)
+            .with_lookahead(self.cfg.lookahead);
             if let Some((bt, br)) = baseline {
                 sim = sim.with_baseline(bt, br);
             }
@@ -437,7 +452,8 @@ impl<'a> SweepRunner<'a> {
                 self.sim,
                 ShardSpec::for_count(self.cfg.shards),
             )
-            .with_threads(self.cfg.threads);
+            .with_threads(self.cfg.threads)
+            .with_lookahead(self.cfg.lookahead);
             if let Some((bt, br)) = baseline {
                 sim = sim.with_baseline(bt, br);
             }
@@ -471,7 +487,8 @@ impl<'a> SweepRunner<'a> {
                 self.sim,
                 ShardSpec::for_count(self.cfg.shards),
             )
-            .with_threads(self.cfg.threads);
+            .with_threads(self.cfg.threads)
+            .with_lookahead(self.cfg.lookahead);
             if let Some((bt, br)) = baseline {
                 sim = sim.with_baseline(bt, br);
             }
@@ -628,7 +645,8 @@ impl<'a> SweepRunner<'a> {
                 self.sim,
                 ShardSpec::for_count(self.cfg.shards),
             )
-            .with_threads(self.cfg.threads);
+            .with_threads(self.cfg.threads)
+            .with_lookahead(self.cfg.lookahead);
             if let Some((bt, br)) = baseline {
                 sim = sim.with_baseline(bt, br);
             }

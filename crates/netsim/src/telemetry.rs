@@ -613,6 +613,11 @@ impl PacketTracer {
         self.dropped
     }
 
+    /// The ring's capacity (events retained before eviction starts).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     fn push(&mut self, ev: PacketEvent) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
@@ -866,8 +871,8 @@ impl Probe for FlightRecorder {
 
 // ---- driver wiring ------------------------------------------------------
 
-/// Parsed `--metrics PATH` / `--trace PATH` options, threaded through
-/// the `repro` drivers and `perfcheck`.
+/// Parsed `--metrics PATH` / `--trace PATH` / `--trace-cap N` options,
+/// threaded through the `repro` drivers and `perfcheck`.
 #[derive(Debug, Default, Clone)]
 pub struct TelemetryOpts {
     /// Metrics JSONL output path (`--metrics PATH`).
@@ -875,6 +880,11 @@ pub struct TelemetryOpts {
     /// Packet trace output path (`--trace PATH`). A `.jsonl` extension
     /// selects JSONL; anything else gets Chrome `trace_event` JSON.
     pub trace: Option<String>,
+    /// Packet-trace ring capacity (`--trace-cap N`); 0 keeps
+    /// [`FlightRecorder::DEFAULT_TRACE_CAPACITY`]. Long runs overflow
+    /// the default ring by orders of magnitude — raise this (or expect
+    /// the loud drop warning from [`TelemetryOpts::write`]).
+    pub trace_cap: usize,
 }
 
 impl TelemetryOpts {
@@ -884,19 +894,26 @@ impl TelemetryOpts {
     }
 
     /// Builds the recorder matching the requested outputs (default
-    /// interval and ring capacity).
+    /// interval; `--trace-cap` or the default ring capacity).
     pub fn recorder(&self) -> FlightRecorder {
         let mut r = FlightRecorder::new();
         if self.metrics.is_some() {
             r = r.with_metrics(FlightRecorder::DEFAULT_INTERVAL);
         }
         if self.trace.is_some() {
-            r = r.with_trace(FlightRecorder::DEFAULT_TRACE_CAPACITY);
+            let cap = if self.trace_cap > 0 {
+                self.trace_cap
+            } else {
+                FlightRecorder::DEFAULT_TRACE_CAPACITY
+            };
+            r = r.with_trace(cap);
         }
         r
     }
 
-    /// Writes the recorder's artifacts to the requested paths.
+    /// Writes the recorder's artifacts to the requested paths. A trace
+    /// ring that overflowed warns loudly on stderr with the drop ratio —
+    /// a silently truncated trace reads as a complete one.
     pub fn write(&self, rec: &FlightRecorder) -> std::io::Result<Vec<String>> {
         let mut written = Vec::new();
         if let (Some(path), Some(s)) = (&self.metrics, &rec.sampler) {
@@ -904,6 +921,18 @@ impl TelemetryOpts {
             written.push(path.clone());
         }
         if let (Some(path), Some(t)) = (&self.trace, &rec.tracer) {
+            if t.dropped() > 0 {
+                let kept = t.events().count() as u64;
+                eprintln!(
+                    "WARNING: packet trace ring overflowed: {} events dropped, {} kept \
+                     ({:.1}% of the run lost — only the run's tail was retained). \
+                     Raise the ring with --trace-cap N (current: {}).",
+                    t.dropped(),
+                    kept,
+                    100.0 * t.dropped() as f64 / (t.dropped() + kept) as f64,
+                    kept,
+                );
+            }
             let body = if path.ends_with(".jsonl") {
                 t.to_jsonl()
             } else {
@@ -1044,6 +1073,45 @@ mod tests {
     }
 
     #[test]
+    fn trace_cap_sizes_the_ring_and_accounts_drops() {
+        // `--trace-cap N` must actually size the recorder's ring…
+        let opts = TelemetryOpts {
+            trace: Some("unused.jsonl".into()),
+            trace_cap: 3,
+            ..TelemetryOpts::default()
+        };
+        let mut rec = opts.recorder();
+        let t = rec.tracer.as_mut().expect("tracer attached");
+        for cycle in 0..10u64 {
+            t.on_inject(
+                PacketKey {
+                    src: NodeId(0),
+                    inject_cycle: cycle,
+                },
+                NodeId(1),
+                1,
+                cycle,
+            );
+        }
+        // …and kept + dropped must account for every event pushed, so
+        // the overflow warning's drop ratio is exact.
+        let t = rec.tracer.as_ref().expect("tracer attached");
+        assert_eq!(t.events().count(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.events().count() as u64 + t.dropped(), 10);
+        // trace_cap = 0 keeps the default capacity.
+        let default_opts = TelemetryOpts {
+            trace: Some("unused.jsonl".into()),
+            ..TelemetryOpts::default()
+        };
+        let rec = default_opts.recorder();
+        assert_eq!(
+            rec.tracer.expect("tracer attached").capacity(),
+            FlightRecorder::DEFAULT_TRACE_CAPACITY
+        );
+    }
+
+    #[test]
     fn chrome_trace_pairs_async_begin_end() {
         let mut t = PacketTracer::new(16);
         let key = PacketKey {
@@ -1147,6 +1215,7 @@ mod tests {
         let both = TelemetryOpts {
             metrics: Some("m.jsonl".into()),
             trace: Some("t.json".into()),
+            trace_cap: 0,
         };
         assert!(both.enabled());
         let r = both.recorder();

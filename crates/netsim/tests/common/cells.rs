@@ -1,0 +1,506 @@
+//! The unified parity-cell catalog.
+//!
+//! Every parity suite (`parity.rs`, `shard_parity.rs`,
+//! `snapshot_parity.rs`, `telemetry_parity.rs`, `lookahead_parity.rs`)
+//! iterates the same cell matrix — topology family × {open, closed}
+//! loop × {trace, synthetic} workload — so a cell added here is pinned
+//! across every engine dimension at once: P=1 vs the frozen reference,
+//! sharded vs P=1 (per-cycle and conservative-lookahead), spliced vs
+//! whole, probed vs plain.
+//!
+//! The topology families:
+//!
+//! * **plain** — electronic 6×6 mesh, every link 1 cycle;
+//! * **express** — electronic 8×4 with 2-cycle optical span-3 express
+//!   links (dateline VC discipline, mixed-latency calendar);
+//! * **faulted** — the plain mesh with dead links, a degraded span and a
+//!   dead router (up*/down* detours + admission drops + baseline
+//!   accounting);
+//! * **hyppi** — all-optical 8×8 (every link 2 cycles): every shard cut
+//!   has minimum boundary latency 2, so the sharded engine runs
+//!   conservative-lookahead W=2 windows on these cells;
+//! * **hyppi-faulted** — the all-optical mesh with faults sitting on the
+//!   default shard-cut lines (degradation raises latencies, so cuts keep
+//!   W=2 while the fault machinery runs under windowed exchanges).
+//!
+//! Keep the meshes small: five suites iterate the full matrix in debug
+//! mode under `cargo test -q`.
+
+use hyppi_netsim::{
+    FlightRecorder, ReferenceSimulator, RunOutcome, ShardedSimulator, SimConfig, SimStats,
+    Simulator,
+};
+use hyppi_phys::{Gbps, LinkTechnology};
+use hyppi_topology::{
+    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+};
+use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+
+/// Synthetic warm-up cycles used by every synthetic cell.
+pub const WARMUP: u64 = 100;
+/// Synthetic measured injection cycles used by every synthetic cell.
+pub const MEASURE: u64 = 400;
+
+/// Plain electronic mesh (1-cycle links).
+pub fn plain_mesh(w: u16, h: u16) -> Topology {
+    mesh(MeshSpec {
+        width: w,
+        height: h,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Electronic,
+        capacity: Gbps::new(50.0),
+    })
+}
+
+/// Electronic mesh with 2-cycle optical express links.
+pub fn express(w: u16, h: u16, span: u16) -> Topology {
+    express_mesh(
+        MeshSpec {
+            width: w,
+            height: h,
+            core_spacing_mm: 1.0,
+            base_tech: LinkTechnology::Electronic,
+            capacity: Gbps::new(50.0),
+        },
+        ExpressSpec {
+            span,
+            tech: LinkTechnology::Hyppi,
+        },
+    )
+}
+
+/// All-optical mesh: every link is a 2-cycle HyPPI link, so every shard
+/// cut classifies at minimum boundary latency 2 (lookahead W=2).
+pub fn hyppi_mesh(w: u16, h: u16) -> Topology {
+    mesh(MeshSpec {
+        width: w,
+        height: h,
+        core_spacing_mm: 1.0,
+        base_tech: LinkTechnology::Hyppi,
+        capacity: Gbps::new(50.0),
+    })
+}
+
+/// Deterministic pseudo-random trace (packet mix of 1- and 32-flit
+/// packets, bursty cycles, idle gaps) derived from `seed` via SplitMix64
+/// so the fixture is reproducible without an RNG dependency. This is the
+/// generator family every parity suite historically rolled by hand.
+pub fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
+    let n = topo.num_nodes() as u64;
+    let mut z = seed;
+    let mut next = move || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut events = Vec::with_capacity(packets);
+    let mut cycle = 0u64;
+    for _ in 0..packets {
+        // Mostly dense bursts, occasionally a long idle gap (exercises
+        // the idle fast-forward path).
+        cycle += match next() % 10 {
+            0 => 500 + next() % 2000,
+            1..=4 => 0,
+            _ => next() % 4,
+        };
+        let src = next() % n;
+        let mut dst = next() % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        events.push(TraceEvent {
+            cycle,
+            src: NodeId(src as u16),
+            dst: NodeId(dst as u16),
+            flits: if next() % 3 == 0 { 32 } else { 1 },
+        });
+    }
+    Trace::new("parity cell", topo.num_nodes() as u16, 0.0, events)
+}
+
+/// Uniform-random synthetic matrix at a fixed per-node rate.
+pub fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
+    let n = topo.num_nodes();
+    let mut m = TrafficMatrix::zero(n);
+    let per_pair = rate / (n - 1) as f64;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d {
+                m.set(s, d, per_pair);
+            }
+        }
+    }
+    m
+}
+
+/// Workload dimension of the cell matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellWorkload {
+    /// SplitMix64 fixture trace.
+    Trace { seed: u64, packets: usize },
+    /// Bernoulli synthetic injection over a uniform matrix.
+    Synthetic { rate: f64, seed: u64 },
+}
+
+/// One fully-built parity cell: topology (faults applied), routes, the
+/// healthy baseline when faulted, the loop config, and the workload.
+pub struct Cell {
+    /// `family/loop/workload`, e.g. `"hyppi/closed/trace"`.
+    pub name: String,
+    /// The simulated topology (faults applied when the cell is faulted).
+    pub topo: Topology,
+    /// Routes for `topo` (fault-avoiding up*/down* when faulted).
+    pub routes: RoutingTable,
+    /// The healthy topology + XY routes the faults were applied to;
+    /// `None` on healthy cells.
+    pub baseline: Option<(Topology, RoutingTable)>,
+    /// Paper config, open- or closed-loop.
+    pub cfg: SimConfig,
+    pub workload: CellWorkload,
+    /// The conservative-lookahead window the sharded engine derives on
+    /// this cell for the default grids (1 = per-cycle exchanges).
+    pub expected_lookahead: u64,
+}
+
+/// The shard grids every sharded suite pins cells on: vertical halves,
+/// the default quadrants, and a finer column split.
+pub const GRIDS: [ShardSpec; 3] = [
+    ShardSpec { sx: 2, sy: 1 },
+    ShardSpec { sx: 2, sy: 2 },
+    ShardSpec { sx: 4, sy: 2 },
+];
+
+impl Cell {
+    /// The cell's trace (trace cells only).
+    pub fn trace(&self) -> Option<Trace> {
+        match self.workload {
+            CellWorkload::Trace { seed, packets } => Some(fixture_trace(&self.topo, seed, packets)),
+            CellWorkload::Synthetic { .. } => None,
+        }
+    }
+
+    /// The cell's traffic matrix and seed (synthetic cells only).
+    pub fn matrix(&self) -> Option<(TrafficMatrix, u64)> {
+        match self.workload {
+            CellWorkload::Synthetic { rate, seed } => {
+                Some((uniform_matrix(&self.topo, rate), seed))
+            }
+            CellWorkload::Trace { .. } => None,
+        }
+    }
+
+    /// Runs the cell on the P=1 production engine.
+    pub fn run_single(&self) -> SimStats {
+        let mut sim = Simulator::new(&self.topo, &self.routes, self.cfg);
+        if let Some((h, hr)) = &self.baseline {
+            sim = sim.with_baseline(h, hr);
+        }
+        self.drive_single(sim)
+    }
+
+    fn drive_single(&self, sim: Simulator<'_>) -> SimStats {
+        match self.workload {
+            CellWorkload::Trace { .. } => sim
+                .run_trace(&self.trace().expect("trace cell"))
+                .expect("P=1 run completes"),
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                sim.run_synthetic(&m, WARMUP, MEASURE, seed)
+                    .expect("P=1 run completes")
+            }
+        }
+    }
+
+    /// Runs the cell on the frozen reference engine.
+    pub fn run_reference(&self) -> SimStats {
+        let mut sim = ReferenceSimulator::new(&self.topo, &self.routes, self.cfg);
+        if let Some((h, hr)) = &self.baseline {
+            sim = sim.with_baseline(h, hr);
+        }
+        match self.workload {
+            CellWorkload::Trace { .. } => sim
+                .run_trace(&self.trace().expect("trace cell"))
+                .expect("reference run completes"),
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                sim.run_synthetic(&m, WARMUP, MEASURE, seed)
+                    .expect("reference run completes")
+            }
+        }
+    }
+
+    /// Builds the sharded engine for this cell (baseline installed).
+    pub fn sharded(&self, spec: ShardSpec, threads: usize) -> ShardedSimulator<'_> {
+        let mut sim =
+            ShardedSimulator::new(&self.topo, &self.routes, self.cfg, spec).with_threads(threads);
+        if let Some((h, hr)) = &self.baseline {
+            sim = sim.with_baseline(h, hr);
+        }
+        sim
+    }
+
+    /// Runs the cell on the sharded engine; `lookahead` caps the window
+    /// (0 = the derived window, 1 = per-cycle exchanges).
+    pub fn run_sharded(&self, spec: ShardSpec, threads: usize, lookahead: u64) -> SimStats {
+        let sim = self.sharded(spec, threads).with_lookahead(lookahead);
+        match self.workload {
+            CellWorkload::Trace { .. } => sim
+                .run_trace(&self.trace().expect("trace cell"))
+                .expect("sharded run completes"),
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                sim.run_synthetic(&m, WARMUP, MEASURE, seed)
+                    .expect("sharded run completes")
+            }
+        }
+    }
+
+    /// Runs the cell on the sharded engine, pausing at `stop_at` and
+    /// resuming the snapshot on a fresh instance — the mid-run splice
+    /// every snapshot suite pins. `lookahead` caps both halves' windows.
+    pub fn run_sharded_spliced(
+        &self,
+        spec: ShardSpec,
+        threads: usize,
+        lookahead: u64,
+        stop_at: u64,
+    ) -> SimStats {
+        match self.workload {
+            CellWorkload::Trace { .. } => {
+                let trace = self.trace().expect("trace cell");
+                match self
+                    .sharded(spec, threads)
+                    .with_lookahead(lookahead)
+                    .run_trace_until(&trace, stop_at)
+                    .expect("bounded run completes")
+                {
+                    RunOutcome::Finished(stats) => stats,
+                    RunOutcome::Paused(snap) => self
+                        .sharded(spec, threads)
+                        .with_lookahead(lookahead)
+                        .resume_trace(&snap, &trace)
+                        .expect("resumed run completes"),
+                }
+            }
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                match self
+                    .sharded(spec, threads)
+                    .with_lookahead(lookahead)
+                    .run_synthetic_until(&m, WARMUP, MEASURE, seed, stop_at)
+                    .expect("bounded run completes")
+                {
+                    RunOutcome::Finished(stats) => stats,
+                    RunOutcome::Paused(snap) => self
+                        .sharded(spec, threads)
+                        .with_lookahead(lookahead)
+                        .resume_synthetic(&snap, &m, WARMUP, MEASURE, seed)
+                        .expect("resumed run completes"),
+                }
+            }
+        }
+    }
+
+    /// Runs the cell on the P=1 engine, pausing at `stop_at` and
+    /// resuming the snapshot.
+    pub fn run_single_spliced(&self, stop_at: u64) -> SimStats {
+        let build = || {
+            let mut sim = Simulator::new(&self.topo, &self.routes, self.cfg);
+            if let Some((h, hr)) = &self.baseline {
+                sim = sim.with_baseline(h, hr);
+            }
+            sim
+        };
+        match self.workload {
+            CellWorkload::Trace { .. } => {
+                let trace = self.trace().expect("trace cell");
+                match build()
+                    .run_trace_until(&trace, stop_at)
+                    .expect("bounded run completes")
+                {
+                    RunOutcome::Finished(stats) => stats,
+                    RunOutcome::Paused(snap) => build()
+                        .resume_trace(&snap, &trace)
+                        .expect("resumed run completes"),
+                }
+            }
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                match build()
+                    .run_synthetic_until(&m, WARMUP, MEASURE, seed, stop_at)
+                    .expect("bounded run completes")
+                {
+                    RunOutcome::Finished(stats) => stats,
+                    RunOutcome::Paused(snap) => build()
+                        .resume_synthetic(&snap, &m, WARMUP, MEASURE, seed)
+                        .expect("resumed run completes"),
+                }
+            }
+        }
+    }
+
+    /// Runs the cell on the P=1 engine with the full flight recorder
+    /// attached, returning the stats and the recorder.
+    pub fn run_single_probed(&self) -> (SimStats, FlightRecorder) {
+        let mut rec = FlightRecorder::new().with_metrics(50).with_trace(100_000);
+        let mut sim = Simulator::new(&self.topo, &self.routes, self.cfg);
+        if let Some((h, hr)) = &self.baseline {
+            sim = sim.with_baseline(h, hr);
+        }
+        let stats = match self.workload {
+            CellWorkload::Trace { .. } => sim
+                .run_trace_probed(&self.trace().expect("trace cell"), &mut rec)
+                .expect("probed run completes"),
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                sim.run_synthetic_probed(&m, WARMUP, MEASURE, seed, &mut rec)
+                    .expect("probed run completes")
+            }
+        };
+        (stats, rec)
+    }
+
+    /// Runs the cell on the sharded engine with the flight recorder
+    /// attached (probed sharded runs are forced single-worker).
+    pub fn run_sharded_probed(&self, spec: ShardSpec) -> (SimStats, FlightRecorder) {
+        let mut rec = FlightRecorder::new().with_metrics(50).with_trace(100_000);
+        let sim = self.sharded(spec, 0);
+        let stats = match self.workload {
+            CellWorkload::Trace { .. } => sim
+                .run_trace_probed(&self.trace().expect("trace cell"), &mut rec)
+                .expect("probed run completes"),
+            CellWorkload::Synthetic { .. } => {
+                let (m, seed) = self.matrix().expect("synthetic cell");
+                sim.run_synthetic_probed(&m, WARMUP, MEASURE, seed, &mut rec)
+                    .expect("probed run completes")
+            }
+        };
+        (stats, rec)
+    }
+}
+
+/// Fault set for the electronic 6×6 mesh: two dead spans, a degraded
+/// span, and a dead router (admission drops).
+fn electronic_faults() -> FaultSpec {
+    FaultSpec::none()
+        .dead_link(NodeId(14), NodeId(15))
+        .degraded_span(NodeId(20), NodeId(26))
+        .dead_router(NodeId(28))
+}
+
+/// Fault set for the all-optical 8×8 mesh, sitting on the default shard
+/// cuts (x = 3↔4 and y = 3↔4 for the quadrant grid): a dead span and a
+/// degraded span across the column cut, a dead span across the row cut.
+/// Degradation *raises* latency, so every cut keeps its minimum boundary
+/// latency of 2 and the lookahead window survives the faults.
+fn hyppi_faults() -> FaultSpec {
+    FaultSpec::none()
+        .dead_link(NodeId(3 * 8 + 3), NodeId(3 * 8 + 4))
+        .degraded_span(NodeId(5 * 8 + 3), NodeId(5 * 8 + 4))
+        .dead_link(NodeId(3 * 8 + 5), NodeId(4 * 8 + 5))
+}
+
+fn build(
+    family: &str,
+    healthy: Topology,
+    faults: Option<FaultSpec>,
+    cfg: SimConfig,
+    loop_name: &str,
+    workload: CellWorkload,
+    expected_lookahead: u64,
+) -> Cell {
+    let wl_name = match workload {
+        CellWorkload::Trace { .. } => "trace",
+        CellWorkload::Synthetic { .. } => "synthetic",
+    };
+    let name = format!("{family}/{loop_name}/{wl_name}");
+    match faults {
+        None => {
+            let routes = RoutingTable::compute_xy(&healthy);
+            Cell {
+                name,
+                topo: healthy,
+                routes,
+                baseline: None,
+                cfg,
+                workload,
+                expected_lookahead,
+            }
+        }
+        Some(spec) => {
+            let healthy_routes = RoutingTable::compute_xy(&healthy);
+            let topo = spec.apply(&healthy);
+            let routes =
+                RoutingTable::compute_xy_avoiding(&topo).expect("fault set keeps mesh routable");
+            Cell {
+                name,
+                topo,
+                routes,
+                baseline: Some((healthy, healthy_routes)),
+                cfg,
+                workload,
+                expected_lookahead,
+            }
+        }
+    }
+}
+
+/// The full cell matrix: 5 topology families × {open, closed(4)} ×
+/// {trace, synthetic} = 20 cells. Closed-loop synthetic cells run past
+/// the small-mesh knee so windows actually fill; closed-loop cells pin
+/// `expected_lookahead = 1` (source credits need next-cycle global
+/// visibility — the plan refuses to open a window).
+pub fn catalog() -> Vec<Cell> {
+    type Family = (
+        &'static str,
+        fn() -> Topology,
+        Option<fn() -> FaultSpec>,
+        u64,
+    );
+    let families: Vec<Family> = vec![
+        ("plain", (|| plain_mesh(6, 6)) as fn() -> Topology, None, 1),
+        ("express", || express(8, 4, 3), None, 1),
+        ("faulted", || plain_mesh(6, 6), Some(electronic_faults), 1),
+        ("hyppi", || hyppi_mesh(8, 8), None, 2),
+        ("hyppi-faulted", || hyppi_mesh(8, 8), Some(hyppi_faults), 2),
+    ];
+    let mut cells = Vec::new();
+    for (family, mk_topo, mk_faults, open_lookahead) in families {
+        for (loop_name, cfg, open) in [
+            ("open", SimConfig::paper(), true),
+            ("closed", SimConfig::paper_closed_loop(4), false),
+        ] {
+            let lookahead = if open { open_lookahead } else { 1 };
+            // Seeds vary per (family, loop) so cells don't share traffic.
+            let seed_base = 1000 + cells.len() as u64;
+            let rate = if open { 0.08 } else { 0.25 };
+            cells.push(build(
+                family,
+                mk_topo(),
+                mk_faults.map(|f| f()),
+                cfg,
+                loop_name,
+                CellWorkload::Trace {
+                    seed: seed_base,
+                    packets: 400,
+                },
+                lookahead,
+            ));
+            cells.push(build(
+                family,
+                mk_topo(),
+                mk_faults.map(|f| f()),
+                cfg,
+                loop_name,
+                CellWorkload::Synthetic {
+                    rate,
+                    seed: seed_base + 1,
+                },
+                lookahead,
+            ));
+        }
+    }
+    cells
+}

@@ -1,0 +1,7 @@
+//! Shared fixtures for the parity suites.
+//!
+//! Each integration-test binary compiles its own copy of this module, so
+//! not every suite uses every helper.
+#![allow(dead_code)]
+
+pub mod cells;

@@ -8,94 +8,26 @@
 //! implementation; any intentional microarchitectural change must land in
 //! both engines.
 
+mod common;
+
+use common::cells::{self, express, fixture_trace, plain_mesh, uniform_matrix};
 use hyppi_netsim::{ReferenceSimulator, SimConfig, SimStats, Simulator};
-use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::NodeId;
-use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, RoutingTable, Topology,
-};
-use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+use hyppi_topology::{FaultSpec, RoutingTable, Topology};
+use hyppi_traffic::{Trace, TraceEvent};
 
-/// Plain electronic mesh.
-fn plain_mesh(w: u16, h: u16) -> Topology {
-    mesh(MeshSpec {
-        width: w,
-        height: h,
-        core_spacing_mm: 1.0,
-        base_tech: LinkTechnology::Electronic,
-        capacity: Gbps::new(50.0),
-    })
-}
-
-/// Express mesh with 2-cycle optical express links — exercises the
-/// dateline VC discipline and the multi-latency arrival calendar.
-fn express(w: u16, h: u16, span: u16) -> Topology {
-    express_mesh(
-        MeshSpec {
-            width: w,
-            height: h,
-            core_spacing_mm: 1.0,
-            base_tech: LinkTechnology::Electronic,
-            capacity: Gbps::new(50.0),
-        },
-        ExpressSpec {
-            span,
-            tech: LinkTechnology::Hyppi,
-        },
-    )
-}
-
-/// Deterministic pseudo-random trace (packet mix of 1- and 32-flit
-/// packets, bursty cycles, idle gaps) derived from `seed` via SplitMix64
-/// so the fixture is reproducible without an RNG dependency.
-fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
-    let n = topo.num_nodes() as u64;
-    let mut z = seed;
-    let mut next = move || {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut x = z;
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^ (x >> 31)
-    };
-    let mut events = Vec::with_capacity(packets);
-    let mut cycle = 0u64;
-    for _ in 0..packets {
-        // Mostly dense bursts, occasionally a long idle gap (exercises the
-        // idle fast-forward path).
-        cycle += match next() % 10 {
-            0 => 500 + next() % 2000,
-            1..=4 => 0,
-            _ => next() % 4,
-        };
-        let src = next() % n;
-        let mut dst = next() % n;
-        if dst == src {
-            dst = (dst + 1) % n;
-        }
-        events.push(TraceEvent {
-            cycle,
-            src: NodeId(src as u16),
-            dst: NodeId(dst as u16),
-            flits: if next() % 3 == 0 { 32 } else { 1 },
-        });
+/// The unified cell catalog (`tests/common/cells.rs`): every cell's P=1
+/// run must equal the frozen reference engine bit-for-bit. The sharded,
+/// snapshot, telemetry, and lookahead suites iterate the same catalog,
+/// so a cell added there is transitively pinned to the seed semantics
+/// through this test.
+#[test]
+fn catalog_matches_reference_engine() {
+    for cell in cells::catalog() {
+        let single = cell.run_single();
+        let reference = cell.run_reference();
+        assert_eq!(single, reference, "catalog cell diverged: {}", cell.name);
     }
-    Trace::new("parity fixture", topo.num_nodes() as u16, 0.0, events)
-}
-
-/// Uniform-random synthetic matrix at a fixed per-node rate.
-fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
-    let n = topo.num_nodes();
-    let mut m = TrafficMatrix::zero(n);
-    let per_pair = rate / (n - 1) as f64;
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d {
-                m.set(s, d, per_pair);
-            }
-        }
-    }
-    m
 }
 
 fn assert_trace_parity_cfg(topo: &Topology, trace: &Trace, cfg: SimConfig, label: &str) {

@@ -10,85 +10,41 @@
 //! protocol on one thread) and threaded, so scheduler nondeterminism has
 //! a dedicated pin, not just the protocol.
 
+mod common;
+
+use common::cells::{self, express, fixture_trace, uniform_matrix, GRIDS};
 use hyppi_netsim::{ShardedSimulator, SimConfig, SimStats, Simulator};
-use hyppi_phys::{Gbps, LinkTechnology};
-use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
-};
-use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+use hyppi_phys::LinkTechnology;
+use hyppi_topology::{mesh, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology};
+use hyppi_traffic::{Trace, TraceEvent};
 
 fn paper_mesh() -> Topology {
     mesh(MeshSpec::paper(LinkTechnology::Electronic))
 }
 
 fn paper_express(span: u16) -> Topology {
-    express_mesh(
-        MeshSpec::paper(LinkTechnology::Electronic),
-        ExpressSpec {
-            span,
-            tech: LinkTechnology::Hyppi,
-        },
-    )
+    express(16, 16, span)
 }
 
-/// Deterministic pseudo-random trace (packet mix of 1- and 32-flit
-/// packets, bursty cycles, idle gaps) derived from `seed` via SplitMix64
-/// — the same generator family as `tests/parity.rs`.
-fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
-    let n = topo.num_nodes() as u64;
-    let mut z = seed;
-    let mut next = move || {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut x = z;
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^ (x >> 31)
-    };
-    let mut events = Vec::with_capacity(packets);
-    let mut cycle = 0u64;
-    for _ in 0..packets {
-        cycle += match next() % 10 {
-            0 => 500 + next() % 2000,
-            1..=4 => 0,
-            _ => next() % 4,
-        };
-        let src = next() % n;
-        let mut dst = next() % n;
-        if dst == src {
-            dst = (dst + 1) % n;
-        }
-        events.push(TraceEvent {
-            cycle,
-            src: NodeId(src as u16),
-            dst: NodeId(dst as u16),
-            flits: if next() % 3 == 0 { 32 } else { 1 },
-        });
-    }
-    Trace::new("shard parity fixture", topo.num_nodes() as u16, 0.0, events)
-}
-
-fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
-    let n = topo.num_nodes();
-    let mut m = TrafficMatrix::zero(n);
-    let per_pair = rate / (n - 1) as f64;
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d {
-                m.set(s, d, per_pair);
-            }
+/// The unified cell catalog (`tests/common/cells.rs`) under per-cycle
+/// exchanges (`with_lookahead(1)`): every cell × every grid must equal
+/// P=1 bit-for-bit. The windowed protocol over the same catalog is
+/// pinned by `tests/lookahead_parity.rs`; this suite owns the classic
+/// mailbox protocol plus the 16×16 paper-mesh fixtures below.
+#[test]
+fn catalog_per_cycle_matches_p1_on_all_grids() {
+    for cell in cells::catalog() {
+        let single = cell.run_single();
+        for grid in GRIDS {
+            let sharded = cell.run_sharded(grid, 0, 1);
+            assert_eq!(
+                sharded, single,
+                "catalog cell diverged: {}, grid {}x{}",
+                cell.name, grid.sx, grid.sy
+            );
         }
     }
-    m
 }
-
-/// The shard grids every fixture is pinned on: vertical halves, the
-/// default quadrants, and a column split that cuts express spans
-/// mid-flight.
-const GRIDS: [ShardSpec; 3] = [
-    ShardSpec { sx: 2, sy: 1 },
-    ShardSpec { sx: 2, sy: 2 },
-    ShardSpec { sx: 4, sy: 2 },
-];
 
 fn assert_trace_parity(topo: &Topology, trace: &Trace, label: &str) {
     let routes = RoutingTable::compute_xy(topo);
@@ -406,13 +362,7 @@ fn sharded_32x32_uniform_runs_and_matches() {
     // The target workload of the shard subsystem: a 32×32 mesh the
     // serial sweeps could not open. One short synthetic cell, quadrant
     // shards, threaded — pinned bit-for-bit against P=1.
-    let topo = mesh(MeshSpec {
-        width: 32,
-        height: 32,
-        core_spacing_mm: 1.0,
-        base_tech: LinkTechnology::Electronic,
-        capacity: Gbps::new(50.0),
-    });
+    let topo = cells::plain_mesh(32, 32);
     let routes = RoutingTable::compute_xy(&topo);
     let cfg = SimConfig::paper();
     let m = uniform_matrix(&topo, 0.08);

@@ -16,94 +16,47 @@
 //! splice (injected = delivered + in-network, every cycle) on a
 //! manually-stepped restored engine.
 
+mod common;
+
+use common::cells::{self, fixture_trace, uniform_matrix};
 use hyppi_netsim::reference::ReferenceSimulator;
 use hyppi_netsim::snapshot::{Snapshot, SnapshotError};
 use hyppi_netsim::{RunOutcome, ShardedSimulator, SimConfig, SimError, SimStats, Simulator};
 use hyppi_phys::LinkTechnology;
 use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+    express_mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
-use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+use hyppi_traffic::{Trace, TraceEvent};
 use proptest::prelude::*;
 
 fn small_mesh(w: u16, h: u16) -> Topology {
-    mesh(MeshSpec {
-        width: w,
-        height: h,
-        core_spacing_mm: 1.0,
-        base_tech: LinkTechnology::Electronic,
-        capacity: hyppi_phys::Gbps::new(50.0),
-    })
+    cells::plain_mesh(w, h)
 }
 
 fn express8(span: u16) -> Topology {
-    express_mesh(
-        MeshSpec {
-            width: 8,
-            height: 8,
-            core_spacing_mm: 1.0,
-            base_tech: LinkTechnology::Electronic,
-            capacity: hyppi_phys::Gbps::new(50.0),
-        },
-        ExpressSpec {
-            span,
-            tech: LinkTechnology::Hyppi,
-        },
-    )
-}
-
-/// Deterministic pseudo-random trace (SplitMix64), the same family the
-/// other parity suites use: mixed 1-/32-flit packets, bursts, idle gaps.
-fn fixture_trace(topo: &Topology, seed: u64, packets: usize) -> Trace {
-    let n = topo.num_nodes() as u64;
-    let mut z = seed;
-    let mut next = move || {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut x = z;
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^ (x >> 31)
-    };
-    let mut events = Vec::with_capacity(packets);
-    let mut cycle = 0u64;
-    for _ in 0..packets {
-        cycle += match next() % 10 {
-            0 => 300 + next() % 1000,
-            1..=4 => 0,
-            _ => next() % 4,
-        };
-        let src = next() % n;
-        let mut dst = next() % n;
-        if dst == src {
-            dst = (dst + 1) % n;
-        }
-        events.push(TraceEvent {
-            cycle,
-            src: NodeId(src as u16),
-            dst: NodeId(dst as u16),
-            flits: if next() % 3 == 0 { 32 } else { 1 },
-        });
-    }
-    Trace::new("snapshot fixture", topo.num_nodes() as u16, 0.0, events)
-}
-
-fn uniform_matrix(topo: &Topology, rate: f64) -> TrafficMatrix {
-    let n = topo.num_nodes();
-    let mut m = TrafficMatrix::zero(n);
-    let per_pair = rate / (n - 1) as f64;
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d {
-                m.set(s, d, per_pair);
-            }
-        }
-    }
-    m
+    cells::express(8, 8, span)
 }
 
 /// Split cycles every fixture is spliced at: mid-warmup, dense traffic,
 /// and deep into the run (possibly inside an idle fast-forward gap).
 const SPLITS: [u64; 4] = [1, 57, 300, 2048];
+
+/// The unified cell catalog (`tests/common/cells.rs`): every cell's P=1
+/// whole run must equal its spliced run (pause + snapshot + resume) at
+/// every split, and the sharded engine's spliced run — windowed on the
+/// all-optical cells, per-cycle elsewhere — must match too.
+#[test]
+fn catalog_splices_match_whole_runs() {
+    for cell in cells::catalog() {
+        let whole = cell.run_single();
+        for split in [57u64, 300] {
+            let spliced = cell.run_single_spliced(split);
+            assert_eq!(spliced, whole, "{}: P=1 splice at {split}", cell.name);
+            let sharded = cell.run_sharded_spliced(ShardSpec { sx: 2, sy: 1 }, 0, 0, split);
+            assert_eq!(sharded, whole, "{}: sharded splice at {split}", cell.name);
+        }
+    }
+}
 
 /// P=1 splice: whole run == run-until + resume, for every split.
 fn assert_trace_splice(topo: &Topology, cfg: SimConfig, trace: &Trace, label: &str) -> SimStats {

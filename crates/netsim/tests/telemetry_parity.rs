@@ -12,23 +12,40 @@
 //! packets must produce inject/eject events and non-empty samples, so a
 //! silently disconnected hook can't fake a parity pass.
 
+mod common;
+
+use common::cells;
 use hyppi_netsim::telemetry::PacketEventKind;
 use hyppi_netsim::{FlightRecorder, ShardedSimulator, SimConfig, Simulator};
 use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
-    express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
+    express_mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
 use hyppi_traffic::SyntheticPattern;
 use proptest::prelude::*;
 
 fn grid(w: u16, h: u16) -> Topology {
-    mesh(MeshSpec {
-        width: w,
-        height: h,
-        core_spacing_mm: 1.0,
-        base_tech: LinkTechnology::Electronic,
-        capacity: Gbps::new(50.0),
-    })
+    cells::plain_mesh(w, h)
+}
+
+/// The unified cell catalog (`tests/common/cells.rs`): a fully-probed
+/// run of every cell must equal the plain run bit-for-bit, on the P=1
+/// engine and on the sharded engine (probed runs are single-worker and
+/// per-cycle — windows would batch what the probe observes, so the
+/// windowed cells also pin the probe-forces-classic dispatch).
+#[test]
+fn catalog_probed_runs_match_plain() {
+    for cell in cells::catalog() {
+        let plain = cell.run_single();
+        let (probed, rec) = cell.run_single_probed();
+        assert_eq!(probed, plain, "{}: probed P=1 diverged", cell.name);
+        if plain.all.count > 0 {
+            let sampler = rec.sampler.as_ref().expect("sampler attached");
+            assert!(!sampler.samples().is_empty(), "{}: no samples", cell.name);
+        }
+        let (sharded, _) = cell.run_sharded_probed(ShardSpec { sx: 2, sy: 1 });
+        assert_eq!(sharded, plain, "{}: probed sharded diverged", cell.name);
+    }
 }
 
 proptest! {
