@@ -44,6 +44,35 @@ fn maybe_write_json(args: &[String], result: &hyppi::experiments::LoadSweepResul
     maybe_write_json_str(args, &result.to_json());
 }
 
+/// Parsed `--burst SPEC` temporal-burstiness option: `steady` (the
+/// default), `onoff:B` or `mmpp:B` with burstiness factor `B >= 1`
+/// (peak-to-mean rate ratio — see `hyppi_traffic::BurstSpec`).
+fn burst_flag(args: &[String]) -> BurstSpec {
+    let Some(s) = flag_value(args, "--burst") else {
+        return BurstSpec::Steady;
+    };
+    let parse = |s: &str| -> Option<BurstSpec> {
+        let s = s.to_ascii_lowercase();
+        if s == "steady" {
+            return Some(BurstSpec::Steady);
+        }
+        let (kind, b) = s.split_once(':')?;
+        let b: f64 = b.parse().ok()?;
+        if !(b >= 1.0 && b.is_finite()) {
+            return None;
+        }
+        match kind {
+            "onoff" => Some(BurstSpec::onoff(b)),
+            "mmpp" => Some(BurstSpec::mmpp(b)),
+            _ => None,
+        }
+    };
+    parse(&s).unwrap_or_else(|| {
+        eprintln!("bad --burst value '{s}' (steady, onoff:B or mmpp:B with B >= 1)");
+        std::process::exit(2);
+    })
+}
+
 /// Parsed `--metrics PATH` / `--trace PATH` / `--trace-cap N`
 /// flight-recorder options.
 fn telemetry_opts(args: &[String]) -> TelemetryOpts {
@@ -157,9 +186,18 @@ fn main() {
         // the ablations.
         ran = true;
         let cold = args.iter().any(|a| a == "--cold");
-        println!("## Load sweep — latency-throughput curves + saturation loads");
+        let burst = burst_flag(&args);
+        match burst {
+            BurstSpec::Steady => {
+                println!("## Load sweep — latency-throughput curves + saturation loads")
+            }
+            _ => println!(
+                "## Load sweep — latency-throughput curves + saturation loads ({burst} injection)"
+            ),
+        }
         let r = report_recorded(hyppi::experiments::load_sweep_recorded(
             cold,
+            burst,
             &telemetry_opts(&args),
         ));
         println!("{}", r.render());
@@ -197,10 +235,12 @@ fn main() {
             None => println!("## Load sweep 32x32 — sharded engine, {shards} shards"),
         }
         let cold = args.iter().any(|a| a == "--cold");
+        let burst = burst_flag(&args);
         let r = report_recorded(hyppi::experiments::load_sweep32_recorded(
             shards,
             closed_loop,
             cold,
+            burst,
             &telemetry_opts(&args),
         ));
         println!("{}", r.render());
@@ -310,6 +350,27 @@ fn main() {
         println!("{}", r.render());
         maybe_write_json_str(&args, &r.to_json());
     }
+    if arg == "tenant_sweep" {
+        // Multi-tenant interference: a CG-shaped victim tenant's tail
+        // latency versus a uniform aggressor tenant's offered load, on
+        // the 32x32 and 64x64 meshes, open and closed loop; minutes of
+        // runtime, on-demand only.
+        ran = true;
+        let shards: usize = flag_value(&args, "--shards")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(4);
+        println!(
+            "## Tenant sweep — victim tails vs. aggressor load ({shards} shards, 32x32 + 64x64)"
+        );
+        let r = hyppi::experiments::tenant_sweep(shards);
+        println!("{}", r.render());
+        maybe_write_json_str(&args, &r.to_json());
+    }
     if arg == "sweep-span" {
         ran = true;
         sweep_span();
@@ -337,11 +398,13 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact '{arg}'. Known: all, table1..table6, fig3, fig5, fig6, fig8, \
-             load_sweep, load_sweep32, npb32, fault_sweep, sweep-span, sweep-rate, sweep-vcs, \
-             sweep-buffers, sweep-routing (load_sweep/load_sweep32/fault_sweep accept \
-             --json PATH; load_sweep32/npb32/fault_sweep accept --shards N; load_sweep32 \
-             accepts --closed-loop WINDOW; sweeps accept --cold to disable warm-start \
-             anchoring; npb32 accepts --kernel FT|CG|MG|LU|all and \
+             load_sweep, load_sweep32, npb32, fault_sweep, tenant_sweep, sweep-span, \
+             sweep-rate, sweep-vcs, sweep-buffers, sweep-routing \
+             (load_sweep/load_sweep32/fault_sweep/tenant_sweep accept --json PATH; \
+             load_sweep32/npb32/fault_sweep/tenant_sweep accept --shards N; load_sweep32 \
+             accepts --closed-loop WINDOW; load_sweep/load_sweep32 accept \
+             --burst steady|onoff:B|mmpp:B bursty injection; sweeps accept --cold to \
+             disable warm-start anchoring; npb32 accepts --kernel FT|CG|MG|LU|all and \
              --save/--resume PATH checkpointing; load_sweep/load_sweep32/npb32/fault_sweep \
              accept --metrics PATH and --trace PATH flight-recorder output — .jsonl for \
              JSONL, anything else for Chrome trace_event JSON — and --trace-cap N to size \

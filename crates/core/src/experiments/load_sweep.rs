@@ -21,7 +21,7 @@ use crate::table::TextTable;
 use hyppi_netsim::{LoadCurve, SimConfig, SweepConfig, SweepRunner, TelemetryOpts};
 use hyppi_phys::LinkTechnology;
 use hyppi_topology::{express_mesh, mesh, ExpressSpec, MeshSpec, RoutingTable, Topology};
-use hyppi_traffic::{NpbKernel, SyntheticPattern};
+use hyppi_traffic::{BurstSpec, NpbKernel, SyntheticPattern};
 use serde::{Deserialize, Serialize};
 
 /// The default offered-load grid, flits per node per cycle (the paper
@@ -246,17 +246,23 @@ pub const CLOSED_LOOP_WINDOW: usize = 32;
 /// Sweeps are warm-started by default (one warm-up per pattern × seed,
 /// snapshot-resumed per rate — see `docs/SNAPSHOT_FORMAT.md`); `cold`
 /// (`repro load_sweep --cold`) re-runs the warm-up at every grid point.
-pub fn load_sweep(cold: bool) -> LoadSweepResult {
-    let mut cfg = SweepConfig::paper();
+///
+/// `burst` (`repro load_sweep --burst SPEC`) modulates every run's
+/// injection in time at the same mean load — [`BurstSpec::Steady`]
+/// reproduces the plain Bernoulli dataset bit-for-bit; ON/OFF and MMPP
+/// shapes stress the tails (curve labels gain the burst name).
+pub fn load_sweep(cold: bool, burst: BurstSpec) -> LoadSweepResult {
+    let mut cfg = SweepConfig::paper().burstiness(burst);
     if cold {
         cfg = cfg.cold();
     }
+    let tag = burst_tag(burst);
     let plain = mesh(MeshSpec::paper(LinkTechnology::Electronic));
     let mut patterns = SyntheticPattern::DEFAULT_SWEEP.to_vec();
     patterns.extend(NpbKernel::ALL.map(SyntheticPattern::Npb));
     let mut curves = sweep_curves(
         &plain,
-        "mesh",
+        &format!("mesh{tag}"),
         &patterns,
         &cfg,
         &SWEEP_RATES,
@@ -264,7 +270,7 @@ pub fn load_sweep(cold: bool) -> LoadSweepResult {
     );
     curves.extend(sweep_curves(
         &plain,
-        "mesh closed-loop",
+        &format!("mesh closed-loop{tag}"),
         &[SyntheticPattern::Uniform],
         &cfg.clone().closed_loop(CLOSED_LOOP_WINDOW),
         &SWEEP_RATES,
@@ -280,7 +286,7 @@ pub fn load_sweep(cold: bool) -> LoadSweepResult {
         );
         curves.extend(sweep_curves(
             &xpress,
-            &format!("express-x{span}"),
+            &format!("express-x{span}{tag}"),
             &[SyntheticPattern::Uniform],
             &cfg,
             &SWEEP_RATES,
@@ -288,6 +294,15 @@ pub fn load_sweep(cold: bool) -> LoadSweepResult {
         ));
     }
     LoadSweepResult { curves }
+}
+
+/// Curve-label suffix of a burst process: empty for steady injection,
+/// `" onoff-b4.0"`-style otherwise.
+fn burst_tag(burst: BurstSpec) -> String {
+    match burst {
+        BurstSpec::Steady => String::new(),
+        _ => format!(" {}", burst.name()),
+    }
 }
 
 /// [`load_sweep`] plus flight-recorder output: when `telemetry` requests
@@ -298,14 +313,20 @@ pub fn load_sweep(cold: bool) -> LoadSweepResult {
 /// requested paths. Returns the dataset plus the written paths.
 pub fn load_sweep_recorded(
     cold: bool,
+    burst: BurstSpec,
     telemetry: &TelemetryOpts,
 ) -> std::io::Result<(LoadSweepResult, Vec<String>)> {
-    let result = load_sweep(cold);
+    let result = load_sweep(cold, burst);
     let mut written = Vec::new();
     if telemetry.enabled() {
         let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
         let routes = RoutingTable::compute_xy(&topo);
-        let runner = SweepRunner::new(&topo, &routes, SimConfig::paper(), SweepConfig::paper());
+        let runner = SweepRunner::new(
+            &topo,
+            &routes,
+            SimConfig::paper(),
+            SweepConfig::paper().burstiness(burst),
+        );
         let mut rec = telemetry.recorder();
         let probe_rate = SWEEP_RATES[SWEEP_RATES.len() / 2];
         let _ = runner.record_point(
@@ -337,7 +358,12 @@ pub fn load_sweep_recorded(
 ///
 /// `cold` (`repro load_sweep32 --cold`) disables warm-start anchoring,
 /// re-running the warm-up phase at every grid point.
-pub fn load_sweep32(shards: usize, closed_loop: Option<usize>, cold: bool) -> LoadSweepResult {
+pub fn load_sweep32(
+    shards: usize,
+    closed_loop: Option<usize>,
+    cold: bool,
+    burst: BurstSpec,
+) -> LoadSweepResult {
     let mut cfg = SweepConfig {
         // The 1024-node mesh is ~4× the per-cycle work of the paper mesh;
         // a slightly shorter window keeps the full sweep affordable while
@@ -351,7 +377,8 @@ pub fn load_sweep32(shards: usize, closed_loop: Option<usize>, cold: bool) -> Lo
         threads: 1,
         ..SweepConfig::paper()
     }
-    .with_shards(shards);
+    .with_shards(shards)
+    .burstiness(burst);
     if cold {
         cfg = cfg.cold();
     }
@@ -362,10 +389,11 @@ pub fn load_sweep32(shards: usize, closed_loop: Option<usize>, cold: bool) -> Lo
         }
         None => "mesh32",
     };
+    let label = format!("{label}{}", burst_tag(burst));
     let topo = super::npb::mesh32();
     let curves = sweep_curves(
         &topo,
-        label,
+        &label,
         &[
             SyntheticPattern::Uniform,
             SyntheticPattern::Transpose,
@@ -388,9 +416,10 @@ pub fn load_sweep32_recorded(
     shards: usize,
     closed_loop: Option<usize>,
     cold: bool,
+    burst: BurstSpec,
     telemetry: &TelemetryOpts,
 ) -> std::io::Result<(LoadSweepResult, Vec<String>)> {
-    let result = load_sweep32(shards, closed_loop, cold);
+    let result = load_sweep32(shards, closed_loop, cold, burst);
     let mut written = Vec::new();
     if telemetry.enabled() {
         let mut cfg = SweepConfig {
@@ -399,7 +428,8 @@ pub fn load_sweep32_recorded(
             threads: 1,
             ..SweepConfig::paper()
         }
-        .with_shards(shards);
+        .with_shards(shards)
+        .burstiness(burst);
         if let Some(window) = closed_loop {
             cfg = cfg.closed_loop(window);
         }

@@ -86,7 +86,8 @@ pub mod prelude {
         ROUTER_PIPELINE_CYCLES,
     };
     pub use hyppi_traffic::{
-        packetize_message, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig,
-        SyntheticPattern, Trace, TraceEvent, TrafficMatrix, DATA_PACKET_FLITS,
+        packetize_message, BurstSpec, CommVolume, NpbKernel, NpbTraceSpec, Packet, SoteriouConfig,
+        SyntheticPattern, TenantSpec, TenantWorkload, Trace, TraceEvent, TrafficMatrix,
+        DATA_PACKET_FLITS,
     };
 }

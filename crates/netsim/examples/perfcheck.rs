@@ -71,7 +71,10 @@ use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
     express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
-use hyppi_traffic::{NpbKernel, NpbTraceSpec, ScaledNpbSpec, SyntheticPattern, Trace};
+use hyppi_traffic::{
+    BurstSpec, NpbKernel, NpbTraceSpec, ScaledNpbSpec, SyntheticPattern, TenantSpec,
+    TenantWorkload, Trace,
+};
 use std::time::Instant;
 
 struct Cell {
@@ -266,6 +269,55 @@ struct FaultSatPoint {
     saturated_in_range: bool,
     rerouted_hops: u64,
     unreachable_pairs: u64,
+}
+
+/// One point of the p99.9-vs-burstiness record: the 16×16 uniform cell
+/// re-run with ON/OFF modulated injection at growing peak-to-mean ratio.
+struct BurstPoint {
+    burstiness: f64,
+    mean_latency: f64,
+    p99: u64,
+    p999: u64,
+    packets: u64,
+    secs: f64,
+}
+
+/// One per-tenant latency lane of the tenant record.
+struct TenantLane {
+    mean_latency: f64,
+    p99: u64,
+    p999: u64,
+    packets: u64,
+}
+
+impl TenantLane {
+    fn of(lane: &hyppi_netsim::TenantStats) -> TenantLane {
+        TenantLane {
+            mean_latency: if lane.latency.count == 0 {
+                0.0
+            } else {
+                lane.latency.sum as f64 / lane.latency.count as f64
+            },
+            p99: lane.latency.p99(),
+            p999: lane.latency.p999(),
+            packets: lane.latency.count,
+        }
+    }
+}
+
+/// The multi-tenant interference cell: a hotspot victim and a uniform
+/// aggressor on vertical half-tiles of the 16×16 mesh, run with a quiet
+/// and a loaded aggressor, parity-asserted across all three engines with
+/// the tenant map attached.
+struct TenantRecord {
+    mesh: &'static str,
+    victim_rate: f64,
+    aggressor_quiet: f64,
+    aggressor_loaded: f64,
+    victim_quiet: TenantLane,
+    victim_loaded: TenantLane,
+    aggressor: TenantLane,
+    secs: f64,
 }
 
 /// Cell filters parsed from `--cells KERNEL[:SPAN],...` or the positional
@@ -490,6 +542,8 @@ fn main() {
     let snapshot = run_snapshot_section(quick, fast);
     let fault = run_fault_section(quick, fast);
     let fault_sat = run_fault_saturation_section(quick, shards);
+    let burst = run_burst_section(quick, fast);
+    let tenant = run_tenant_section(quick, fast);
 
     // Machine-readable record for the perf trajectory, built on the
     // shared `hyppi_netsim::json` writer.
@@ -717,6 +771,45 @@ fn main() {
                         .build()
                 })
                 .collect::<Vec<Json>>(),
+        )
+        .field(
+            "burst",
+            Obj::new()
+                .field("mesh", "16x16")
+                .field("pattern", "uniform")
+                .field("modulator", "onoff")
+                .field("rate", Json::fixed(0.10, 3))
+                .field(
+                    "curve",
+                    burst
+                        .iter()
+                        .map(|p| {
+                            Obj::new()
+                                .field("burstiness", Json::fixed(p.burstiness, 1))
+                                .field("mean_latency", Json::fixed(p.mean_latency, 4))
+                                .field("p99", p.p99)
+                                .field("p999", p.p999)
+                                .field("packets", p.packets)
+                                .field("secs", Json::fixed(p.secs, 4))
+                                .build()
+                        })
+                        .collect::<Vec<Json>>(),
+                ),
+        )
+        .field(
+            "tenant",
+            Obj::new()
+                .field("mesh", tenant.mesh)
+                .field("grid", "2x1")
+                .field("victim_pattern", "hotspot")
+                .field("aggressor_pattern", "uniform")
+                .field("victim_rate", Json::fixed(tenant.victim_rate, 3))
+                .field("aggressor_quiet", Json::fixed(tenant.aggressor_quiet, 3))
+                .field("aggressor_loaded", Json::fixed(tenant.aggressor_loaded, 3))
+                .field("secs", Json::fixed(tenant.secs, 4))
+                .field("victim_quiet", tenant_lane_json(&tenant.victim_quiet))
+                .field("victim_loaded", tenant_lane_json(&tenant.victim_loaded))
+                .field("aggressor", tenant_lane_json(&tenant.aggressor)),
         )
         .field(
             "cells",
@@ -1584,4 +1677,172 @@ fn fault_sat_curve(
             point
         })
         .collect()
+}
+
+fn tenant_lane_json(lane: &TenantLane) -> Json {
+    Obj::new()
+        .field("mean_latency", Json::fixed(lane.mean_latency, 4))
+        .field("p99", lane.p99)
+        .field("p999", lane.p999)
+        .field("packets", lane.packets)
+        .build()
+}
+
+/// The p99.9-vs-burstiness curve: the 16×16 uniform cell re-run with
+/// ON/OFF modulated injection at peak-to-mean ratios 1/2/4/8. The factor
+/// process is mean-one, so every point offers the same long-run load —
+/// the tail growth is pure clustering. The b=4 point is parity-asserted
+/// across all three engines (`--fast` skips the seed engine; the cheap
+/// sharded assert stays), so bursty injection is pinned on every
+/// perfcheck.
+fn run_burst_section(quick: bool, fast: bool) -> Vec<BurstPoint> {
+    let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let (rate, warmup, measure) = if quick {
+        (0.10, 100, 400)
+    } else {
+        (0.10, 300, 1200)
+    };
+    let m = SyntheticPattern::Uniform.matrix(&topo, rate);
+    let mut points = Vec::new();
+    for b in [1.0f64, 2.0, 4.0, 8.0] {
+        let mut cfg = SimConfig::paper();
+        cfg.max_cycles = 2_000_000;
+        cfg.burst = BurstSpec::onoff(b);
+        let t0 = Instant::now();
+        let stats = Simulator::new(&topo, &routes, cfg)
+            .run_synthetic(&m, warmup, measure, 11)
+            .expect("bursty active-set run completes");
+        let secs = t0.elapsed().as_secs_f64();
+        if b == 4.0 {
+            if !fast {
+                let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+                    .run_synthetic(&m, warmup, measure, 11)
+                    .expect("bursty reference run completes");
+                assert_eq!(stats, reference, "bursty engine parity violated");
+            }
+            let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+                .run_synthetic(&m, warmup, measure, 11)
+                .expect("bursty sharded run completes");
+            assert_eq!(sharded, stats, "bursty shard parity violated");
+        }
+        let point = BurstPoint {
+            burstiness: b,
+            mean_latency: stats.mean_latency(),
+            p99: stats.all.p99(),
+            p999: stats.all.p999(),
+            packets: stats.all.count,
+            secs,
+        };
+        println!(
+            "BURST 16x16 uniform r={rate:.2} {}: lat {:.1} clks (p99 {} p99.9 {}) | {} pkts | {:.2?}{}",
+            cfg.burst,
+            point.mean_latency,
+            point.p99,
+            point.p999,
+            point.packets,
+            std::time::Duration::from_secs_f64(point.secs),
+            if b == 4.0 {
+                if fast {
+                    " | parity OK (sharded)"
+                } else {
+                    " | parity OK (seed + sharded)"
+                }
+            } else {
+                ""
+            },
+        );
+        points.push(point);
+    }
+    assert!(
+        points.last().expect("curve nonempty").p999 > points.first().expect("curve nonempty").p999,
+        "b=8 clustering must stretch the p99.9 tail past steady"
+    );
+    points
+}
+
+/// The multi-tenant interference cell: a hotspot victim (left half-tile)
+/// co-scheduled with a uniform aggressor (right half-tile) on the 16×16
+/// mesh, run with the aggressor quiet and loaded. Per-tenant latency
+/// lanes come from the tenant map attached to the engines; the loaded
+/// run is parity-asserted across all three engines plus the quadrant
+/// shard grid (tenant tiles and engine shards are independent
+/// rectangles, so the 2×1 tenant layout crosses the 2×2 shard cuts).
+fn run_tenant_section(quick: bool, fast: bool) -> TenantRecord {
+    let topo = mesh(MeshSpec::paper(LinkTechnology::Electronic));
+    let routes = RoutingTable::compute_xy(&topo);
+    let (victim_rate, quiet, loaded, warmup, measure) = if quick {
+        (0.08, 0.02, 0.16, 100, 400)
+    } else {
+        (0.08, 0.02, 0.16, 300, 1200)
+    };
+    let spec = TenantSpec::pair(
+        TenantWorkload {
+            pattern: SyntheticPattern::Hotspot,
+            rate: victim_rate,
+        },
+        TenantWorkload {
+            pattern: SyntheticPattern::Uniform,
+            rate: quiet,
+        },
+    );
+    let map = spec.map(&topo);
+    let mut cfg = SimConfig::paper();
+    cfg.max_cycles = 2_000_000;
+
+    let t0 = Instant::now();
+    let run = |aggressor_rate: f64| {
+        let s = spec.with_rate(1, aggressor_rate);
+        let m = s.matrix(&topo);
+        Simulator::new(&topo, &routes, cfg)
+            .with_tenants(&map)
+            .run_synthetic(&m, warmup, measure, 11)
+            .expect("tenant active-set run completes")
+    };
+    let quiet_stats = run(quiet);
+    let loaded_stats = run(loaded);
+    let secs = t0.elapsed().as_secs_f64();
+
+    for stats in [&quiet_stats, &loaded_stats] {
+        assert_eq!(stats.tenants.len(), 2, "two tenant lanes expected");
+        let lane_packets: u64 = stats.tenants.iter().map(|t| t.latency.count).sum();
+        assert_eq!(
+            lane_packets, stats.all.count,
+            "tenant lanes must partition the aggregate"
+        );
+    }
+    let loaded_matrix = spec.with_rate(1, loaded).matrix(&topo);
+    if !fast {
+        let reference = ReferenceSimulator::new(&topo, &routes, cfg)
+            .with_tenants(&map)
+            .run_synthetic(&loaded_matrix, warmup, measure, 11)
+            .expect("tenant reference run completes");
+        assert_eq!(loaded_stats, reference, "tenant engine parity violated");
+    }
+    let sharded = ShardedSimulator::new(&topo, &routes, cfg, ShardSpec::quadrants())
+        .with_tenants(&map)
+        .run_synthetic(&loaded_matrix, warmup, measure, 11)
+        .expect("tenant sharded run completes");
+    assert_eq!(sharded, loaded_stats, "tenant shard parity violated");
+
+    let record = TenantRecord {
+        mesh: "16x16",
+        victim_rate,
+        aggressor_quiet: quiet,
+        aggressor_loaded: loaded,
+        victim_quiet: TenantLane::of(&quiet_stats.tenants[0]),
+        victim_loaded: TenantLane::of(&loaded_stats.tenants[0]),
+        aggressor: TenantLane::of(&loaded_stats.tenants[1]),
+        secs,
+    };
+    println!(
+        "TENANT 16x16 hotspot@{victim_rate:.2} | uniform {quiet:.2}->{loaded:.2}: victim p99.9 {} -> {} | aggressor lat {:.1} clks (p99.9 {}) | {:.2?} | parity OK ({})",
+        record.victim_quiet.p999,
+        record.victim_loaded.p999,
+        record.aggressor.mean_latency,
+        record.aggressor.p999,
+        std::time::Duration::from_secs_f64(record.secs),
+        if fast { "sharded" } else { "seed + sharded" },
+    );
+    record
 }

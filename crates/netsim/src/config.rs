@@ -1,5 +1,6 @@
 //! Simulator configuration (Table II).
 
+use hyppi_traffic::BurstSpec;
 use serde::{Deserialize, Serialize};
 
 /// Microarchitectural and run-control parameters.
@@ -24,6 +25,16 @@ pub struct SimConfig {
     /// a flattening [`crate::SimStats::accepted_flits`] instead of a
     /// diverging latency.
     pub max_outstanding: usize,
+    /// Temporal burstiness of synthetic injection: a seeded per-node
+    /// factor process that modulates the per-cycle Bernoulli gate
+    /// (`rate × factor`), mean-normalized so the long-run offered load
+    /// still matches the traffic matrix. [`BurstSpec::Steady`] (the
+    /// default) is the identity — exactly the previous behaviour. The
+    /// factor is a pure function of (workload seed, node, cycle), so it
+    /// never consumes the injection RNG stream: sharded replay and
+    /// snapshot resume stay bit-for-bit regardless of the spec. Ignored
+    /// by trace-driven runs (traces carry their own timing).
+    pub burst: BurstSpec,
 }
 
 impl SimConfig {
@@ -35,6 +46,7 @@ impl SimConfig {
             pipeline_stages: 3,
             max_cycles: 200_000_000,
             max_outstanding: 0,
+            burst: BurstSpec::Steady,
         }
     }
 
@@ -76,6 +88,7 @@ impl SimConfig {
             "window occupancy counters are u32 ({} requested)",
             self.max_outstanding
         );
+        self.burst.validate();
     }
 }
 

@@ -183,8 +183,10 @@ pub use reference::ReferenceSimulator;
 pub use shard::ShardedSimulator;
 pub use sim::{RunOutcome, SimError, Simulator};
 pub use snapshot::{Snapshot, SnapshotError};
-pub use stats::{LatencyStats, SimStats};
-pub use sweep::{LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner};
+pub use stats::{LatencyStats, SimStats, TenantStats};
+pub use sweep::{
+    LoadCurve, LoadPoint, SaturationSearch, SweepConfig, SweepRunner, TenantLoadPoint,
+};
 pub use telemetry::{
     EngineProfile, FlightRecorder, MetricsSampler, NoopProbe, PacketTracer, Probe, ProfileSink,
     StallCause, TelemetryOpts,

@@ -23,7 +23,7 @@ use crate::snapshot::{
 };
 use crate::stats::SimStats;
 use hyppi_topology::{LinkId, NodeId, RoutingTable, Topology};
-use hyppi_traffic::{Trace, TrafficMatrix};
+use hyppi_traffic::{BurstState, TenantMap, Trace, TrafficMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -152,6 +152,9 @@ pub struct ReferenceSimulator<'a> {
     /// `packets` (snapshot bookkeeping: keeps the exported admission and
     /// completion totals exact across save/restore cycles).
     dropped_packets: u64,
+    /// Node → tenant map of a multi-tenant run (statistics bookkeeping
+    /// only — mirrors the active-set engines' per-tenant lanes).
+    tenants: Option<&'a TenantMap>,
     stats: SimStats,
 }
 
@@ -231,8 +234,19 @@ impl<'a> ReferenceSimulator<'a> {
             accept_from: 0,
             accept_until: u64::MAX,
             dropped_packets: 0,
+            tenants: None,
             stats: SimStats::new(topo.links().len(), topo.num_nodes()),
         }
+    }
+
+    /// Installs a node → tenant map: the run's [`SimStats`] then carries
+    /// per-tenant lanes (see [`crate::TenantStats`]), bit-for-bit those
+    /// of the active-set engines.
+    pub fn with_tenants(mut self, map: &'a TenantMap) -> Self {
+        assert_eq!(map.tenant_of_node.len(), self.topo.num_nodes());
+        self.tenants = Some(map);
+        self.stats.init_tenants(map.tenants);
+        self
     }
 
     /// Installs the healthy-mesh baseline (topology + routes the faults
@@ -517,6 +531,10 @@ impl<'a> ReferenceSimulator<'a> {
 
         let mut now = cursor.now;
         let inject_until = warmup + measure;
+        // Burst factors are a pure per-(seed, node, cycle) function — the
+        // gate product below is the same expression the active-set
+        // engines evaluate, so bursty runs stay bit-for-bit.
+        let mut burst = BurstState::new(self.cfg.burst, seed, n);
         loop {
             if now >= stop_at {
                 let pause = RunCursor {
@@ -528,8 +546,9 @@ impl<'a> ReferenceSimulator<'a> {
                 return Ok(RunOutcome::Paused(snap));
             }
             if now < inject_until {
+                let factors = burst.factors_at(now);
                 for src in 0..n {
-                    if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] {
+                    if rates[src] > 0.0 && rng.gen::<f64>() < rates[src] * factors[src] {
                         let u: f64 = rng.gen();
                         // Seed behaviour: linear scan of the per-source CDF.
                         let dst = cdfs[src]
@@ -672,6 +691,10 @@ impl<'a> ReferenceSimulator<'a> {
                     self.buffered[node] += 1;
                     self.active_flits += 1;
                     self.stats.flits_injected += 1;
+                    if let Some(tm) = self.tenants {
+                        self.stats.tenants[usize::from(tm.tenant_of_node[node])].flits_injected +=
+                            1;
+                    }
                     em.emitted += 1;
                     self.nodes[node].emitting = if em.emitted == em.total {
                         self.pending_sources -= 1;
@@ -829,8 +852,18 @@ impl<'a> ReferenceSimulator<'a> {
                     let pid = flit.packet as usize;
                     self.packets[pid].ejected += 1;
                     self.stats.flits_delivered += 1;
-                    if now >= self.accept_from && now < self.accept_until {
+                    let accepted = now >= self.accept_from && now < self.accept_until;
+                    if accepted {
                         self.stats.accepted_flits += 1;
+                    }
+                    // Tenant traffic is tile-internal: the ejecting node's
+                    // tenant is the packet's tenant.
+                    if let Some(tm) = self.tenants {
+                        let lane = &mut self.stats.tenants[usize::from(tm.tenant_of_node[node])];
+                        lane.flits_delivered += 1;
+                        if accepted {
+                            lane.accepted_flits += 1;
+                        }
                     }
                     self.active_flits -= 1;
                     if self.packets[pid].is_complete() {
@@ -838,6 +871,11 @@ impl<'a> ReferenceSimulator<'a> {
                         if info.inject_cycle != u64::MAX {
                             self.stats
                                 .record_packet(info.flits, now + 1 - info.inject_cycle);
+                            if let Some(tm) = self.tenants {
+                                self.stats.tenants[usize::from(tm.tenant_of_node[node])]
+                                    .latency
+                                    .record(now + 1 - info.inject_cycle);
+                            }
                         }
                         // Closed loop: the window slot frees; first
                         // observable next cycle (emission precedes switch
@@ -1000,7 +1038,13 @@ impl<'a> ReferenceSimulator<'a> {
 
     /// Serializes the engine state under this plan's fingerprint.
     fn snapshot_at(&self, cursor: &RunCursor, workload_hash: u64) -> Snapshot {
-        let plan_hash = plan_fingerprint(self.topo, self.routes, &self.cfg, self.baseline);
+        let plan_hash = plan_fingerprint(
+            self.topo,
+            self.routes,
+            &self.cfg,
+            self.baseline,
+            self.tenants,
+        );
         Snapshot::encode(&self.export(cursor), plan_hash, workload_hash)
     }
 
@@ -1017,6 +1061,7 @@ impl<'a> ReferenceSimulator<'a> {
             self.routes,
             &self.cfg,
             self.baseline,
+            self.tenants,
         ))?;
         let stored = snap.workload_hash();
         if stored != 0 && workload_hash != 0 && stored != workload_hash {

@@ -120,7 +120,7 @@ use crate::telemetry::{
     EngineProfile, EngineView, NoopProbe, PacketKey, Probe, ProfileSink, StallCause,
 };
 use hyppi_topology::{LinkId, NodeId, Partition, RoutingTable, ShardSpec, Topology};
-use hyppi_traffic::{Trace, TrafficMatrix};
+use hyppi_traffic::{BurstState, TenantMap, Trace, TrafficMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -347,6 +347,11 @@ pub(crate) struct EnginePlan<'a> {
     /// For each shard, the sorted shards that may address mail to it
     /// (boundary-flit senders and boundary-credit returners).
     pub inbox_sources: Vec<Vec<u16>>,
+    /// Node → tenant ownership of a multi-tenant run (`None` — the
+    /// common case — records no per-tenant lanes). Pure bookkeeping:
+    /// tenancy never changes routing or arbitration, only which
+    /// [`crate::TenantStats`] lane each emission/ejection is credited to.
+    pub tenants: Option<&'a TenantMap>,
 }
 
 impl<'a> EnginePlan<'a> {
@@ -511,7 +516,20 @@ impl<'a> EnginePlan<'a> {
             wheel_len,
             lookahead,
             inbox_sources: sources,
+            tenants: None,
         }
+    }
+
+    /// Installs the node → tenant map of a multi-tenant run: every
+    /// engine entry point then splits per-tenant statistic lanes out of
+    /// the aggregate (see [`crate::TenantStats`]).
+    pub fn set_tenants(&mut self, map: &'a TenantMap) {
+        assert_eq!(
+            map.tenant_of_node.len(),
+            self.topo.num_nodes(),
+            "tenant map sized for a different topology"
+        );
+        self.tenants = Some(map);
     }
 
     /// Installs the healthy-mesh baseline used to account
@@ -1035,7 +1053,13 @@ impl ShardState {
             pending_sources: 0,
             origin_packets: 0,
             completed_packets: 0,
-            stats: SimStats::new(topo.links().len(), topo.num_nodes()),
+            stats: {
+                let mut s = SimStats::new(topo.links().len(), topo.num_nodes());
+                if let Some(tm) = plan.tenants {
+                    s.init_tenants(tm.tenants);
+                }
+                s
+            },
         }
     }
 
@@ -1294,7 +1318,11 @@ impl ShardState {
                     let window_open = window == 0 || (self.outstanding[node] as usize) < window;
                     if let Some(&pid) = self.nodes[node].src_queue.front() {
                         if P::ENABLED && !window_open {
-                            probe.on_stall(StallCause::WindowClosed, now);
+                            probe.on_stall(
+                                StallCause::WindowClosed,
+                                NodeId(self.global_of_node[node]),
+                                now,
+                            );
                         }
                         if window_open {
                             // Pick an injection VC in the packet's class.
@@ -1360,6 +1388,11 @@ impl ShardState {
                         pushed = true;
                         self.active_flits += 1;
                         self.stats.flits_injected += 1;
+                        if let Some(tm) = plan.tenants {
+                            let g = usize::from(self.global_of_node[node]);
+                            self.stats.tenants[usize::from(tm.tenant_of_node[g])].flits_injected +=
+                                1;
+                        }
                         em.emitted += 1;
                         self.nodes[node].emitting = if em.emitted == em.total {
                             self.pending_sources -= 1;
@@ -1486,7 +1519,11 @@ impl ShardState {
                                 self.ctl[node].active_ports |= 1 << p;
                                 self.va_rr[pb + p] = rr_next(idx, total_in_vcs);
                             } else if P::ENABLED {
-                                probe.on_stall(StallCause::VaLoss, now);
+                                probe.on_stall(
+                                    StallCause::VaLoss,
+                                    NodeId(self.global_of_node[node]),
+                                    now,
+                                );
                             }
                         }
                         if self.routed_mask[pb + p] == 0 {
@@ -1518,7 +1555,11 @@ impl ShardState {
                         let in_port = usize::from(self.in_port_of_slot[base + idx]);
                         if self.ctl[node].in_port_used & (1 << in_port) != 0 {
                             if P::ENABLED {
-                                probe.on_stall(StallCause::SaLoss, now);
+                                probe.on_stall(
+                                    StallCause::SaLoss,
+                                    NodeId(self.global_of_node[node]),
+                                    now,
+                                );
                             }
                             continue;
                         }
@@ -1536,7 +1577,11 @@ impl ShardState {
                             let lid = opi.link as usize;
                             if self.credits[lid * vcs + out_vc].normalize(now) == 0 {
                                 if P::ENABLED {
-                                    probe.on_stall(StallCause::CreditStarved, now);
+                                    probe.on_stall(
+                                        StallCause::CreditStarved,
+                                        NodeId(self.global_of_node[node]),
+                                        now,
+                                    );
                                 }
                                 continue;
                             }
@@ -1581,8 +1626,19 @@ impl ShardState {
                         let pid = flit.packet as usize;
                         self.packets[pid].ejected += 1;
                         self.stats.flits_delivered += 1;
-                        if now >= self.accept_from && now < self.accept_until {
+                        let accepted = now >= self.accept_from && now < self.accept_until;
+                        if accepted {
                             self.stats.accepted_flits += 1;
+                        }
+                        // Tenant traffic is tile-internal, so the ejecting
+                        // node's tenant is the packet's tenant.
+                        if let Some(tm) = plan.tenants {
+                            let g = usize::from(self.global_of_node[node]);
+                            let lane = &mut self.stats.tenants[usize::from(tm.tenant_of_node[g])];
+                            lane.flits_delivered += 1;
+                            if accepted {
+                                lane.accepted_flits += 1;
+                            }
                         }
                         self.active_flits -= 1;
                         if self.packets[pid].is_complete() {
@@ -1601,6 +1657,12 @@ impl ShardState {
                             if info.inject_cycle != u64::MAX {
                                 self.stats
                                     .record_packet(info.flits, now + 1 - info.inject_cycle);
+                                if let Some(tm) = plan.tenants {
+                                    let g = usize::from(self.global_of_node[node]);
+                                    self.stats.tenants[usize::from(tm.tenant_of_node[g])]
+                                        .latency
+                                        .record(now + 1 - info.inject_cycle);
+                                }
                             }
                             // Closed loop: hand the window slot back to the
                             // origin. An immigrant packet's origin lives in
@@ -2092,15 +2154,25 @@ impl InjectTables {
     /// exact same draw sequence — `admit` is invoked for every injected
     /// packet and the callee decides whether it owns the source. This is
     /// what keeps P-shard injection bit-for-bit identical to P=1.
+    ///
+    /// `factors` is the cycle's per-node burst modulation
+    /// ([`BurstState::factors_at`]): the gate fires with probability
+    /// `rate × factor`. The steady factor is exactly 1.0 and `x * 1.0`
+    /// is bit-exact in IEEE 754, so steady runs reproduce the unmodulated
+    /// stream. A node's draw happens whenever its *rate* is nonzero —
+    /// independent of the factor (even an OFF factor of 0 draws, it just
+    /// never fires) — so the RNG stream position is burst-invariant and
+    /// snapshot splices across spec changes stay well-formed.
     pub fn inject_cycle(
         &self,
         rng: &mut StdRng,
         now: u64,
         warmup: u64,
+        factors: &[f64],
         mut admit: impl FnMut(NodeId, NodeId, u64),
     ) {
-        for src in 0..self.rates.len() {
-            if self.rates[src] > 0.0 && rng.gen::<f64>() < self.rates[src] {
+        for (src, (&rate, &factor)) in self.rates.iter().zip(factors).enumerate() {
+            if rate > 0.0 && rng.gen::<f64>() < rate * factor {
                 let u: f64 = rng.gen();
                 // First entry with acc ≥ u (prefix sums are
                 // nondecreasing); the last entry backstops floating-point
@@ -2266,6 +2338,15 @@ fn worker_loop<P: Probe>(
     let mut now = start.now;
     let mut next_event = start.next_event as usize; // full-trace cursor
     let mut rng = StdRng::from_state(start.rng);
+    // Burst factors are a pure function of (workload seed, node, cycle),
+    // so the cache needs no snapshotting and is valid from any resume
+    // point. Traces carry their own timing — steady placeholder.
+    let mut burst = match workload {
+        Workload::Synthetic { seed, .. } => {
+            BurstState::new(plan.cfg.burst, seed, plan.topo.num_nodes())
+        }
+        Workload::Trace(_) => BurstState::steady(),
+    };
     loop {
         // --- bounded-run stop (lockstep: same cycle on every worker) ---
         if now >= stop_at {
@@ -2290,7 +2371,7 @@ fn worker_loop<P: Probe>(
                         if mine[shard] != usize::MAX {
                             my[mine[shard]].stats.unreachable_pairs += 1;
                             if P::ENABLED {
-                                probe.on_stall(StallCause::NoRoute, now);
+                                probe.on_stall(StallCause::NoRoute, e.src, now);
                             }
                         }
                         continue;
@@ -2312,22 +2393,29 @@ fn worker_loop<P: Probe>(
                 if now < warmup + measure {
                     // The injection window always steps, like P=1.
                     must_step = true;
-                    tables.inject_cycle(&mut rng, now, warmup, |src, dst, inject_cycle| {
-                        let shard = usize::from(plan.partition.shard_of_node[src.index()]);
-                        if mine[shard] == usize::MAX {
-                            return;
-                        }
-                        // The RNG draws already happened identically on
-                        // every worker; dropping here keeps the sequence.
-                        if !plan.routes.reachable(src, dst) {
-                            my[mine[shard]].stats.unreachable_pairs += 1;
-                            if P::ENABLED {
-                                probe.on_stall(StallCause::NoRoute, now);
+                    let factors = burst.factors_at(now);
+                    tables.inject_cycle(
+                        &mut rng,
+                        now,
+                        warmup,
+                        factors,
+                        |src, dst, inject_cycle| {
+                            let shard = usize::from(plan.partition.shard_of_node[src.index()]);
+                            if mine[shard] == usize::MAX {
+                                return;
                             }
-                            return;
-                        }
-                        my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
-                    });
+                            // The RNG draws already happened identically on
+                            // every worker; dropping here keeps the sequence.
+                            if !plan.routes.reachable(src, dst) {
+                                my[mine[shard]].stats.unreachable_pairs += 1;
+                                if P::ENABLED {
+                                    probe.on_stall(StallCause::NoRoute, src, now);
+                                }
+                                return;
+                            }
+                            my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
+                        },
+                    );
                 }
             }
         }
@@ -2514,6 +2602,13 @@ fn worker_loop_windowed(
     debug_assert!(window > 1, "windowed loop needs a lookahead window");
     let mut next_event = start.next_event as usize; // full-trace cursor
     let mut rng = StdRng::from_state(start.rng);
+    // Pure per-(seed, node, cycle) factors: valid from any window start.
+    let mut burst = match workload {
+        Workload::Synthetic { seed, .. } => {
+            BurstState::new(plan.cfg.burst, seed, plan.topo.num_nodes())
+        }
+        Workload::Trace(_) => BurstState::steady(),
+    };
     // Cycles before this force-step (and draw the per-cycle synthetic
     // RNG); traces have no forced window.
     let inject_end = match workload {
@@ -2671,17 +2766,25 @@ fn worker_loop_windowed(
                     Workload::Synthetic { tables, warmup, .. } => {
                         if u < inject_end {
                             must_step = true;
-                            tables.inject_cycle(&mut rng, u, warmup, |src, dst, inject_cycle| {
-                                let shard = usize::from(plan.partition.shard_of_node[src.index()]);
-                                if mine[shard] == usize::MAX {
-                                    return;
-                                }
-                                if !plan.routes.reachable(src, dst) {
-                                    my[mine[shard]].stats.unreachable_pairs += 1;
-                                    return;
-                                }
-                                my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
-                            });
+                            let factors = burst.factors_at(u);
+                            tables.inject_cycle(
+                                &mut rng,
+                                u,
+                                warmup,
+                                factors,
+                                |src, dst, inject_cycle| {
+                                    let shard =
+                                        usize::from(plan.partition.shard_of_node[src.index()]);
+                                    if mine[shard] == usize::MAX {
+                                        return;
+                                    }
+                                    if !plan.routes.reachable(src, dst) {
+                                        my[mine[shard]].stats.unreachable_pairs += 1;
+                                        return;
+                                    }
+                                    my[mine[shard]].admit(plan, src, dst, 1, inject_cycle);
+                                },
+                            );
                         }
                     }
                 }
@@ -3265,8 +3368,13 @@ pub(crate) fn snapshot_shards(
     workload_hash: u64,
 ) -> Snapshot {
     let gs = export_shards(plan, shards, cursor);
-    let plan_hash =
-        crate::snapshot::plan_fingerprint(plan.topo, plan.routes, &plan.cfg, plan.baseline);
+    let plan_hash = crate::snapshot::plan_fingerprint(
+        plan.topo,
+        plan.routes,
+        &plan.cfg,
+        plan.baseline,
+        plan.tenants,
+    );
     Snapshot::encode(&gs, plan_hash, workload_hash)
 }
 
@@ -3644,6 +3752,17 @@ impl<'a> ShardedSimulator<'a> {
     /// [`SimStats::rerouted_hops`] for detours versus the healthy route.
     pub fn with_baseline(mut self, topo: &'a Topology, routes: &'a RoutingTable) -> Self {
         self.plan.set_baseline(topo, routes);
+        self
+    }
+
+    /// Installs a node → tenant map: the run's [`SimStats`] then carries
+    /// per-tenant lanes (see [`crate::TenantStats`]) split out of the
+    /// aggregate, bit-for-bit identical to the single-engine run.
+    pub fn with_tenants(mut self, map: &'a TenantMap) -> Self {
+        self.plan.set_tenants(map);
+        for s in &mut self.shards {
+            s.stats.init_tenants(map.tenants);
+        }
         self
     }
 

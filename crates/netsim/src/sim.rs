@@ -118,6 +118,7 @@ pub(crate) fn restore_shards(
         plan.routes,
         &plan.cfg,
         plan.baseline,
+        plan.tenants,
     ))?;
     let stored = snap.workload_hash();
     if stored != 0 && workload_hash != 0 && stored != workload_hash {
@@ -164,6 +165,15 @@ impl<'a> Simulator<'a> {
     /// [`SimStats::rerouted_hops`] for detours versus the healthy route.
     pub fn with_baseline(mut self, topo: &'a Topology, routes: &'a RoutingTable) -> Self {
         self.plan.set_baseline(topo, routes);
+        self
+    }
+
+    /// Installs a node → tenant map: the run's [`SimStats`] then carries
+    /// per-tenant lanes (see [`crate::TenantStats`]) split out of the
+    /// aggregate.
+    pub fn with_tenants(mut self, map: &'a hyppi_traffic::TenantMap) -> Self {
+        self.plan.set_tenants(map);
+        self.shard.stats.init_tenants(map.tenants);
         self
     }
 

@@ -22,7 +22,7 @@
 //! Every snapshot starts with a fixed 120-byte header:
 //!
 //! * magic `b"HYPSNAP1"` — rejects non-snapshots ([`SnapshotError::BadMagic`]);
-//! * format version (currently 1) — rejects future formats
+//! * format version (currently 2) — rejects other formats
 //!   ([`SnapshotError::BadVersion`]);
 //! * a **plan fingerprint** (FNV-1a 64 over topology links, routing table,
 //!   the behavior-relevant [`crate::SimConfig`] fields, and the fault
@@ -41,15 +41,17 @@
 //! never panics on untrusted input.
 
 use crate::config::SimConfig;
-use crate::stats::{LatencyStats, SimStats, HISTOGRAM_BUCKETS};
+use crate::stats::{LatencyStats, SimStats, TenantStats, HISTOGRAM_BUCKETS};
 use hyppi_topology::{LinkClass, RoutingTable, Topology};
-use hyppi_traffic::Trace;
+use hyppi_traffic::{TenantMap, Trace};
 
 /// Magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"HYPSNAP1";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the per-tenant
+/// statistic lanes to the stats section (see `docs/SNAPSHOT_FORMAT.md`);
+/// version-1 bytes are rejected with [`SnapshotError::BadVersion`].
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Fixed header length in bytes.
 const HEADER_LEN: usize = 120;
@@ -609,6 +611,14 @@ impl Enc {
         }
         self.u64(s.rerouted_hops);
         self.u64(s.unreachable_pairs);
+        // v2: per-tenant lanes (count 0 on single-tenant runs).
+        self.u32(s.tenants.len() as u32);
+        for t in &s.tenants {
+            self.latency(&t.latency);
+            self.u64(t.flits_injected);
+            self.u64(t.flits_delivered);
+            self.u64(t.accepted_flits);
+        }
     }
 }
 
@@ -692,6 +702,21 @@ impl Dec<'_> {
         }
         s.rerouted_hops = self.u64()?;
         s.unreachable_pairs = self.u64()?;
+        // v2: per-tenant lanes. Tenants tile the node grid, so a lane
+        // count beyond the node count is nonsense.
+        let ntenants = self.u32()? as usize;
+        if ntenants > nodes {
+            return Err(SnapshotError::Corrupt);
+        }
+        s.tenants = Vec::with_capacity(ntenants);
+        for _ in 0..ntenants {
+            s.tenants.push(TenantStats {
+                latency: self.latency()?,
+                flits_injected: self.u64()?,
+                flits_delivered: self.u64()?,
+                accepted_flits: self.u64()?,
+            });
+        }
         Ok(s)
     }
 }
@@ -750,6 +775,7 @@ pub(crate) fn plan_fingerprint(
     routes: &RoutingTable,
     cfg: &SimConfig,
     baseline: Option<(&Topology, &RoutingTable)>,
+    tenants: Option<&TenantMap>,
 ) -> u64 {
     let mut h = FNV_OFFSET;
     fold(&mut h, b"hyppi-plan-v1");
@@ -757,12 +783,29 @@ pub(crate) fn plan_fingerprint(
     fold_u64(&mut h, cfg.buffer_depth as u64);
     fold_u64(&mut h, cfg.pipeline_stages);
     fold_u64(&mut h, cfg.max_outstanding as u64);
+    // The burst process changes the injection stream from the snapshot
+    // boundary onward, exactly like the config fields above.
+    for w in cfg.burst.fingerprint_words() {
+        fold_u64(&mut h, w);
+    }
     fold_topo_routes(&mut h, topo, routes);
     match baseline {
         None => fold_u64(&mut h, 0),
         Some((bt, br)) => {
             fold_u64(&mut h, 1);
             fold_topo_routes(&mut h, bt, br);
+        }
+    }
+    // Tenant layout: the stats section's lane shape (and the meaning of
+    // each lane) must agree between saver and restorer.
+    match tenants {
+        None => fold_u64(&mut h, 0),
+        Some(tm) => {
+            fold_u64(&mut h, 1);
+            fold_u64(&mut h, tm.tenants as u64);
+            for &t in &tm.tenant_of_node {
+                fold_u64(&mut h, u64::from(t));
+            }
         }
     }
     h

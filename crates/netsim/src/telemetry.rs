@@ -39,6 +39,7 @@ use crate::json::{Json, Obj};
 use crate::shard::{EnginePlan, ShardState};
 use crate::stats::SimStats;
 use hyppi_topology::NodeId;
+use hyppi_traffic::TenantMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -186,8 +187,9 @@ pub trait Probe {
     /// A packet's tail flit ejected at router `node` (packet complete).
     fn on_eject(&mut self, _key: PacketKey, _node: NodeId, _now: u64) {}
 
-    /// A progress attempt failed this cycle (see [`StallCause`]).
-    fn on_stall(&mut self, _cause: StallCause, _now: u64) {}
+    /// A progress attempt failed this cycle (see [`StallCause`]) at
+    /// router / source `node` (global id).
+    fn on_stall(&mut self, _cause: StallCause, _node: NodeId, _now: u64) {}
 
     /// One superstep mailbox bundle moved from shard `from` to shard
     /// `to` carrying `flits` boundary flits and `credits` credit returns.
@@ -313,6 +315,10 @@ pub struct MetricsSample {
     /// Per-shard-edge mailbox volume in the interval (only edges with
     /// traffic): `(from, to, flits, credits)`.
     pub mailbox_edges: Vec<(u16, u16, u64, u64)>,
+    /// Per-tenant stall events during the interval, outer index = tenant,
+    /// inner indexed like [`StallCause::ALL`]. Empty unless the sampler
+    /// was built with [`MetricsSampler::with_tenants`].
+    pub tenant_stalls: Vec<[u64; 5]>,
 }
 
 impl MetricsSample {
@@ -362,6 +368,17 @@ impl MetricsSample {
                         .collect(),
                 ),
             );
+        if !self.tenant_stalls.is_empty() {
+            o = o.field(
+                "tenant_stalls",
+                Json::Arr(
+                    self.tenant_stalls
+                        .iter()
+                        .map(|lane| Json::Arr(lane.iter().map(|&v| Json::UInt(v)).collect()))
+                        .collect(),
+                ),
+            );
+        }
         o.build()
     }
 }
@@ -391,6 +408,10 @@ pub struct MetricsSampler {
     next_boundary: u64,
     // Cumulative counters fed by hooks (stall / exchange events).
     stalls: [u64; 5],
+    // Tenant attribution for stall events: global node → tenant id.
+    // Empty when the run is single-tenant (no per-tenant lanes).
+    tenant_of_node: Vec<u16>,
+    tenant_stalls: Vec<[u64; 5]>,
     mailbox_flits: u64,
     mailbox_credits: u64,
     mailbox_edges: Vec<(u16, u16, u64, u64)>,
@@ -407,6 +428,7 @@ struct MetricsPrev {
     delivered: u64,
     link_flits: Vec<u64>,
     stalls: [u64; 5],
+    tenant_stalls: Vec<[u64; 5]>,
     mailbox_flits: u64,
     mailbox_credits: u64,
     mailbox_edges: Vec<(u16, u16, u64, u64)>,
@@ -420,6 +442,8 @@ impl MetricsSampler {
             interval,
             next_boundary: interval,
             stalls: [0; 5],
+            tenant_of_node: Vec::new(),
+            tenant_stalls: Vec::new(),
             mailbox_flits: 0,
             mailbox_credits: 0,
             mailbox_edges: Vec::new(),
@@ -427,6 +451,16 @@ impl MetricsSampler {
             cur: CycleGauges::default(),
             samples: Vec::new(),
         }
+    }
+
+    /// Attributes stall events to tenants: each sample gains a
+    /// `tenant_stalls` lane per tenant, split by [`StallCause`]. The map
+    /// must cover the run's topology (same map handed to the engine via
+    /// `with_tenants`).
+    pub fn with_tenants(mut self, map: &TenantMap) -> Self {
+        self.tenant_of_node = map.tenant_of_node.clone();
+        self.tenant_stalls = vec![[0; 5]; map.tenants];
+        self
     }
 
     /// The recorded samples so far.
@@ -472,6 +506,18 @@ impl MetricsSampler {
         for (i, s) in stalls.iter_mut().enumerate() {
             *s = delta(self.stalls[i], p.map_or(0, |p| p.stalls[i]));
         }
+        let tenant_stalls: Vec<[u64; 5]> = self
+            .tenant_stalls
+            .iter()
+            .enumerate()
+            .map(|(t, lane)| {
+                let mut d = [0u64; 5];
+                for (i, v) in d.iter_mut().enumerate() {
+                    *v = delta(lane[i], p.map_or(0, |p| p.tenant_stalls[t][i]));
+                }
+                d
+            })
+            .collect();
         let prev_edges = p.map_or(&[][..], |p| &p.mailbox_edges[..]);
         let mailbox_edges: Vec<(u16, u16, u64, u64)> = self
             .mailbox_edges
@@ -506,6 +552,7 @@ impl MetricsSampler {
             mailbox_flits: delta(self.mailbox_flits, p.map_or(0, |p| p.mailbox_flits)),
             mailbox_credits: delta(self.mailbox_credits, p.map_or(0, |p| p.mailbox_credits)),
             mailbox_edges,
+            tenant_stalls,
         });
         self.prev = Some(MetricsPrev {
             cycle_end,
@@ -513,6 +560,7 @@ impl MetricsSampler {
             delivered: self.cur.delivered,
             link_flits: self.cur.link_flits.clone(),
             stalls: self.stalls,
+            tenant_stalls: self.tenant_stalls.clone(),
             mailbox_flits: self.mailbox_flits,
             mailbox_credits: self.mailbox_credits,
             mailbox_edges: self.mailbox_edges.clone(),
@@ -523,8 +571,11 @@ impl MetricsSampler {
 }
 
 impl Probe for MetricsSampler {
-    fn on_stall(&mut self, cause: StallCause, _now: u64) {
+    fn on_stall(&mut self, cause: StallCause, node: NodeId, _now: u64) {
         self.stalls[cause.index()] += 1;
+        if let Some(&t) = self.tenant_of_node.get(usize::from(node.0)) {
+            self.tenant_stalls[usize::from(t)][cause.index()] += 1;
+        }
     }
 
     fn on_exchange(&mut self, from: usize, to: usize, flits: usize, credits: usize, _now: u64) {
@@ -850,9 +901,9 @@ impl Probe for FlightRecorder {
         }
     }
 
-    fn on_stall(&mut self, cause: StallCause, now: u64) {
+    fn on_stall(&mut self, cause: StallCause, node: NodeId, now: u64) {
         if let Some(s) = &mut self.sampler {
-            s.on_stall(cause, now);
+            s.on_stall(cause, node, now);
         }
     }
 
@@ -1133,8 +1184,8 @@ mod tests {
     #[test]
     fn sampler_delta_conversion() {
         let mut s = MetricsSampler::new(10);
-        s.on_stall(StallCause::VaLoss, 3);
-        s.on_stall(StallCause::VaLoss, 4);
+        s.on_stall(StallCause::VaLoss, NodeId(0), 3);
+        s.on_stall(StallCause::VaLoss, NodeId(1), 4);
         s.on_exchange(0, 1, 5, 2, 4);
         // Drive record_sample directly (the engine path is covered by
         // tests/telemetry_parity.rs): two intervals of fake gauges.
@@ -1151,7 +1202,7 @@ mod tests {
             vc_occupancy: vec![4, 3],
         };
         s.record_sample();
-        s.on_stall(StallCause::SaLoss, 15);
+        s.on_stall(StallCause::SaLoss, NodeId(2), 15);
         s.on_exchange(0, 1, 1, 0, 15);
         s.cur = CycleGauges {
             cycle: 19,

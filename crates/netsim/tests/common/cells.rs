@@ -34,7 +34,10 @@ use hyppi_phys::{Gbps, LinkTechnology};
 use hyppi_topology::{
     express_mesh, mesh, ExpressSpec, FaultSpec, MeshSpec, NodeId, RoutingTable, ShardSpec, Topology,
 };
-use hyppi_traffic::{Trace, TraceEvent, TrafficMatrix};
+use hyppi_traffic::{
+    BurstSpec, SyntheticPattern, TenantMap, TenantSpec, TenantWorkload, Trace, TraceEvent,
+    TrafficMatrix,
+};
 
 /// Synthetic warm-up cycles used by every synthetic cell.
 pub const WARMUP: u64 = 100;
@@ -159,6 +162,11 @@ pub struct Cell {
     /// Paper config, open- or closed-loop.
     pub cfg: SimConfig,
     pub workload: CellWorkload,
+    /// Multi-tenant layout: the spec (drives the synthetic matrix) and
+    /// its resolved node-ownership map (attached to every engine so the
+    /// per-tenant `SimStats` lanes are recorded); `None` on
+    /// single-tenant cells.
+    pub tenants: Option<(TenantSpec, TenantMap)>,
     /// The conservative-lookahead window the sharded engine derives on
     /// this cell for the default grids (1 = per-cycle exchanges).
     pub expected_lookahead: u64,
@@ -181,11 +189,18 @@ impl Cell {
         }
     }
 
-    /// The cell's traffic matrix and seed (synthetic cells only).
+    /// The cell's traffic matrix and seed (synthetic cells only). On
+    /// multi-tenant cells the matrix comes from the tenant spec (each
+    /// tenant's pattern on its own tile); the workload `rate` is
+    /// documentation only there.
     pub fn matrix(&self) -> Option<(TrafficMatrix, u64)> {
         match self.workload {
             CellWorkload::Synthetic { rate, seed } => {
-                Some((uniform_matrix(&self.topo, rate), seed))
+                let m = match &self.tenants {
+                    Some((spec, _)) => spec.matrix(&self.topo),
+                    None => uniform_matrix(&self.topo, rate),
+                };
+                Some((m, seed))
             }
             CellWorkload::Trace { .. } => None,
         }
@@ -196,6 +211,9 @@ impl Cell {
         let mut sim = Simulator::new(&self.topo, &self.routes, self.cfg);
         if let Some((h, hr)) = &self.baseline {
             sim = sim.with_baseline(h, hr);
+        }
+        if let Some((_, map)) = &self.tenants {
+            sim = sim.with_tenants(map);
         }
         self.drive_single(sim)
     }
@@ -219,6 +237,9 @@ impl Cell {
         if let Some((h, hr)) = &self.baseline {
             sim = sim.with_baseline(h, hr);
         }
+        if let Some((_, map)) = &self.tenants {
+            sim = sim.with_tenants(map);
+        }
         match self.workload {
             CellWorkload::Trace { .. } => sim
                 .run_trace(&self.trace().expect("trace cell"))
@@ -237,6 +258,9 @@ impl Cell {
             ShardedSimulator::new(&self.topo, &self.routes, self.cfg, spec).with_threads(threads);
         if let Some((h, hr)) = &self.baseline {
             sim = sim.with_baseline(h, hr);
+        }
+        if let Some((_, map)) = &self.tenants {
+            sim = sim.with_tenants(map);
         }
         sim
     }
@@ -311,6 +335,9 @@ impl Cell {
             if let Some((h, hr)) = &self.baseline {
                 sim = sim.with_baseline(h, hr);
             }
+            if let Some((_, map)) = &self.tenants {
+                sim = sim.with_tenants(map);
+            }
             sim
         };
         match self.workload {
@@ -348,6 +375,9 @@ impl Cell {
         let mut sim = Simulator::new(&self.topo, &self.routes, self.cfg);
         if let Some((h, hr)) = &self.baseline {
             sim = sim.with_baseline(h, hr);
+        }
+        if let Some((_, map)) = &self.tenants {
+            sim = sim.with_tenants(map);
         }
         let stats = match self.workload {
             CellWorkload::Trace { .. } => sim
@@ -426,6 +456,7 @@ fn build(
                 baseline: None,
                 cfg,
                 workload,
+                tenants: None,
                 expected_lookahead,
             }
         }
@@ -441,6 +472,7 @@ fn build(
                 baseline: Some((healthy, healthy_routes)),
                 cfg,
                 workload,
+                tenants: None,
                 expected_lookahead,
             }
         }
@@ -448,10 +480,26 @@ fn build(
 }
 
 /// The full cell matrix: 5 topology families × {open, closed(4)} ×
-/// {trace, synthetic} = 20 cells. Closed-loop synthetic cells run past
-/// the small-mesh knee so windows actually fill; closed-loop cells pin
-/// `expected_lookahead = 1` (source credits need next-cycle global
-/// visibility — the plan refuses to open a window).
+/// {trace, synthetic} = 20 base cells, plus six bursty / multi-tenant
+/// cells. Closed-loop synthetic cells run past the small-mesh knee so
+/// windows actually fill; closed-loop cells pin `expected_lookahead = 1`
+/// (source credits need next-cycle global visibility — the plan refuses
+/// to open a window).
+///
+/// The extra cells pin the dynamic-traffic and multi-tenancy subsystems
+/// across every suite:
+///
+/// * `plain/open/synthetic-onoff` — ON/OFF modulated injection;
+/// * `hyppi/open/synthetic-mmpp` — MMPP arrivals under W=2 windowed
+///   exchanges (lookahead sees non-steady traffic);
+/// * `hyppi-faulted/open/synthetic-onoff` — bursty sources while the
+///   shard-cut links are faulted (bursty-on-faulted-cut);
+/// * `plain/open/tenant` — hotspot|uniform tenant pair, per-tenant
+///   stats lanes absorbed across shards and snapshots;
+/// * `plain/closed/tenant` — the same pair under source credits
+///   (closed-loop forces the per-cycle protocol);
+/// * `hyppi/open/tenant-mmpp` — tenants *and* bursty modulation under
+///   W=2 windows.
 pub fn catalog() -> Vec<Cell> {
     type Family = (
         &'static str,
@@ -502,5 +550,98 @@ pub fn catalog() -> Vec<Cell> {
             ));
         }
     }
+
+    // Bursty cells: the burst spec rides in `SimConfig`, so every run
+    // path (single, reference, sharded, spliced, probed) picks it up
+    // with no harness changes.
+    let mut onoff_cfg = SimConfig::paper();
+    onoff_cfg.burst = BurstSpec::onoff(4.0);
+    let mut mmpp_cfg = SimConfig::paper();
+    mmpp_cfg.burst = BurstSpec::mmpp(3.0);
+    for (family, topo, faults, cfg, suffix, lookahead) in [
+        ("plain", plain_mesh(6, 6), None, onoff_cfg, "onoff", 1),
+        ("hyppi", hyppi_mesh(8, 8), None, mmpp_cfg, "mmpp", 2),
+        (
+            "hyppi-faulted",
+            hyppi_mesh(8, 8),
+            Some(hyppi_faults()),
+            onoff_cfg,
+            "onoff",
+            2,
+        ),
+    ] {
+        let seed = 2000 + cells.len() as u64;
+        let mut cell = build(
+            family,
+            topo,
+            faults,
+            cfg,
+            "open",
+            CellWorkload::Synthetic { rate: 0.08, seed },
+            lookahead,
+        );
+        cell.name = format!("{}-{suffix}", cell.name);
+        cells.push(cell);
+    }
+
+    // Multi-tenant cells: a hotspot|uniform pair on vertical half-tiles.
+    // The resolved map is attached to every engine, so the per-tenant
+    // stats lanes are pinned bit-for-bit alongside the aggregate.
+    let pair = TenantSpec::pair(
+        TenantWorkload {
+            pattern: SyntheticPattern::Hotspot,
+            rate: 0.06,
+        },
+        TenantWorkload {
+            pattern: SyntheticPattern::Uniform,
+            rate: 0.08,
+        },
+    );
+    let closed_pair = pair.with_rate(0, 0.18).with_rate(1, 0.22);
+    for (family, topo, cfg, spec, loop_name, suffix, lookahead) in [
+        (
+            "plain",
+            plain_mesh(6, 6),
+            SimConfig::paper(),
+            pair.clone(),
+            "open",
+            "tenant",
+            1,
+        ),
+        (
+            "plain",
+            plain_mesh(6, 6),
+            SimConfig::paper_closed_loop(4),
+            closed_pair,
+            "closed",
+            "tenant",
+            1,
+        ),
+        (
+            "hyppi",
+            hyppi_mesh(8, 8),
+            mmpp_cfg,
+            pair,
+            "open",
+            "tenant-mmpp",
+            2,
+        ),
+    ] {
+        let seed = 2000 + cells.len() as u64;
+        let mut cell = build(
+            family,
+            topo,
+            None,
+            cfg,
+            loop_name,
+            CellWorkload::Synthetic { rate: 0.08, seed },
+            lookahead,
+        );
+        cell.name = format!("{family}/{loop_name}/{suffix}");
+        let map = spec.map(&cell.topo);
+        cell.tenants = Some((spec, map));
+        cells.push(cell);
+    }
+
     cells
 }

@@ -223,14 +223,16 @@ proptest! {
     }
 }
 
-/// The catalog itself is well-formed: 20 cells, every (family, loop,
-/// workload) combination present exactly once, windowed cells exist.
+/// The catalog itself is well-formed: 20 base cells plus the bursty and
+/// multi-tenant cells, every (family, loop, workload) combination
+/// present exactly once, windowed cells exist — including bursty and
+/// tenant cells under W=2 windows.
 #[test]
 fn catalog_shape() {
     let cells = cells::catalog();
-    assert_eq!(cells.len(), 20);
+    assert_eq!(cells.len(), 26);
     let names: std::collections::BTreeSet<_> = cells.iter().map(|c| c.name.clone()).collect();
-    assert_eq!(names.len(), 20, "cell names are unique");
+    assert_eq!(names.len(), 26, "cell names are unique");
     for family in ["plain", "express", "faulted", "hyppi", "hyppi-faulted"] {
         for lp in ["open", "closed"] {
             for wl in ["trace", "synthetic"] {
@@ -241,10 +243,32 @@ fn catalog_shape() {
             }
         }
     }
+    for extra in [
+        "plain/open/synthetic-onoff",
+        "hyppi/open/synthetic-mmpp",
+        "hyppi-faulted/open/synthetic-onoff",
+        "plain/open/tenant",
+        "plain/closed/tenant",
+        "hyppi/open/tenant-mmpp",
+    ] {
+        assert!(names.contains(extra), "missing cell {extra}");
+    }
     assert!(
-        cells.iter().filter(|c| c.expected_lookahead == 2).count() == 4,
-        "four open-loop all-optical cells open a W=2 window"
+        cells.iter().filter(|c| c.expected_lookahead == 2).count() == 7,
+        "open-loop all-optical cells (incl. bursty and tenant) open a W=2 window"
     );
+    // Tenant cells carry per-tenant stats lanes; bursty and tenant
+    // windowed cells see non-steady arrivals under windowed exchange.
+    for cell in cells.iter().filter(|c| c.tenants.is_some()) {
+        let stats = cell.run_single();
+        assert_eq!(stats.tenants.len(), 2, "{}: tenant lanes", cell.name);
+        let lane_sum: u64 = stats.tenants.iter().map(|t| t.flits_delivered).sum();
+        assert_eq!(
+            lane_sum, stats.flits_delivered,
+            "{}: tenant lanes partition the aggregate",
+            cell.name
+        );
+    }
     // Windowed cells are not vacuous: they deliver traffic.
     for cell in cells.iter().filter(|c| c.expected_lookahead == 2) {
         let stats = match cell.workload {

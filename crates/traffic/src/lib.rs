@@ -24,22 +24,31 @@
 //! [`packetize`] (the paper's 1-flit / 32-flit packet split), the
 //! [`trace::Trace`] event container with a compact binary format,
 //! [`volume::CommVolume`] flit-count aggregation for energy accounting,
-//! and rate-scaled [`patterns::SyntheticPattern`] generators (uniform,
+//! rate-scaled [`patterns::SyntheticPattern`] generators (uniform,
 //! transpose, complement, hotspot, Soteriou, NPB-shaped) that feed the
-//! simulator's load sweeps.
+//! simulator's load sweeps, seeded temporal burstiness modulators
+//! ([`burst::BurstSpec`] — ON/OFF and MMPP-style factor processes that
+//! decide *when* the steady patterns' traffic fires), and multi-tenant
+//! composition ([`tenant::TenantSpec`] — disjoint rectangular tiles
+//! each running their own pattern, resolved to a node → tenant map the
+//! simulator splits statistics by).
 
+pub mod burst;
 pub mod matrix;
 pub mod npb;
 pub mod packetize;
 pub mod patterns;
 pub mod soteriou;
+pub mod tenant;
 pub mod trace;
 pub mod volume;
 
+pub use burst::{BurstSpec, BurstState, BURST_REGEN_SLOTS, BURST_SLOT_CYCLES};
 pub use matrix::TrafficMatrix;
 pub use npb::{NpbKernel, NpbTraceSpec, ScaledNpbSpec};
 pub use packetize::{packetize_message, Packet, DATA_PACKET_FLITS};
 pub use patterns::SyntheticPattern;
 pub use soteriou::SoteriouConfig;
+pub use tenant::{TenantMap, TenantSpec, TenantWorkload};
 pub use trace::{Trace, TraceEvent};
 pub use volume::CommVolume;
